@@ -1,0 +1,6 @@
+//! Regenerates the paper's ablations.
+fn main() {
+    streamsim_bench::run_experiment("ablations", |opts| {
+        streamsim_core::experiments::ablations::run(&opts)
+    });
+}

@@ -1,0 +1,6 @@
+//! Regenerates the prefetcher-lineage comparison (OBL to full system).
+fn main() {
+    streamsim_bench::run_experiment("baselines", |opts| {
+        streamsim_core::experiments::baselines::run(&opts)
+    });
+}

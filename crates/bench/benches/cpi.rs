@@ -1,0 +1,6 @@
+//! Regenerates the estimated-memory-CPI extension.
+fn main() {
+    streamsim_bench::run_experiment("cpi", |opts| {
+        streamsim_core::experiments::cpi::run(&opts)
+    });
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig5.
+fn main() {
+    streamsim_bench::run_experiment("fig5", |opts| {
+        streamsim_core::experiments::fig5::run(&opts)
+    });
+}

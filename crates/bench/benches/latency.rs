@@ -1,0 +1,6 @@
+//! Regenerates the §8 timing extension (covered hit rate vs latency).
+fn main() {
+    streamsim_bench::run_experiment("latency", |opts| {
+        streamsim_core::experiments::latency::run(&opts)
+    });
+}

@@ -1,0 +1,6 @@
+//! Regenerates the multiprogramming (context-switch) extension.
+fn main() {
+    streamsim_bench::run_experiment("multiprogramming", |opts| {
+        streamsim_core::experiments::multiprogramming::run(&opts)
+    });
+}

@@ -1,0 +1,6 @@
+//! Regenerates the machine-checked reproduction scorecard.
+fn main() {
+    streamsim_bench::run_experiment("scorecard", |opts| {
+        streamsim_core::experiments::scorecard::run(&opts)
+    });
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's table1.
+fn main() {
+    streamsim_bench::run_experiment("table1", |opts| {
+        streamsim_core::experiments::table1::run(&opts)
+    });
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's table2.
+fn main() {
+    streamsim_bench::run_experiment("table2", |opts| {
+        streamsim_core::experiments::table2::run(&opts)
+    });
+}

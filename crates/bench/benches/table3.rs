@@ -1,0 +1,6 @@
+//! Regenerates the paper's table3.
+fn main() {
+    streamsim_bench::run_experiment("table3", |opts| {
+        streamsim_core::experiments::table3::run(&opts)
+    });
+}

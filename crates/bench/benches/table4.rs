@@ -1,0 +1,6 @@
+//! Regenerates the paper's Table 4 (streams vs secondary-cache scaling).
+fn main() {
+    streamsim_bench::run_experiment("table4", |opts| {
+        streamsim_core::experiments::table4::run(&opts)
+    });
+}

@@ -1,0 +1,6 @@
+//! Regenerates the §3 stream-placement comparison.
+fn main() {
+    streamsim_bench::run_experiment("topology", |opts| {
+        streamsim_core::experiments::topology::run(&opts)
+    });
+}

@@ -1,0 +1,6 @@
+//! Regenerates the memory-traffic comparison (streams vs a 1 MB L2).
+fn main() {
+    streamsim_bench::run_experiment("traffic", |opts| {
+        streamsim_core::experiments::traffic::run(&opts)
+    });
+}

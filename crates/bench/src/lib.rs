@@ -1,0 +1,54 @@
+//! Shared plumbing for the experiment bench targets.
+//!
+//! Each `[[bench]]` target with `harness = false` is a small `main` that
+//! runs one experiment driver from `streamsim-core` at paper scale and
+//! prints the regenerated table or figure with the paper's reported
+//! values alongside. `cargo bench --workspace` therefore reproduces the
+//! entire evaluation section.
+//!
+//! Set `STREAMSIM_SCALE=quick` to run the reduced inputs (useful when
+//! smoke-testing the harness itself), and `STREAMSIM_SAMPLING=paper` to
+//! enable the paper's 10 000-on / 90 000-off time sampling.
+
+use std::time::Instant;
+
+use streamsim_core::experiments::{ExperimentOptions, Scale};
+
+/// Reads experiment options from the environment (see crate docs).
+pub fn options_from_env() -> ExperimentOptions {
+    let scale = match std::env::var("STREAMSIM_SCALE").as_deref() {
+        Ok("quick") => Scale::Quick,
+        _ => Scale::Paper,
+    };
+    let sampling = match std::env::var("STREAMSIM_SAMPLING").as_deref() {
+        Ok("paper") => Some((10_000, 90_000)),
+        _ => None,
+    };
+    ExperimentOptions { scale, sampling }
+}
+
+/// Runs an experiment closure, printing its name, result and wall time.
+pub fn run_experiment<R: std::fmt::Display>(name: &str, f: impl FnOnce(ExperimentOptions) -> R) {
+    // `cargo bench` passes harness flags like `--bench`; ignore them.
+    let options = options_from_env();
+    let start = Instant::now();
+    let result = f(options);
+    let elapsed = start.elapsed();
+    println!("=== {name} (scale: {:?}) ===", options.scale);
+    println!("{result}");
+    println!("[{name} completed in {:.2?}]", elapsed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_options_are_paper_scale() {
+        // Unless the env vars are set, which the test environment does
+        // not do.
+        if std::env::var("STREAMSIM_SCALE").is_err() {
+            assert_eq!(options_from_env().scale, Scale::Paper);
+        }
+    }
+}

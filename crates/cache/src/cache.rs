@@ -1,0 +1,649 @@
+//! The generic set-associative cache simulator.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use streamsim_trace::{AccessKind, Addr, BlockAddr};
+
+use crate::{CacheConfig, CacheStats, Replacement, SetSampling, WritePolicy};
+
+/// Result of presenting one reference to a cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// The block was present.
+    Hit,
+    /// The block was absent; it has been filled (subject to the write
+    /// policy) and `writeback`, when present, is a dirty victim block that
+    /// must be written to the next level.
+    Miss {
+        /// Dirty victim evicted by the fill, if any.
+        writeback: Option<BlockAddr>,
+    },
+    /// Set sampling is active and this reference maps to an unsampled set;
+    /// it was not simulated and no statistics were recorded.
+    Bypassed,
+}
+
+impl AccessOutcome {
+    /// `true` for [`AccessOutcome::Hit`].
+    pub const fn is_hit(self) -> bool {
+        matches!(self, AccessOutcome::Hit)
+    }
+
+    /// `true` for [`AccessOutcome::Miss`].
+    pub const fn is_miss(self) -> bool {
+        matches!(self, AccessOutcome::Miss { .. })
+    }
+}
+
+/// A line displaced by a fill, with its dirtiness — reported by
+/// [`SetAssocCache::access_detailed`] so victim caches can capture clean
+/// evictions too (plain [`SetAssocCache::access`] only reports dirty
+/// write-backs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EvictedLine {
+    /// The evicted block.
+    pub block: BlockAddr,
+    /// Whether it was dirty (needs writing back).
+    pub dirty: bool,
+}
+
+/// Detailed result of [`SetAssocCache::access_detailed`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DetailedOutcome {
+    /// Whether the block was present.
+    pub hit: bool,
+    /// The line displaced by the fill (misses only; `None` when an
+    /// invalid way absorbed the fill, the set was bypassed, or the write
+    /// policy did not allocate).
+    pub evicted: Option<EvictedLine>,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// LRU: last-touch time. FIFO: fill time. Unused for random.
+    stamp: u64,
+}
+
+/// A set-associative cache simulating tags and dirty bits (no data).
+///
+/// Supports LRU / FIFO / seeded-random replacement, write-back/write-
+/// allocate or write-through/no-allocate write handling, and optional
+/// [`SetSampling`] for cheap estimation of very large caches.
+///
+/// # Example
+///
+/// ```
+/// use streamsim_cache::{CacheConfig, SetAssocCache};
+/// use streamsim_trace::{AccessKind, Addr, BlockSize};
+///
+/// let cfg = CacheConfig::new(1024, 2, BlockSize::new(32)?)?;
+/// let mut cache = SetAssocCache::new(cfg)?;
+/// cache.access(Addr::new(0), AccessKind::Load);
+/// assert!(cache.probe(Addr::new(16)));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct SetAssocCache {
+    config: CacheConfig,
+    sampling: Option<SetSampling>,
+    lines: Vec<Line>,
+    rows: u64,
+    set_mask: u64,
+    set_bits: u32,
+    clock: u64,
+    rng: Option<SmallRng>,
+    /// One word of tree bits per simulated set (tree-PLRU only).
+    plru: Vec<u64>,
+    stats: CacheStats,
+}
+
+/// Tree-PLRU helpers: the tree is stored one bit per internal node in a
+/// u64 (heap order, root at bit 1); bit 0 sends the victim search left,
+/// bit 1 right, and touches point the bits *away* from the touched way.
+fn plru_touch(bits: &mut u64, assoc: u32, way: u32) {
+    let mut node = 1u32;
+    let mut span = assoc;
+    while span > 1 {
+        span /= 2;
+        let right = way & span != 0;
+        if right {
+            *bits &= !(1 << node); // point left, away from the touched way
+        } else {
+            *bits |= 1 << node; // point right
+        }
+        node = node * 2 + right as u32;
+    }
+}
+
+fn plru_victim(bits: u64, assoc: u32) -> u32 {
+    let mut node = 1u32;
+    let mut span = assoc;
+    let mut way = 0u32;
+    while span > 1 {
+        span /= 2;
+        let bit = (bits >> node) & 1;
+        if bit == 1 {
+            way += span;
+        }
+        node = node * 2 + bit as u32;
+    }
+    way
+}
+
+impl SetAssocCache {
+    /// Creates a cache simulating every set of `config`.
+    ///
+    /// # Errors
+    ///
+    /// Infallible for any valid `config`; kept fallible for uniformity with
+    /// [`SetAssocCache::with_sampling`].
+    pub fn new(config: CacheConfig) -> Result<Self, crate::CacheConfigError> {
+        Self::build(config, None)
+    }
+
+    /// Creates a cache that simulates only the sets selected by `sampling`.
+    ///
+    /// Tags are computed exactly as in the full cache, so the hit rate over
+    /// the sampled sets is an unbiased estimator of the full-cache hit
+    /// rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the sampling is finer than the number of sets.
+    pub fn with_sampling(
+        config: CacheConfig,
+        sampling: SetSampling,
+    ) -> Result<Self, crate::CacheConfigError> {
+        Self::build(config, Some(sampling))
+    }
+
+    fn build(
+        config: CacheConfig,
+        sampling: Option<SetSampling>,
+    ) -> Result<Self, crate::CacheConfigError> {
+        let sets = config.num_sets();
+        let rows = match sampling {
+            Some(s) => {
+                let rows = sets >> s.log2_fraction();
+                if rows == 0 {
+                    return Err(crate::CacheConfigError::SetsNotPowerOfTwo { sets });
+                }
+                rows
+            }
+            None => sets,
+        };
+        let rng = match config.replacement() {
+            Replacement::Random { seed } => Some(SmallRng::seed_from_u64(seed)),
+            _ => None,
+        };
+        let plru = if config.replacement() == Replacement::TreePlru {
+            if !config.assoc().is_power_of_two() || config.assoc() > 64 {
+                return Err(crate::CacheConfigError::PlruNeedsPowerOfTwoAssoc {
+                    assoc: config.assoc(),
+                });
+            }
+            vec![0u64; rows as usize]
+        } else {
+            Vec::new()
+        };
+        Ok(SetAssocCache {
+            config,
+            sampling,
+            lines: vec![Line::default(); (rows * config.assoc() as u64) as usize],
+            rows,
+            set_mask: sets - 1,
+            set_bits: config.set_index_bits(),
+            clock: 0,
+            rng,
+            plru,
+            stats: CacheStats::new(),
+        })
+    }
+
+    /// The configuration this cache was built from.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// The active set sampling, if any.
+    pub fn sampling(&self) -> Option<SetSampling> {
+        self.sampling
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Zeroes the statistics (cache contents are retained), e.g. after a
+    /// warm-up period.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::new();
+    }
+
+    fn locate(&self, addr: Addr) -> Option<(u64, u64)> {
+        let block = addr.block(self.config.block()).index();
+        let set = block & self.set_mask;
+        let tag = block >> self.set_bits;
+        let row = match self.sampling {
+            Some(s) => {
+                if !s.selects(set) {
+                    return None;
+                }
+                s.row(set)
+            }
+            None => set,
+        };
+        debug_assert!(row < self.rows);
+        Some((row, tag))
+    }
+
+    fn set_range(&self, row: u64) -> std::ops::Range<usize> {
+        let assoc = self.config.assoc() as usize;
+        let start = row as usize * assoc;
+        start..start + assoc
+    }
+
+    /// Presents one reference; fills on miss per the write policy.
+    pub fn access(&mut self, addr: Addr, kind: AccessKind) -> AccessOutcome {
+        match self.detailed(addr, kind) {
+            None => AccessOutcome::Bypassed,
+            Some(DetailedOutcome { hit: true, .. }) => AccessOutcome::Hit,
+            Some(DetailedOutcome { hit: false, evicted }) => AccessOutcome::Miss {
+                writeback: evicted.filter(|e| e.dirty).map(|e| e.block),
+            },
+        }
+    }
+
+    /// Like [`SetAssocCache::access`] but reports the evicted line even
+    /// when clean, which a victim cache needs. Returns [`None`] for
+    /// bypassed (unsampled) sets.
+    pub fn access_detailed(&mut self, addr: Addr, kind: AccessKind) -> Option<DetailedOutcome> {
+        self.detailed(addr, kind)
+    }
+
+    fn detailed(&mut self, addr: Addr, kind: AccessKind) -> Option<DetailedOutcome> {
+        let (row, tag) = self.locate(addr)?;
+        let write_back = self.config.write_policy() == WritePolicy::WriteBackAllocate;
+        let replacement = self.config.replacement();
+        let range = self.set_range(row);
+        self.clock += 1;
+        let clock = self.clock;
+
+        // Hit?
+        for (way, line) in self.lines[range.clone()].iter_mut().enumerate() {
+            if line.valid && line.tag == tag {
+                if replacement == Replacement::Lru {
+                    line.stamp = clock;
+                }
+                if replacement == Replacement::TreePlru {
+                    plru_touch(
+                        &mut self.plru[row as usize],
+                        self.config.assoc(),
+                        way as u32,
+                    );
+                }
+                if kind.is_store() && write_back {
+                    line.dirty = true;
+                }
+                self.stats.record(kind, true);
+                return Some(DetailedOutcome {
+                    hit: true,
+                    evicted: None,
+                });
+            }
+        }
+
+        self.stats.record(kind, false);
+
+        // Write-through / no-allocate: store misses do not fill.
+        if kind.is_store() && !write_back {
+            return Some(DetailedOutcome {
+                hit: false,
+                evicted: None,
+            });
+        }
+
+        // Choose a victim: first invalid line, otherwise per policy.
+        let victim_index = {
+            let set = &self.lines[range.clone()];
+            match set.iter().position(|l| !l.valid) {
+                Some(i) => i,
+                None => match replacement {
+                    Replacement::Lru | Replacement::Fifo => set
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, l)| l.stamp)
+                        .map(|(i, _)| i)
+                        .expect("associativity >= 1"),
+                    Replacement::Random { .. } => self
+                        .rng
+                        .as_mut()
+                        .expect("random replacement has an rng")
+                        .gen_range(0..range.len()),
+                    Replacement::TreePlru => {
+                        plru_victim(self.plru[row as usize], self.config.assoc()) as usize
+                    }
+                },
+            }
+        };
+
+        let set_index = (addr.block(self.config.block()).index()) & self.set_mask;
+        let line = &mut self.lines[range.start + victim_index];
+        let evicted = if line.valid {
+            if line.dirty {
+                self.stats.writebacks += 1;
+            }
+            Some(EvictedLine {
+                block: BlockAddr::from_index((line.tag << self.set_bits) | set_index),
+                dirty: line.dirty,
+            })
+        } else {
+            None
+        };
+        *line = Line {
+            tag,
+            valid: true,
+            dirty: kind.is_store() && write_back,
+            stamp: clock,
+        };
+        if replacement == Replacement::TreePlru {
+            plru_touch(
+                &mut self.plru[row as usize],
+                self.config.assoc(),
+                victim_index as u32,
+            );
+        }
+        Some(DetailedOutcome {
+            hit: false,
+            evicted,
+        })
+    }
+
+    /// Whether the block containing `addr` is present (no state change,
+    /// no statistics). Returns `false` for unsampled sets.
+    pub fn probe(&self, addr: Addr) -> bool {
+        let Some((row, tag)) = self.locate(addr) else {
+            return false;
+        };
+        self.lines[self.set_range(row)]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Invalidates the block containing `addr` if present; returns whether
+    /// a line was invalidated and whether it was dirty.
+    pub fn invalidate(&mut self, addr: Addr) -> Option<bool> {
+        let (row, tag) = self.locate(addr)?;
+        let range = self.set_range(row);
+        for line in &mut self.lines[range] {
+            if line.valid && line.tag == tag {
+                line.valid = false;
+                let dirty = line.dirty;
+                line.dirty = false;
+                self.stats.invalidations += 1;
+                return Some(dirty);
+            }
+        }
+        None
+    }
+
+    /// Number of valid lines currently held (sampled sets only).
+    pub fn resident_blocks(&self) -> u64 {
+        self.lines.iter().filter(|l| l.valid).count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamsim_trace::BlockSize;
+
+    fn small(assoc: u32, replacement: Replacement) -> SetAssocCache {
+        // 4 sets x assoc x 32B blocks.
+        let cfg = CacheConfig::new(4 * assoc as u64 * 32, assoc, BlockSize::new(32).unwrap())
+            .unwrap()
+            .with_replacement(replacement);
+        SetAssocCache::new(cfg).unwrap()
+    }
+
+    fn block_addr(set: u64, tag: u64) -> Addr {
+        // 4 sets, 32-byte blocks.
+        Addr::new(((tag << 2) | set) * 32)
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = small(2, Replacement::Lru);
+        assert!(c.access(Addr::new(0x100), AccessKind::Load).is_miss());
+        assert!(c.access(Addr::new(0x11f), AccessKind::Load).is_hit());
+        assert_eq!(c.stats().accesses(), 2);
+        assert_eq!(c.stats().hits(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = small(2, Replacement::Lru);
+        let a = block_addr(0, 1);
+        let b = block_addr(0, 2);
+        let d = block_addr(0, 3);
+        c.access(a, AccessKind::Load);
+        c.access(b, AccessKind::Load);
+        c.access(a, AccessKind::Load); // a now MRU
+        c.access(d, AccessKind::Load); // evicts b
+        assert!(c.probe(a));
+        assert!(!c.probe(b));
+        assert!(c.probe(d));
+    }
+
+    #[test]
+    fn fifo_ignores_touches() {
+        let mut c = small(2, Replacement::Fifo);
+        let a = block_addr(0, 1);
+        let b = block_addr(0, 2);
+        let d = block_addr(0, 3);
+        c.access(a, AccessKind::Load);
+        c.access(b, AccessKind::Load);
+        c.access(a, AccessKind::Load); // touch must NOT save a under FIFO
+        c.access(d, AccessKind::Load); // evicts a (oldest fill)
+        assert!(!c.probe(a));
+        assert!(c.probe(b));
+        assert!(c.probe(d));
+    }
+
+    #[test]
+    fn random_replacement_is_reproducible() {
+        let run = || {
+            let mut c = small(2, Replacement::Random { seed: 7 });
+            let mut hits = 0;
+            for i in 0..1000u64 {
+                if c.access(Addr::new((i * 97) % 4096 * 32), AccessKind::Load)
+                    .is_hit()
+                {
+                    hits += 1;
+                }
+            }
+            hits
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn plru_behaves_like_lru_for_two_way() {
+        // With associativity 2 the PLRU tree is a single bit: exactly LRU.
+        let mk = |policy| {
+            let cfg = CacheConfig::new(4 * 2 * 32, 2, BlockSize::new(32).unwrap())
+                .unwrap()
+                .with_replacement(policy);
+            SetAssocCache::new(cfg).unwrap()
+        };
+        let mut lru = mk(Replacement::Lru);
+        let mut plru = mk(Replacement::TreePlru);
+        // A deterministic mixed pattern within one set.
+        let addrs: Vec<Addr> = [1u64, 2, 3, 1, 4, 2, 5, 1, 2, 3, 4, 5, 1]
+            .iter()
+            .map(|&t| block_addr(0, t))
+            .collect();
+        for &a in &addrs {
+            assert_eq!(
+                lru.access(a, AccessKind::Load).is_hit(),
+                plru.access(a, AccessKind::Load).is_hit(),
+                "diverged at {a}"
+            );
+        }
+    }
+
+    #[test]
+    fn plru_four_way_protects_recently_touched_ways() {
+        let cfg = CacheConfig::new(4 * 4 * 32, 4, BlockSize::new(32).unwrap())
+            .unwrap()
+            .with_replacement(Replacement::TreePlru);
+        let mut c = SetAssocCache::new(cfg).unwrap();
+        // Fill a set with tags 1-4, touch 1 and 2, then force an eviction:
+        // the victim must not be 1 or 2.
+        for t in 1..=4 {
+            c.access(block_addr(0, t), AccessKind::Load);
+        }
+        c.access(block_addr(0, 1), AccessKind::Load);
+        c.access(block_addr(0, 2), AccessKind::Load);
+        c.access(block_addr(0, 9), AccessKind::Load); // evicts 3 or 4
+        assert!(c.probe(block_addr(0, 1)));
+        assert!(c.probe(block_addr(0, 2)));
+    }
+
+    #[test]
+    fn plru_rejects_non_power_of_two_assoc() {
+        let cfg = CacheConfig::new(3 * 32 * 4, 3, BlockSize::new(32).unwrap());
+        // 3-way with 4 sets: geometry valid, PLRU invalid.
+        let cfg = cfg.unwrap().with_replacement(Replacement::TreePlru);
+        assert!(matches!(
+            SetAssocCache::new(cfg),
+            Err(crate::CacheConfigError::PlruNeedsPowerOfTwoAssoc { assoc: 3 })
+        ));
+    }
+
+    #[test]
+    fn writeback_produced_only_for_dirty_victims() {
+        let mut c = small(1, Replacement::Lru);
+        let a = block_addr(1, 1);
+        let b = block_addr(1, 2);
+        let d = block_addr(1, 3);
+        c.access(a, AccessKind::Store); // dirty
+        let out = c.access(b, AccessKind::Load); // evicts dirty a
+        assert_eq!(
+            out,
+            AccessOutcome::Miss {
+                writeback: Some(a.block(BlockSize::new(32).unwrap()))
+            }
+        );
+        let out = c.access(d, AccessKind::Load); // evicts clean b
+        assert_eq!(out, AccessOutcome::Miss { writeback: None });
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn store_hit_marks_dirty() {
+        let mut c = small(1, Replacement::Lru);
+        let a = block_addr(0, 1);
+        c.access(a, AccessKind::Load);
+        c.access(a, AccessKind::Store); // hit, dirties the line
+        let b = block_addr(0, 2);
+        let out = c.access(b, AccessKind::Load);
+        assert!(matches!(out, AccessOutcome::Miss { writeback: Some(_) }));
+    }
+
+    #[test]
+    fn write_through_never_writes_back_and_does_not_allocate() {
+        let cfg = CacheConfig::new(128, 1, BlockSize::new(32).unwrap())
+            .unwrap()
+            .with_write_policy(WritePolicy::WriteThroughNoAllocate);
+        let mut c = SetAssocCache::new(cfg).unwrap();
+        let a = Addr::new(0);
+        assert_eq!(
+            c.access(a, AccessKind::Store),
+            AccessOutcome::Miss { writeback: None }
+        );
+        assert!(!c.probe(a), "store miss must not allocate");
+        // Load fills; subsequent store hit stays clean.
+        c.access(a, AccessKind::Load);
+        c.access(a, AccessKind::Store);
+        for t in 1..10u64 {
+            c.access(Addr::new(t * 128), AccessKind::Load);
+        }
+        assert_eq!(c.stats().writebacks, 0);
+    }
+
+    #[test]
+    fn invalidate_reports_dirtiness() {
+        let mut c = small(2, Replacement::Lru);
+        let a = block_addr(0, 1);
+        assert_eq!(c.invalidate(a), None);
+        c.access(a, AccessKind::Store);
+        assert_eq!(c.invalidate(a), Some(true));
+        assert!(!c.probe(a));
+        c.access(a, AccessKind::Load);
+        assert_eq!(c.invalidate(a), Some(false));
+        assert_eq!(c.stats().invalidations, 2);
+    }
+
+    #[test]
+    fn sampled_cache_bypasses_unselected_sets() {
+        let cfg = CacheConfig::new(4 * 32, 1, BlockSize::new(32).unwrap()).unwrap();
+        // 4 sets, sample 1/2 keeping odd set indices.
+        let mut c = SetAssocCache::with_sampling(cfg, SetSampling::new(1, 1)).unwrap();
+        assert_eq!(
+            c.access(block_addr(0, 1), AccessKind::Load),
+            AccessOutcome::Bypassed
+        );
+        assert!(c.access(block_addr(1, 1), AccessKind::Load).is_miss());
+        assert!(c.access(block_addr(3, 1), AccessKind::Load).is_miss());
+        assert!(c.access(block_addr(1, 1), AccessKind::Load).is_hit());
+        assert_eq!(c.stats().accesses(), 3, "bypassed refs are not counted");
+    }
+
+    #[test]
+    fn sampling_finer_than_sets_is_rejected() {
+        let cfg = CacheConfig::new(4 * 32, 1, BlockSize::new(32).unwrap()).unwrap();
+        assert!(SetAssocCache::with_sampling(cfg, SetSampling::new(3, 0)).is_err());
+    }
+
+    #[test]
+    fn sampled_hit_rate_matches_full_on_uniform_trace() {
+        // A strided trace touching all sets equally: the sampled estimate
+        // must equal the full-cache rate exactly by symmetry.
+        let cfg = CacheConfig::new(64 * 32, 2, BlockSize::new(32).unwrap()).unwrap();
+        let mut full = SetAssocCache::new(cfg).unwrap();
+        let mut sampled = SetAssocCache::with_sampling(cfg, SetSampling::new(2, 0)).unwrap();
+        for round in 0..4u64 {
+            for i in 0..256u64 {
+                let a = Addr::new(i * 32 + round); // revisit same blocks
+                full.access(a, AccessKind::Load);
+                sampled.access(a, AccessKind::Load);
+            }
+        }
+        assert!((full.stats().hit_rate() - sampled.stats().hit_rate()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resident_blocks_counts_valid_lines() {
+        let mut c = small(2, Replacement::Lru);
+        assert_eq!(c.resident_blocks(), 0);
+        c.access(block_addr(0, 1), AccessKind::Load);
+        c.access(block_addr(2, 1), AccessKind::Load);
+        assert_eq!(c.resident_blocks(), 2);
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents() {
+        let mut c = small(2, Replacement::Lru);
+        let a = block_addr(0, 1);
+        c.access(a, AccessKind::Load);
+        c.reset_stats();
+        assert_eq!(c.stats().accesses(), 0);
+        assert!(c.access(a, AccessKind::Load).is_hit());
+    }
+}

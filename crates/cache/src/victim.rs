@@ -1,0 +1,196 @@
+//! Jouppi's victim cache.
+//!
+//! The paper notes that with a direct-mapped primary cache "Jouppi's victim
+//! buffers may also be needed" alongside stream buffers. A victim cache is
+//! a small fully-associative buffer holding blocks recently evicted from
+//! the primary cache; a primary miss that hits in the victim cache swaps
+//! the block back at much lower cost than a memory fetch. We provide it for
+//! the direct-mapped ablation study.
+
+use std::collections::VecDeque;
+
+use streamsim_trace::BlockAddr;
+
+/// Outcome of offering a miss to the victim cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VictimOutcome {
+    /// The missed block was found among recent victims (fast recovery).
+    Hit,
+    /// Not found; the miss proceeds to the next memory level.
+    Miss,
+}
+
+/// A small fully-associative LRU buffer of recently evicted blocks.
+///
+/// # Example
+///
+/// ```
+/// use streamsim_cache::{VictimCache, VictimOutcome};
+/// use streamsim_trace::BlockAddr;
+///
+/// let mut v = VictimCache::new(4);
+/// v.insert_victim(BlockAddr::from_index(7), false);
+/// assert_eq!(v.lookup(BlockAddr::from_index(7)), VictimOutcome::Hit);
+/// // A hit removes the entry (it moved back into the primary cache).
+/// assert_eq!(v.lookup(BlockAddr::from_index(7)), VictimOutcome::Miss);
+/// ```
+#[derive(Clone, Debug)]
+pub struct VictimCache {
+    /// Front = oldest, back = newest.
+    entries: VecDeque<(BlockAddr, bool)>,
+    capacity: usize,
+    hits: u64,
+    lookups: u64,
+    dirty_evictions: u64,
+}
+
+impl VictimCache {
+    /// Creates a victim cache holding up to `capacity` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "victim cache needs at least one entry");
+        VictimCache {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            hits: 0,
+            lookups: 0,
+            dirty_evictions: 0,
+        }
+    }
+
+    /// Records a block evicted from the primary cache (with its dirty bit).
+    /// The oldest entry falls out when full; if it was dirty it counts as a
+    /// memory write-back.
+    pub fn insert_victim(&mut self, block: BlockAddr, dirty: bool) {
+        // A block can be re-evicted while an old copy is still here;
+        // keep only the newest copy (and the union of dirtiness).
+        if let Some(pos) = self.entries.iter().position(|&(b, _)| b == block) {
+            let (_, old_dirty) = self.entries.remove(pos).expect("position is valid");
+            self.entries.push_back((block, dirty || old_dirty));
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            if let Some((_, was_dirty)) = self.entries.pop_front() {
+                if was_dirty {
+                    self.dirty_evictions += 1;
+                }
+            }
+        }
+        self.entries.push_back((block, dirty));
+    }
+
+    /// Looks up a primary-cache miss; on hit the entry is removed (the
+    /// block is swapped back into the primary cache).
+    pub fn lookup(&mut self, block: BlockAddr) -> VictimOutcome {
+        self.lookups += 1;
+        if let Some(pos) = self.entries.iter().position(|&(b, _)| b == block) {
+            self.entries.remove(pos);
+            self.hits += 1;
+            VictimOutcome::Hit
+        } else {
+            VictimOutcome::Miss
+        }
+    }
+
+    /// Number of blocks currently buffered.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lookups performed.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Lookup hits.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Hit rate over lookups (0.0 when none).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+
+    /// Dirty blocks aged out to memory.
+    pub fn dirty_evictions(&self) -> u64 {
+        self.dirty_evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(i: u64) -> BlockAddr {
+        BlockAddr::from_index(i)
+    }
+
+    #[test]
+    fn fifo_aging() {
+        let mut v = VictimCache::new(2);
+        v.insert_victim(b(1), false);
+        v.insert_victim(b(2), false);
+        v.insert_victim(b(3), false); // ages out 1
+        assert_eq!(v.lookup(b(1)), VictimOutcome::Miss);
+        assert_eq!(v.lookup(b(2)), VictimOutcome::Hit);
+        assert_eq!(v.lookup(b(3)), VictimOutcome::Hit);
+    }
+
+    #[test]
+    fn hit_removes_entry() {
+        let mut v = VictimCache::new(2);
+        v.insert_victim(b(9), true);
+        assert_eq!(v.lookup(b(9)), VictimOutcome::Hit);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn reinsert_merges_dirty_bit() {
+        let mut v = VictimCache::new(1);
+        v.insert_victim(b(5), true);
+        v.insert_victim(b(5), false); // keeps dirty = true, no aging
+        v.insert_victim(b(6), false); // ages out 5, which was dirty
+        assert_eq!(v.dirty_evictions(), 1);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn dirty_eviction_counted_only_for_dirty() {
+        let mut v = VictimCache::new(1);
+        v.insert_victim(b(1), false);
+        v.insert_victim(b(2), true);
+        assert_eq!(v.dirty_evictions(), 0);
+        v.insert_victim(b(3), false);
+        assert_eq!(v.dirty_evictions(), 1);
+    }
+
+    #[test]
+    fn hit_rate() {
+        let mut v = VictimCache::new(4);
+        v.insert_victim(b(1), false);
+        v.lookup(b(1));
+        v.lookup(b(2));
+        assert_eq!(v.hits(), 1);
+        assert_eq!(v.lookups(), 2);
+        assert!((v.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_panics() {
+        let _ = VictimCache::new(0);
+    }
+}

@@ -1,0 +1,171 @@
+//! ASCII line/bar charts for figure-style experiment output.
+//!
+//! The paper's Figures 3 and 9 are line plots; the tables the drivers
+//! print carry the same data, but a quick visual of the *shape* (the
+//! plateau, the detection window) is worth having in terminal output.
+//! [`AsciiChart`] renders one or more named series over a shared x-axis
+//! as a fixed-height character grid.
+
+use std::fmt;
+
+/// Height of the plot area in character rows.
+const HEIGHT: usize = 12;
+
+/// A multi-series ASCII chart over a shared categorical x-axis.
+///
+/// Values are expected in `0..=1` (fractions); the y-axis is labelled in
+/// percent. Each series is drawn with its own marker character.
+///
+/// # Example
+///
+/// ```
+/// use streamsim_core::chart::AsciiChart;
+///
+/// let mut chart = AsciiChart::new(vec!["1", "2", "4", "8"]);
+/// chart.series("mgrid", vec![0.04, 0.38, 0.75, 0.83]);
+/// let drawing = chart.to_string();
+/// assert!(drawing.contains("mgrid"));
+/// assert!(drawing.contains("100%") || drawing.contains(" 90%"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct AsciiChart {
+    x_labels: Vec<String>,
+    series: Vec<(String, Vec<f64>)>,
+}
+
+/// Markers assigned to series in order.
+const MARKERS: [char; 8] = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+
+impl AsciiChart {
+    /// Creates a chart with the given x-axis labels.
+    pub fn new<S: Into<String>>(x_labels: Vec<S>) -> Self {
+        AsciiChart {
+            x_labels: x_labels.into_iter().map(Into::into).collect(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a named series. Values beyond the x-axis length are ignored;
+    /// missing values leave gaps.
+    pub fn series(&mut self, name: impl Into<String>, values: Vec<f64>) -> &mut Self {
+        self.series.push((name.into(), values));
+        self
+    }
+
+    /// Number of series added.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Whether the chart has no series.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+}
+
+impl fmt::Display for AsciiChart {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let columns = self.x_labels.len();
+        // Column width: widest x label + 1, at least 3.
+        let col_width = self
+            .x_labels
+            .iter()
+            .map(|l| l.chars().count())
+            .max()
+            .unwrap_or(1)
+            .max(2)
+            + 1;
+
+        // Grid of plot characters.
+        let mut grid = vec![vec![' '; columns * col_width]; HEIGHT];
+        for (s, (_, values)) in self.series.iter().enumerate() {
+            let marker = MARKERS[s % MARKERS.len()];
+            for (i, &v) in values.iter().take(columns).enumerate() {
+                let clamped = v.clamp(0.0, 1.0);
+                // Row 0 is the top (100%); HEIGHT-1 the bottom (0%).
+                let row = ((1.0 - clamped) * (HEIGHT - 1) as f64).round() as usize;
+                let col = i * col_width + col_width / 2;
+                // Later series overwrite earlier ones at collisions.
+                grid[row][col] = marker;
+            }
+        }
+
+        // Render with a y-axis label every few rows.
+        for (row, line) in grid.iter().enumerate() {
+            let pct = 100.0 * (1.0 - row as f64 / (HEIGHT - 1) as f64);
+            if row % 3 == 0 || row == HEIGHT - 1 {
+                write!(f, "{pct:>4.0}% |")?;
+            } else {
+                write!(f, "      |")?;
+            }
+            let text: String = line.iter().collect();
+            writeln!(f, "{}", text.trim_end())?;
+        }
+        // X axis.
+        write!(f, "      +")?;
+        writeln!(f, "{}", "-".repeat(columns * col_width))?;
+        write!(f, "       ")?;
+        for label in &self.x_labels {
+            write!(f, "{label:^col_width$}")?;
+        }
+        writeln!(f)?;
+        // Legend.
+        write!(f, "       ")?;
+        for (s, (name, _)) in self.series.iter().enumerate() {
+            if s > 0 {
+                write!(f, "   ")?;
+            }
+            write!(f, "{} {}", MARKERS[s % MARKERS.len()], name)?;
+        }
+        writeln!(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_axes_and_legend() {
+        let mut c = AsciiChart::new(vec!["a", "b", "c"]);
+        c.series("one", vec![0.0, 0.5, 1.0]);
+        c.series("two", vec![1.0, 0.5, 0.0]);
+        let s = c.to_string();
+        assert!(s.contains("100% |"), "{s}");
+        assert!(s.contains("   0% |"), "{s}");
+        assert!(s.contains("* one"), "{s}");
+        assert!(s.contains("o two"), "{s}");
+        assert!(s.contains("+---"), "{s}");
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn high_values_plot_near_the_top() {
+        let mut c = AsciiChart::new(vec!["x"]);
+        c.series("hi", vec![1.0]);
+        let s = c.to_string();
+        let first_plot_line = s.lines().next().unwrap();
+        assert!(first_plot_line.contains('*'), "{s}");
+    }
+
+    #[test]
+    fn values_are_clamped() {
+        let mut c = AsciiChart::new(vec!["x", "y"]);
+        c.series("wild", vec![-3.0, 42.0]);
+        let s = c.to_string();
+        // Bottom row holds the clamped −3; top row the clamped 42.
+        assert!(s.lines().next().unwrap().contains('*'));
+        let bottom = s.lines().nth(HEIGHT - 1).unwrap();
+        assert!(bottom.contains('*'), "{s}");
+    }
+
+    #[test]
+    fn missing_values_leave_gaps() {
+        let mut c = AsciiChart::new(vec!["a", "b", "c", "d"]);
+        c.series("short", vec![0.5]);
+        let s = c.to_string();
+        let marks = s.matches('*').count();
+        assert_eq!(marks, 2, "one data point + one legend marker: {s}");
+    }
+}

@@ -1,0 +1,92 @@
+//! Table 1 — benchmark characteristics.
+//!
+//! For every benchmark: the modelled data-set size, the primary
+//! data-cache miss rate and the misses-per-instruction ratio under the
+//! paper's 64K+64K 4-way configuration, next to the values Table 1
+//! reports for the original programs.
+
+use std::fmt;
+
+use crate::experiments::{workload_set, ExperimentOptions};
+use crate::report::TextTable;
+use crate::{paper, parallel_map, record_miss_trace, L1Summary};
+
+/// One benchmark's measured characteristics.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Suite label.
+    pub suite: String,
+    /// Modelled data-set size in bytes.
+    pub data_set_bytes: u64,
+    /// L1 statistics of the recording run.
+    pub l1: L1Summary,
+}
+
+/// Results of the Table 1 reproduction.
+#[derive(Clone, Debug)]
+pub struct Table1 {
+    /// Per-benchmark rows, in Table 1 order.
+    pub rows: Vec<Row>,
+}
+
+/// Runs the experiment.
+pub fn run(options: &ExperimentOptions) -> Table1 {
+    let record = options.record_options();
+    let rows = parallel_map(workload_set(options.scale), move |w| {
+        let trace = record_miss_trace(w.as_ref(), &record)
+            .expect("paper L1 configuration is valid");
+        Row {
+            name: w.name().to_owned(),
+            suite: w.suite().to_string(),
+            data_set_bytes: w.data_set_bytes(),
+            l1: *trace.l1(),
+        }
+    });
+    Table1 { rows }
+}
+
+impl fmt::Display for Table1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Table 1: benchmark characteristics (64K I + 64K D, 4-way, random repl.)"
+        )?;
+        let mut t = TextTable::new(vec![
+            "bench", "suite", "size MB", "paper MB", "miss %", "paper %", "MPI %", "paper %",
+        ]);
+        for r in &self.rows {
+            let p = paper::benchmark(&r.name);
+            t.row(vec![
+                r.name.clone(),
+                r.suite.clone(),
+                format!("{:.1}", r.data_set_bytes as f64 / (1 << 20) as f64),
+                p.map_or(String::new(), |p| format!("{:.1}", p.data_set_mb)),
+                format!("{:.2}", r.l1.data_miss_rate() * 100.0),
+                p.map_or(String::new(), |p| format!("{:.2}", p.data_miss_rate_pct)),
+                format!("{:.2}", r.l1.mpi() * 100.0),
+                p.map_or(String::new(), |p| format!("{:.2}", p.mpi_pct)),
+            ]);
+        }
+        t.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_covers_all_benchmarks() {
+        let result = run(&ExperimentOptions::quick());
+        assert_eq!(result.rows.len(), 15);
+        for r in &result.rows {
+            assert!(r.l1.refs() > 0, "{}", r.name);
+            assert!(r.data_set_bytes > 0, "{}", r.name);
+        }
+        let text = result.to_string();
+        assert!(text.contains("embar"));
+        assert!(text.contains("trfd"));
+    }
+}

@@ -1,0 +1,196 @@
+//! Table 4 — stream buffers versus secondary caches as data sets scale.
+//!
+//! For five benchmarks at two input sizes each: measure the stream hit
+//! rate (ten streams, unit + czone filters — the paper's full
+//! configuration), then find the minimum secondary cache achieving the
+//! same *local* hit rate over the identical miss trace. L2 capacities
+//! and associativities follow the paper (64 KB–4 MB, 1–4-way); the L2
+//! block size is held equal to the primary cache's 32 bytes. (The paper
+//! swept 64/128-byte L2 blocks against an unstated L1 block size; with a
+//! 32-byte L1 block, larger L2 blocks would hand small caches a 4×
+//! spatial-prefetch subsidy on sequential miss streams that the paper's
+//! multi-megabyte results demonstrably did not include, so we hold block
+//! size constant to keep *capacity* the operative variable, as in the
+//! paper.) The conclusion this driver reproduces: streams scale
+//! *better* — the equivalent cache grows with the data set (except the
+//! cgm anomaly, where the large scattered matrix defeats streams).
+
+use std::fmt;
+
+use streamsim_cache::CacheConfig;
+use streamsim_streams::StreamConfig;
+
+use crate::experiments::{table4_pairs, ExperimentOptions};
+use crate::report::{size, TextTable};
+use crate::{paper, parallel_map, record_miss_trace, run_l2, run_streams, MissTrace};
+
+/// The L2 capacities swept, smallest to largest.
+pub const L2_SIZES: [u64; 7] = [
+    64 << 10,
+    128 << 10,
+    256 << 10,
+    512 << 10,
+    1 << 20,
+    2 << 20,
+    4 << 20,
+];
+
+/// Czone size used for the stream configuration.
+pub const CZONE_BITS: u32 = 16;
+
+/// One (benchmark, input) measurement.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Benchmark name.
+    pub name: String,
+    /// `true` for the larger input.
+    pub large: bool,
+    /// Modelled data-set size in bytes.
+    pub data_set_bytes: u64,
+    /// Stream hit rate (fraction).
+    pub stream_hit: f64,
+    /// Minimum L2 size (bytes) whose best-geometry local hit rate matches
+    /// the streams, or `None` if even 4 MB falls short.
+    pub min_l2_bytes: Option<u64>,
+    /// The best L2 local hit rate observed at `min_l2_bytes` (or at 4 MB
+    /// when `None`).
+    pub l2_hit: f64,
+}
+
+/// Results of the Table 4 reproduction.
+#[derive(Clone, Debug)]
+pub struct Table4 {
+    /// Two rows (small, large) per benchmark.
+    pub rows: Vec<Row>,
+}
+
+impl Table4 {
+    /// The (small, large) rows for one benchmark.
+    pub fn pair(&self, name: &str) -> Option<(&Row, &Row)> {
+        let small = self.rows.iter().find(|r| r.name == name && !r.large)?;
+        let large = self.rows.iter().find(|r| r.name == name && r.large)?;
+        Some((small, large))
+    }
+}
+
+/// Best local hit rate over the paper's associativities at a fixed
+/// capacity, with the block size pinned to the L1's (see module docs).
+fn best_l2_hit(trace: &MissTrace, size_bytes: u64) -> f64 {
+    let mut best: f64 = 0.0;
+    for assoc in [1u32, 2, 4] {
+        let block = trace.l1_block();
+        let Ok(cfg) = CacheConfig::secondary(size_bytes, assoc, block) else {
+            continue;
+        };
+        if let Ok(stats) = run_l2(trace, cfg, None) {
+            best = best.max(stats.hit_rate());
+        }
+    }
+    best
+}
+
+fn measure(name: &str, large: bool, workload: &dyn streamsim_workloads::Workload, options: &ExperimentOptions) -> Row {
+    let trace = record_miss_trace(workload, &options.record_options())
+        .expect("paper L1 configuration is valid");
+    let stream_hit = run_streams(
+        &trace,
+        StreamConfig::paper_strided(10, CZONE_BITS).expect("valid"),
+    )
+    .hit_rate();
+    let mut min_l2_bytes = None;
+    let mut l2_hit = 0.0;
+    for &cap in &L2_SIZES {
+        let hit = best_l2_hit(&trace, cap);
+        l2_hit = hit;
+        if hit >= stream_hit {
+            min_l2_bytes = Some(cap);
+            break;
+        }
+    }
+    Row {
+        name: name.to_owned(),
+        large,
+        data_set_bytes: workload.data_set_bytes(),
+        stream_hit,
+        min_l2_bytes,
+        l2_hit,
+    }
+}
+
+/// Runs the experiment.
+pub fn run(options: &ExperimentOptions) -> Table4 {
+    let mut cells = Vec::new();
+    for (name, small, large) in table4_pairs(options.scale) {
+        cells.push((name, false, small));
+        cells.push((name, true, large));
+    }
+    let opts = *options;
+    let rows = parallel_map(cells, move |(name, large, workload)| {
+        measure(name, large, workload.as_ref(), &opts)
+    });
+    Table4 { rows }
+}
+
+impl fmt::Display for Table4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Table 4: streams vs minimum secondary cache for equal local hit rate"
+        )?;
+        let mut t = TextTable::new(vec![
+            "bench",
+            "input",
+            "stream hit %",
+            "paper %",
+            "min L2",
+            "paper L2",
+            "L2 hit %",
+        ]);
+        for r in &self.rows {
+            let p = paper::TABLE4
+                .iter()
+                .find(|p| p.name == r.name && p.large == r.large);
+            t.row(vec![
+                r.name.clone(),
+                format!("{:.1} MB", r.data_set_bytes as f64 / (1 << 20) as f64),
+                format!("{:.0}", r.stream_hit * 100.0),
+                p.map_or(String::new(), |p| format!("{}", p.stream_hit_pct)),
+                r.min_l2_bytes.map_or(">4 MB".into(), size),
+                p.map_or(String::new(), |p| size(p.min_l2_bytes)),
+                format!("{:.0}", r.l2_hit * 100.0),
+            ]);
+        }
+        t.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_pairs() {
+        let result = run(&ExperimentOptions::quick());
+        assert_eq!(result.rows.len() % 2, 0);
+        assert!(result.pair("appsp").is_some());
+        let text = result.to_string();
+        assert!(text.contains("min L2"));
+    }
+
+    #[test]
+    fn equivalent_cache_grows_with_data_set_for_regular_codes() {
+        let result = run(&ExperimentOptions::quick());
+        let (small, large) = result.pair("mgrid").unwrap();
+        let s = small.min_l2_bytes.unwrap_or(u64::MAX);
+        let l = large.min_l2_bytes.unwrap_or(u64::MAX);
+        assert!(l >= s, "mgrid: small {s} vs large {l}");
+    }
+
+    #[test]
+    fn stream_hit_rates_are_sane() {
+        let result = run(&ExperimentOptions::quick());
+        for r in &result.rows {
+            assert!((0.0..=1.0).contains(&r.stream_hit), "{}", r.name);
+        }
+    }
+}

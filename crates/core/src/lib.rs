@@ -1,0 +1,55 @@
+//! Memory-system composition and the paper's experiment drivers.
+//!
+//! This crate ties the workspace together:
+//!
+//! * [`MemorySystem`] — a complete simulated memory hierarchy (split L1,
+//!   optional unified or partitioned stream buffers, optional secondary
+//!   cache observer) driven one [`Access`] at a time.
+//! * [`MissTrace`] — the key performance lever for the paper's sweeps:
+//!   the L1 miss stream does not depend on what sits behind the L1, so it
+//!   is recorded once per workload ([`record_miss_trace`]) and replayed
+//!   against any number of stream-buffer or secondary-cache
+//!   configurations ([`run_streams`], [`run_l2`]) at a tiny fraction of
+//!   the full simulation cost.
+//! * [`experiments`] — one driver per table and figure in the paper's
+//!   evaluation (Tables 1–4, Figures 3, 5, 8, 9) plus the ablation suite,
+//!   each printing measured results next to the paper's reported values.
+//! * [`paper`] — the paper's reported numbers, transcribed.
+//! * [`report::TextTable`] — plain-text table rendering for all of the
+//!   above.
+//!
+//! # Example
+//!
+//! ```
+//! use streamsim_core::{record_miss_trace, run_streams, RecordOptions};
+//! use streamsim_streams::StreamConfig;
+//! use streamsim_workloads::generators::SequentialSweep;
+//!
+//! let trace = record_miss_trace(&SequentialSweep::default(), &RecordOptions::default())?;
+//! let stats = run_streams(&trace, StreamConfig::paper_basic(4)?);
+//! assert!(stats.hit_rate() > 0.9, "sequential sweeps stream perfectly");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod chart;
+pub mod experiments;
+mod miss_trace;
+pub mod paper;
+pub mod report;
+mod runner;
+mod system;
+
+pub use miss_trace::{record_miss_trace, run_l2, run_streams, MissEvent, MissTrace, RecordOptions};
+pub use runner::parallel_map;
+pub use system::{L1Summary, MemorySystem, MemorySystemBuilder, SimReport, StreamTopology};
+
+// Re-export the workspace's key types so downstream users need only this
+// crate (plus the facade) for common tasks.
+pub use streamsim_cache::{CacheConfig, CacheStats, SetSampling};
+pub use streamsim_streams::{StreamConfig, StreamStats};
+pub use streamsim_trace::Access;
+pub use streamsim_workloads::Workload;

@@ -1,0 +1,162 @@
+//! Plain-text table rendering for experiment output.
+
+use std::fmt;
+
+/// A simple aligned text table: a header row plus data rows.
+///
+/// # Example
+///
+/// ```
+/// use streamsim_core::report::TextTable;
+///
+/// let mut t = TextTable::new(vec!["bench", "hit %"]);
+/// t.row(vec!["mgrid".into(), "78.0".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("mgrid"));
+/// assert!(s.lines().count() >= 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a data row. Short rows are padded with empty cells; extra
+    /// cells are kept (the column count grows).
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let columns = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain([self.headers.len()])
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; columns];
+        let measure = |widths: &mut Vec<usize>, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        };
+        measure(&mut widths, &self.headers);
+        for r in &self.rows {
+            measure(&mut widths, r);
+        }
+
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, width) in widths.iter().enumerate() {
+                let empty = String::new();
+                let cell = cells.get(i).unwrap_or(&empty);
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                // Right-align numeric-looking cells, left-align the rest.
+                let numeric = !cell.is_empty()
+                    && cell
+                        .chars()
+                        .all(|c| c.is_ascii_digit() || ".%-+<>~".contains(c));
+                if numeric {
+                    write!(f, "{cell:>width$}")?;
+                } else {
+                    write!(f, "{cell:<width$}")?;
+                }
+            }
+            writeln!(f)
+        };
+
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for r in &self.rows {
+            write_row(f, r)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(fraction: f64) -> String {
+    format!("{:.1}", fraction * 100.0)
+}
+
+/// Formats a byte count as a human-readable cache size ("64 KB", "2 MB").
+pub fn size(bytes: u64) -> String {
+    if bytes >= 1 << 20 && bytes.is_multiple_of(1 << 20) {
+        format!("{} MB", bytes >> 20)
+    } else if bytes >= 1 << 10 {
+        format!("{} KB", bytes >> 10)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["name", "value"]);
+        t.row(vec!["a".into(), "1.0".into()]);
+        t.row(vec!["longer-name".into(), "12.5".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines the same width (headers padded).
+        assert!(lines[1].starts_with("---"));
+        assert!(s.contains("longer-name"));
+    }
+
+    #[test]
+    fn pads_short_rows() {
+        let mut t = TextTable::new(vec!["a", "b", "c"]);
+        t.row(vec!["x".into()]);
+        let s = t.to_string();
+        assert!(s.contains('x'));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn numeric_cells_right_align() {
+        let mut t = TextTable::new(vec!["n", "v"]);
+        t.row(vec!["aa".into(), "7".into()]);
+        t.row(vec!["b".into(), "123".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[2].contains("  7"), "{s}");
+    }
+
+    #[test]
+    fn helpers_format() {
+        assert_eq!(pct(0.5), "50.0");
+        assert_eq!(size(64 << 10), "64 KB");
+        assert_eq!(size(2 << 20), "2 MB");
+        assert_eq!(size(100), "100 B");
+        assert_eq!(size(1536), "1 KB");
+    }
+}

@@ -1,0 +1,86 @@
+//! Parallel execution of independent simulations.
+//!
+//! Experiments run many independent (workload × configuration) cells;
+//! [`parallel_map`] spreads them over the machine's cores with plain
+//! scoped threads. Results come back in input order, so experiment output
+//! is deterministic regardless of scheduling.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Applies `f` to every item, using up to `available_parallelism` worker
+/// threads, and returns the results in input order.
+///
+/// `f` must be `Sync` because multiple workers call it concurrently.
+/// Panics in `f` propagate to the caller.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = work.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= work.len() {
+                    break;
+                }
+                let item = work[i]
+                    .lock()
+                    .expect("work slot not poisoned")
+                    .take()
+                    .expect("each slot taken once");
+                let r = f(item);
+                *results[i].lock().expect("result slot not poisoned") = Some(r);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot not poisoned")
+                .expect("every slot filled")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let out = parallel_map((0..100).collect(), |i: i32| i * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        assert_eq!(parallel_map(Vec::<i32>::new(), |i| i), Vec::<i32>::new());
+        assert_eq!(parallel_map(vec![7], |i: i32| i + 1), vec![8]);
+    }
+
+    #[test]
+    fn runs_non_copy_items() {
+        let items: Vec<String> = (0..20).map(|i| i.to_string()).collect();
+        let out = parallel_map(items, |s| s.len());
+        assert_eq!(out[0], 1);
+        assert_eq!(out[10], 2);
+    }
+}

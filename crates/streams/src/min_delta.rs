@@ -1,0 +1,136 @@
+//! The "minimum delta" stride-detection alternative (§7).
+//!
+//! The paper sketches a second non-unit-stride scheme: cache the last N
+//! miss addresses in a history buffer; on a stream miss, find the minimum
+//! distance (delta) between the new address and any buffered address and
+//! use that delta as the stride of the allocated stream. The authors found
+//! its performance similar to the czone scheme but its hardware (N parallel
+//! subtractions and a minimum tree per miss) less attractive. It is
+//! implemented here for the ablation benchmark that reproduces that
+//! comparison.
+
+use std::collections::VecDeque;
+
+use streamsim_trace::WordAddr;
+
+use crate::FilterStats;
+
+/// History buffer implementing the minimum-delta stride heuristic.
+#[derive(Clone, Debug)]
+pub struct MinDeltaDetector {
+    entries: VecDeque<WordAddr>,
+    capacity: usize,
+    max_stride_words: i64,
+    stats: FilterStats,
+}
+
+impl MinDeltaDetector {
+    /// Creates a detector remembering `capacity` miss addresses and
+    /// ignoring candidate strides larger than `max_stride_words` in
+    /// magnitude.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` or `max_stride_words <= 0`.
+    pub fn new(capacity: usize, max_stride_words: i64) -> Self {
+        assert!(capacity > 0, "detector needs at least one entry");
+        assert!(max_stride_words > 0, "maximum stride must be positive");
+        MinDeltaDetector {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            max_stride_words,
+            stats: FilterStats::default(),
+        }
+    }
+
+    /// Presents a missed word address; returns the minimum signed delta to
+    /// any remembered address (the stride to allocate with), if one exists
+    /// within the magnitude bound. The address is then remembered.
+    pub fn lookup(&mut self, word: WordAddr) -> Option<i64> {
+        self.stats.lookups += 1;
+        let best = self
+            .entries
+            .iter()
+            .map(|&prev| word.delta(prev))
+            .filter(|&d| d != 0 && d.unsigned_abs() <= self.max_stride_words.unsigned_abs())
+            .min_by_key(|d| d.unsigned_abs());
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.stats.evictions += 1;
+        }
+        self.entries.push_back(word);
+        self.stats.insertions += 1;
+        if best.is_some() {
+            self.stats.allocations += 1;
+        }
+        best
+    }
+
+    /// Detector counters.
+    pub fn stats(&self) -> FilterStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(i: u64) -> WordAddr {
+        WordAddr::from_index(i)
+    }
+
+    #[test]
+    fn picks_the_smallest_magnitude_delta() {
+        let mut d = MinDeltaDetector::new(4, 1_000_000);
+        assert_eq!(d.lookup(w(1000)), None);
+        assert_eq!(d.lookup(w(5000)), Some(4000));
+        // 5100 is 100 from 5000 and 4100 from 1000: picks 100.
+        assert_eq!(d.lookup(w(5100)), Some(100));
+    }
+
+    #[test]
+    fn negative_deltas_allowed() {
+        let mut d = MinDeltaDetector::new(4, 1_000_000);
+        d.lookup(w(1000));
+        assert_eq!(d.lookup(w(900)), Some(-100));
+    }
+
+    #[test]
+    fn respects_max_stride_bound() {
+        let mut d = MinDeltaDetector::new(4, 50);
+        d.lookup(w(0));
+        assert_eq!(d.lookup(w(1000)), None, "delta 1000 exceeds bound");
+        assert_eq!(d.lookup(w(1040)), Some(40));
+    }
+
+    #[test]
+    fn duplicate_addresses_give_no_stride() {
+        let mut d = MinDeltaDetector::new(4, 100);
+        d.lookup(w(7));
+        assert_eq!(d.lookup(w(7)), None);
+    }
+
+    #[test]
+    fn history_is_bounded() {
+        let mut d = MinDeltaDetector::new(2, 1_000_000);
+        d.lookup(w(0));
+        d.lookup(w(100_000));
+        d.lookup(w(200_000)); // evicts 0
+        assert_eq!(d.stats().evictions, 1);
+        // Nearest to 30 is now 100_000, not the evicted 0.
+        assert_eq!(d.lookup(w(30)), Some(30 - 100_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_panics() {
+        let _ = MinDeltaDetector::new(0, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn non_positive_bound_panics() {
+        let _ = MinDeltaDetector::new(4, 0);
+    }
+}

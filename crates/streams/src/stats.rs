@@ -1,0 +1,494 @@
+//! Stream-buffer statistics: hit rates, bandwidth accounting and the
+//! stream-length distribution.
+
+use std::fmt;
+
+/// The stream-length buckets of the paper's Table 3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LengthBucket {
+    /// Runs of 1–5 stream hits.
+    B1to5,
+    /// Runs of 6–10 hits.
+    B6to10,
+    /// Runs of 11–15 hits.
+    B11to15,
+    /// Runs of 16–20 hits.
+    B16to20,
+    /// Runs longer than 20 hits.
+    Over20,
+}
+
+impl LengthBucket {
+    /// All buckets in table order.
+    pub const ALL: [LengthBucket; 5] = [
+        LengthBucket::B1to5,
+        LengthBucket::B6to10,
+        LengthBucket::B11to15,
+        LengthBucket::B16to20,
+        LengthBucket::Over20,
+    ];
+
+    /// The bucket a run of `length` hits falls in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length == 0` (zero-length runs are not recorded).
+    pub fn of(length: u64) -> LengthBucket {
+        match length {
+            0 => panic!("zero-length stream runs are not recorded"),
+            1..=5 => LengthBucket::B1to5,
+            6..=10 => LengthBucket::B6to10,
+            11..=15 => LengthBucket::B11to15,
+            16..=20 => LengthBucket::B16to20,
+            _ => LengthBucket::Over20,
+        }
+    }
+
+    /// Index into [`LengthBucket::ALL`].
+    pub const fn as_index(self) -> usize {
+        match self {
+            LengthBucket::B1to5 => 0,
+            LengthBucket::B6to10 => 1,
+            LengthBucket::B11to15 => 2,
+            LengthBucket::B16to20 => 3,
+            LengthBucket::Over20 => 4,
+        }
+    }
+}
+
+impl fmt::Display for LengthBucket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LengthBucket::B1to5 => "1-5",
+            LengthBucket::B6to10 => "6-10",
+            LengthBucket::B11to15 => "11-15",
+            LengthBucket::B16to20 => "16-20",
+            LengthBucket::Over20 => ">20",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Distribution of stream lengths.
+///
+/// A *stream length* is the number of hits a stream buffer supplied
+/// between its allocation and the moment "the regular pattern of accesses
+/// is broken" (its reallocation or the end of simulation). Table 3 reports
+/// the fraction of all *hits* contributed by runs in each bucket, which is
+/// what [`LengthHistogram::hit_fractions`] computes.
+///
+/// # Example
+///
+/// ```
+/// use streamsim_streams::{LengthBucket, LengthHistogram};
+///
+/// let mut h = LengthHistogram::new();
+/// h.record_run(3);   // 3 hits from a short run
+/// h.record_run(27);  // 27 hits from a long run
+/// let f = h.hit_fractions();
+/// assert!((f[LengthBucket::B1to5.as_index()] - 0.1).abs() < 1e-12);
+/// assert!((f[LengthBucket::Over20.as_index()] - 0.9).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LengthHistogram {
+    /// Number of runs per bucket.
+    runs: [u64; 5],
+    /// Total hits contributed by runs in each bucket.
+    hits: [u64; 5],
+}
+
+impl LengthHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a completed run of `length` hits. Zero-length runs (a
+    /// stream reallocated before ever hitting) are ignored.
+    pub fn record_run(&mut self, length: u64) {
+        if length == 0 {
+            return;
+        }
+        let i = LengthBucket::of(length).as_index();
+        self.runs[i] += 1;
+        self.hits[i] += length;
+    }
+
+    /// Number of runs recorded in `bucket`.
+    pub fn runs_in(&self, bucket: LengthBucket) -> u64 {
+        self.runs[bucket.as_index()]
+    }
+
+    /// Hits contributed by runs in `bucket`.
+    pub fn hits_in(&self, bucket: LengthBucket) -> u64 {
+        self.hits[bucket.as_index()]
+    }
+
+    /// Total runs recorded.
+    pub fn total_runs(&self) -> u64 {
+        self.runs.iter().sum()
+    }
+
+    /// Total hits recorded.
+    pub fn total_hits(&self) -> u64 {
+        self.hits.iter().sum()
+    }
+
+    /// Fraction of all hits contributed by each bucket, in
+    /// [`LengthBucket::ALL`] order — the rows of Table 3. All zeros when
+    /// no hits were recorded.
+    pub fn hit_fractions(&self) -> [f64; 5] {
+        let total = self.total_hits();
+        if total == 0 {
+            return [0.0; 5];
+        }
+        let mut f = [0.0; 5];
+        for (frac, &hits) in f.iter_mut().zip(self.hits.iter()) {
+            *frac = hits as f64 / total as f64;
+        }
+        f
+    }
+
+    /// Mean run length (0.0 when empty).
+    pub fn mean_length(&self) -> f64 {
+        let runs = self.total_runs();
+        if runs == 0 {
+            0.0
+        } else {
+            self.total_hits() as f64 / runs as f64
+        }
+    }
+}
+
+/// Distribution of hit *lead times*: the number of stream lookups that
+/// elapsed between a prefetch being issued and the hit that consumed it.
+///
+/// This quantifies the paper's §8 caveat — "a stream buffer entry may
+/// have been prefetched but the data hasn't returned from memory yet".
+/// Whether such a hit is as good as a cache hit depends on the memory
+/// system: if the main-memory latency spans `R` inter-miss intervals,
+/// only hits with lead time > `R` are fully covered. The
+/// [`LeadHistogram::coverage`] method evaluates that fraction for any
+/// `R`, which is what the `latency` experiment sweeps.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LeadHistogram {
+    /// Hit counts for lead times 1, 2, 3, 4..=7, 8..=15, and 16+.
+    buckets: [u64; 6],
+    total: u64,
+}
+
+impl LeadHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket(lead: u64) -> usize {
+        match lead {
+            0 | 1 => 0,
+            2 => 1,
+            3 => 2,
+            4..=7 => 3,
+            8..=15 => 4,
+            _ => 5,
+        }
+    }
+
+    /// Records a hit whose prefetch was issued `lead` lookups earlier.
+    pub fn record(&mut self, lead: u64) {
+        self.buckets[Self::bucket(lead)] += 1;
+        self.total += 1;
+    }
+
+    /// Total hits recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Fraction of hits whose lead time is at least `min_lead` lookups —
+    /// the hits whose data would be back from a memory with a latency of
+    /// `min_lead` inter-miss intervals. Conservative at bucket
+    /// boundaries (rounds down within a bucket). 0.0 when empty.
+    pub fn coverage(&self, min_lead: u64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let covered: u64 = (Self::bucket(min_lead)..6)
+            .map(|i| self.buckets[i])
+            .sum();
+        covered as f64 / self.total as f64
+    }
+
+    /// Raw bucket counts (lead 1, 2, 3, 4–7, 8–15, 16+).
+    pub fn buckets(&self) -> [u64; 6] {
+        self.buckets
+    }
+}
+
+/// Counters for an allocation filter (unit-stride, czone or min-delta).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FilterStats {
+    /// References presented to the filter.
+    pub lookups: u64,
+    /// Lookups that triggered a stream allocation.
+    pub allocations: u64,
+    /// New history entries created.
+    pub insertions: u64,
+    /// History entries displaced before completing a detection.
+    pub evictions: u64,
+}
+
+impl FilterStats {
+    /// Allocations / lookups (0.0 when no lookups).
+    pub fn allocation_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.allocations as f64 / self.lookups as f64
+        }
+    }
+}
+
+/// Complete statistics of a [`crate::StreamSystem`] run.
+///
+/// The bandwidth accounting tracks every prefetch to one of four
+/// dispositions: *used* (consumed by a stream hit), *flushed* (discarded
+/// when its stream was reallocated), *invalidated* (killed by a
+/// write-back), or *dead* (still in a buffer when simulation ended).
+/// `issued = used + flushed + invalidated + dead` always holds.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Primary-cache misses presented to the streams.
+    pub lookups: u64,
+    /// Lookups that hit a stream buffer.
+    pub hits: u64,
+    /// Stream (re)allocations.
+    pub allocations: u64,
+    /// Allocations of non-unit-stride streams.
+    pub strided_allocations: u64,
+    /// Prefetches issued to memory.
+    pub prefetches_issued: u64,
+    /// Prefetches consumed by stream hits.
+    pub prefetches_used: u64,
+    /// Prefetches discarded when their stream was reallocated.
+    pub prefetches_flushed: u64,
+    /// Prefetches killed by write-back invalidation.
+    pub prefetches_invalidated: u64,
+    /// Prefetches still buffered at the end of simulation.
+    pub prefetches_dead: u64,
+    /// Entries skipped over by any-entry matching (discarded unused).
+    pub prefetches_skipped: u64,
+    /// Stream-length distribution (Table 3).
+    pub lengths: LengthHistogram,
+    /// Hit lead-time distribution (the §8 timing caveat).
+    pub leads: LeadHistogram,
+    /// Unit-stride filter counters, if such a filter is configured.
+    pub unit_filter: FilterStats,
+    /// Czone (or min-delta) filter counters, if configured.
+    pub stride_filter: FilterStats,
+}
+
+impl StreamStats {
+    /// Lookups that missed every stream.
+    pub fn misses(&self) -> u64 {
+        self.lookups - self.hits
+    }
+
+    /// Stream hit rate: the fraction of primary-cache misses that hit in
+    /// the streams — the paper's primary metric.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+
+    /// Prefetches that were issued but never supplied data.
+    pub fn useless_prefetches(&self) -> u64 {
+        self.prefetches_issued - self.prefetches_used
+    }
+
+    /// Measured **extra bandwidth** (EB): useless prefetches as a fraction
+    /// of the memory traffic the program needs without streams (its
+    /// primary-cache miss fetches). Multiply by 100 for the paper's
+    /// percentages.
+    pub fn extra_bandwidth(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.useless_prefetches() as f64 / self.lookups as f64
+        }
+    }
+
+    /// The paper's closed-form EB approximation for unfiltered streams:
+    /// every stream miss causes an allocation that may flush up to `depth`
+    /// prefetches, so `EB ≈ misses × depth / misses_total`.
+    pub fn extra_bandwidth_paper_formula(&self, depth: usize) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            (self.allocations * depth as u64) as f64 / self.lookups as f64
+        }
+    }
+
+    /// Checks the prefetch-disposition conservation law; used by tests.
+    pub fn prefetch_accounting_balances(&self) -> bool {
+        self.prefetches_issued
+            == self.prefetches_used
+                + self.prefetches_flushed
+                + self.prefetches_invalidated
+                + self.prefetches_dead
+                + self.prefetches_skipped
+    }
+}
+
+impl fmt::Display for StreamStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} lookups, {} hits (hit rate {:.1}%), {} allocations, EB {:.1}%",
+            self.lookups,
+            self.hits,
+            self.hit_rate() * 100.0,
+            self.allocations,
+            self.extra_bandwidth() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(LengthBucket::of(1), LengthBucket::B1to5);
+        assert_eq!(LengthBucket::of(5), LengthBucket::B1to5);
+        assert_eq!(LengthBucket::of(6), LengthBucket::B6to10);
+        assert_eq!(LengthBucket::of(10), LengthBucket::B6to10);
+        assert_eq!(LengthBucket::of(11), LengthBucket::B11to15);
+        assert_eq!(LengthBucket::of(15), LengthBucket::B11to15);
+        assert_eq!(LengthBucket::of(16), LengthBucket::B16to20);
+        assert_eq!(LengthBucket::of(20), LengthBucket::B16to20);
+        assert_eq!(LengthBucket::of(21), LengthBucket::Over20);
+        assert_eq!(LengthBucket::of(10_000), LengthBucket::Over20);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-length")]
+    fn zero_bucket_panics() {
+        let _ = LengthBucket::of(0);
+    }
+
+    #[test]
+    fn histogram_ignores_zero_runs() {
+        let mut h = LengthHistogram::new();
+        h.record_run(0);
+        assert_eq!(h.total_runs(), 0);
+        assert_eq!(h.hit_fractions(), [0.0; 5]);
+    }
+
+    #[test]
+    fn histogram_weights_by_hits() {
+        let mut h = LengthHistogram::new();
+        for _ in 0..10 {
+            h.record_run(2); // 20 hits in 1-5
+        }
+        h.record_run(80); // 80 hits in >20
+        assert_eq!(h.total_runs(), 11);
+        assert_eq!(h.total_hits(), 100);
+        let f = h.hit_fractions();
+        assert!((f[0] - 0.2).abs() < 1e-12);
+        assert!((f[4] - 0.8).abs() < 1e-12);
+        assert!((h.mean_length() - 100.0 / 11.0).abs() < 1e-12);
+        assert_eq!(h.runs_in(LengthBucket::B1to5), 10);
+        assert_eq!(h.hits_in(LengthBucket::Over20), 80);
+    }
+
+    #[test]
+    fn stats_rates() {
+        let stats = StreamStats {
+            lookups: 200,
+            hits: 150,
+            allocations: 50,
+            prefetches_issued: 260,
+            prefetches_used: 150,
+            prefetches_flushed: 90,
+            prefetches_invalidated: 5,
+            prefetches_dead: 15,
+            ..Default::default()
+        };
+        assert_eq!(stats.misses(), 50);
+        assert!((stats.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(stats.useless_prefetches(), 110);
+        assert!((stats.extra_bandwidth() - 0.55).abs() < 1e-12);
+        assert!((stats.extra_bandwidth_paper_formula(2) - 0.5).abs() < 1e-12);
+        assert!(stats.prefetch_accounting_balances());
+    }
+
+    #[test]
+    fn accounting_detects_imbalance() {
+        let stats = StreamStats {
+            prefetches_issued: 10,
+            prefetches_used: 3,
+            ..Default::default()
+        };
+        assert!(!stats.prefetch_accounting_balances());
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let stats = StreamStats::default();
+        assert_eq!(stats.hit_rate(), 0.0);
+        assert_eq!(stats.extra_bandwidth(), 0.0);
+        assert_eq!(stats.extra_bandwidth_paper_formula(2), 0.0);
+        assert_eq!(FilterStats::default().allocation_rate(), 0.0);
+    }
+
+    #[test]
+    fn filter_allocation_rate() {
+        let f = FilterStats {
+            lookups: 100,
+            allocations: 25,
+            insertions: 75,
+            evictions: 10,
+        };
+        assert!((f.allocation_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_shows_percentages() {
+        let stats = StreamStats {
+            lookups: 100,
+            hits: 60,
+            prefetches_issued: 100,
+            prefetches_used: 60,
+            ..Default::default()
+        };
+        let s = stats.to_string();
+        assert!(s.contains("60.0%"), "{s}");
+        assert!(s.contains("EB 40.0%"), "{s}");
+    }
+
+    #[test]
+    fn lead_histogram_buckets_and_coverage() {
+        let mut h = LeadHistogram::new();
+        for lead in [1, 1, 2, 3, 5, 9, 40] {
+            h.record(lead);
+        }
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.buckets(), [2, 1, 1, 1, 1, 1]);
+        assert!((h.coverage(1) - 1.0).abs() < 1e-12);
+        assert!((h.coverage(2) - 5.0 / 7.0).abs() < 1e-12);
+        assert!((h.coverage(4) - 3.0 / 7.0).abs() < 1e-12);
+        assert!((h.coverage(16) - 1.0 / 7.0).abs() < 1e-12);
+        assert_eq!(LeadHistogram::new().coverage(1), 0.0);
+    }
+
+    #[test]
+    fn bucket_display_labels() {
+        let labels: Vec<String> = LengthBucket::ALL.iter().map(|b| b.to_string()).collect();
+        assert_eq!(labels, ["1-5", "6-10", "11-15", "16-20", ">20"]);
+    }
+}

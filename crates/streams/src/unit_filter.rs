@@ -1,0 +1,152 @@
+//! The unit-stride allocation filter (§6, Figure 4).
+//!
+//! Ordinary streams allocate on *every* miss, wasting memory bandwidth on
+//! isolated references. The filter is a small history buffer of the N most
+//! recent miss addresses, storing `a + 1` (the next cache block) for a miss
+//! at block `a`. A stream is allocated only when a miss *hits* the filter —
+//! i.e. when the preceding block missed in the recent past, indicating two
+//! misses to consecutive cache blocks and hence a promising stream.
+
+use std::collections::VecDeque;
+
+use streamsim_trace::BlockAddr;
+
+use crate::FilterStats;
+
+/// History buffer detecting misses to consecutive cache blocks.
+///
+/// # Example
+///
+/// ```
+/// use streamsim_streams::StreamConfig;
+/// # use streamsim_trace::Addr;
+/// use streamsim_streams::StreamSystem;
+///
+/// let mut sys = StreamSystem::new(StreamConfig::paper_filtered(4)?);
+/// // An isolated miss never allocates a stream...
+/// sys.on_l1_miss(Addr::new(0x9000));
+/// assert_eq!(sys.stats().allocations, 0);
+/// // ...but a miss to the next sequential block does.
+/// sys.on_l1_miss(Addr::new(0x9020));
+/// assert_eq!(sys.stats().allocations, 1);
+/// # Ok::<(), streamsim_streams::StreamConfigError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub(crate) struct UnitStrideFilter {
+    /// Expected-next blocks; front = oldest.
+    entries: VecDeque<BlockAddr>,
+    capacity: usize,
+    stats: FilterStats,
+}
+
+impl UnitStrideFilter {
+    pub(crate) fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "filter needs at least one entry");
+        UnitStrideFilter {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            stats: FilterStats::default(),
+        }
+    }
+
+    /// Presents a missed block. Returns `true` when a stream should be
+    /// allocated (the block was predicted by an earlier miss); the hit
+    /// entry is freed, as the paper specifies. On a filter miss the
+    /// successor block is recorded, displacing the oldest entry if full.
+    pub(crate) fn lookup(&mut self, block: BlockAddr) -> bool {
+        self.stats.lookups += 1;
+        if let Some(pos) = self.entries.iter().position(|&b| b == block) {
+            self.entries.remove(pos);
+            self.stats.allocations += 1;
+            return true;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.stats.evictions += 1;
+        }
+        self.entries.push_back(block.next());
+        self.stats.insertions += 1;
+        false
+    }
+
+    pub(crate) fn stats(&self) -> FilterStats {
+        self.stats
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(i: u64) -> BlockAddr {
+        BlockAddr::from_index(i)
+    }
+
+    #[test]
+    fn consecutive_blocks_trigger_allocation() {
+        let mut f = UnitStrideFilter::new(4);
+        assert!(!f.lookup(b(10)), "first miss only records 11");
+        assert!(f.lookup(b(11)), "predicted successor hits");
+    }
+
+    #[test]
+    fn hit_frees_the_entry() {
+        let mut f = UnitStrideFilter::new(4);
+        f.lookup(b(10));
+        assert!(f.lookup(b(11)));
+        // The entry was freed; 11 again is a fresh miss recording 12.
+        assert!(!f.lookup(b(11)));
+        assert!(f.lookup(b(12)));
+    }
+
+    #[test]
+    fn isolated_references_never_allocate() {
+        let mut f = UnitStrideFilter::new(8);
+        for i in [100, 300, 500, 700, 900] {
+            assert!(!f.lookup(b(i)));
+        }
+        assert_eq!(f.stats().allocations, 0);
+        assert_eq!(f.stats().insertions, 5);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_prediction() {
+        let mut f = UnitStrideFilter::new(2);
+        f.lookup(b(10)); // predicts 11
+        f.lookup(b(20)); // predicts 21
+        f.lookup(b(30)); // predicts 31, evicts the 11 prediction
+        assert!(!f.lookup(b(11)), "prediction for 11 was evicted");
+        assert_eq!(f.stats().evictions, 2); // 21 evicted by the b(11) insert too
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn interleaved_streams_are_tracked_independently() {
+        let mut f = UnitStrideFilter::new(4);
+        assert!(!f.lookup(b(100)));
+        assert!(!f.lookup(b(200)));
+        assert!(f.lookup(b(101)));
+        assert!(f.lookup(b(201)));
+    }
+
+    #[test]
+    fn descending_accesses_do_not_hit_the_unit_filter() {
+        // The unit filter predicts only +1 successors.
+        let mut f = UnitStrideFilter::new(8);
+        assert!(!f.lookup(b(50)));
+        assert!(!f.lookup(b(49)));
+        assert!(!f.lookup(b(48)));
+        assert_eq!(f.stats().allocations, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_panics() {
+        let _ = UnitStrideFilter::new(0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Property-based tests for the stride-detection filters and the stream
+//! system's allocation policies.
+
+use proptest::prelude::*;
+
+use streamsim_streams::{Allocation, CzoneFilter, MinDeltaDetector, StreamConfig, StreamSystem};
+use streamsim_trace::{Addr, WordAddr};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Three consecutive constant-stride references within one partition
+    /// always trigger detection with exactly that stride, for any base,
+    /// stride and czone large enough to contain them.
+    #[test]
+    fn czone_detects_any_clean_constant_stride(
+        base in 0u64..1 << 40,
+        stride in prop_oneof![1i64..1 << 20, -(1i64 << 20)..-1],
+        czone_bits in 24u32..40,
+    ) {
+        // Keep all three references in one partition: align the base so
+        // base, base+s, base+2s share their high bits.
+        let span = stride.unsigned_abs() * 2 + 1;
+        prop_assume!(span < (1u64 << czone_bits) / 2);
+        let partition = base >> czone_bits << czone_bits;
+        let start = partition + (1 << (czone_bits - 1)); // middle of czone
+        let mut filter = CzoneFilter::new(8, czone_bits);
+        let w = |i: i64| WordAddr::from_index(start.wrapping_add_signed(i * stride));
+        prop_assert_eq!(filter.lookup(w(0)), None);
+        prop_assert_eq!(filter.lookup(w(1)), None);
+        prop_assert_eq!(filter.lookup(w(2)), Some(stride));
+    }
+
+    /// Detection in one partition is unaffected by arbitrary traffic in
+    /// other partitions (as long as the filter has capacity).
+    #[test]
+    fn czone_partitions_are_independent(
+        noise in proptest::collection::vec(0u64..1 << 20, 0..6),
+    ) {
+        let czone_bits = 16u32;
+        let mut filter = CzoneFilter::new(16, czone_bits);
+        // The victim stream lives in partition 40.
+        let base = 40u64 << czone_bits;
+        let stride = 100i64;
+        let mut refs = vec![base, base + 100, base + 200];
+        // Interleave noise from partitions 0..15 (never 40).
+        let mut sequence = Vec::new();
+        for (i, &r) in refs.iter().enumerate() {
+            if let Some(&n) = noise.get(i) {
+                sequence.push(n & 0xFFFFF); // partitions 0..=15
+            }
+            sequence.push(r);
+        }
+        let mut detected = None;
+        for s in sequence {
+            if let Some(d) = filter.lookup(WordAddr::from_index(s)) {
+                if s >= base {
+                    detected = Some(d);
+                }
+            }
+        }
+        prop_assert_eq!(detected, Some(stride));
+        refs.clear();
+    }
+
+    /// The min-delta detector's reported stride is always the smallest
+    /// nonzero distance to a remembered address, within its bound.
+    #[test]
+    fn min_delta_reports_the_minimum(
+        history in proptest::collection::vec(0u64..1 << 24, 1..12),
+        probe in 0u64..1 << 24,
+    ) {
+        let bound = 1i64 << 22;
+        let mut d = MinDeltaDetector::new(16, bound);
+        for &h in &history {
+            let _ = d.lookup(WordAddr::from_index(h));
+        }
+        let got = d.lookup(WordAddr::from_index(probe));
+        let expected = history
+            .iter()
+            .map(|&h| probe.wrapping_sub(h) as i64)
+            .filter(|&x| x != 0 && x.unsigned_abs() <= bound.unsigned_abs())
+            .min_by_key(|x| x.unsigned_abs());
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Whatever the allocation policy, hit counts and filter counters are
+    /// internally consistent: every hit consumed a prefetch, every
+    /// filtered miss was declined by a filter lookup.
+    #[test]
+    fn policy_counters_are_consistent(
+        misses in proptest::collection::vec(0u64..1 << 24, 1..300),
+        policy in 0u8..3,
+    ) {
+        let allocation = match policy {
+            0 => Allocation::OnMiss,
+            1 => Allocation::UnitFilter { entries: 8 },
+            _ => Allocation::UnitAndStrideFilters {
+                unit_entries: 8,
+                stride_entries: 8,
+                czone_bits: 14,
+            },
+        };
+        let mut sys = StreamSystem::new(StreamConfig::new(6, 2, allocation).unwrap());
+        for &m in &misses {
+            sys.on_l1_miss(Addr::new(m * 8));
+        }
+        sys.finalize();
+        let stats = sys.stats();
+        prop_assert!(stats.prefetch_accounting_balances());
+        match allocation {
+            Allocation::OnMiss => {
+                prop_assert_eq!(stats.allocations, stats.misses());
+            }
+            Allocation::UnitFilter { .. } => {
+                prop_assert_eq!(stats.unit_filter.lookups, stats.misses());
+                prop_assert_eq!(stats.allocations, stats.unit_filter.allocations);
+            }
+            _ => {
+                prop_assert_eq!(stats.unit_filter.lookups, stats.misses());
+                // czone sees exactly the unit-filter misses.
+                prop_assert_eq!(
+                    stats.stride_filter.lookups,
+                    stats.misses() - stats.unit_filter.allocations
+                );
+                prop_assert_eq!(
+                    stats.allocations,
+                    stats.unit_filter.allocations + stats.stride_filter.allocations
+                );
+            }
+        }
+    }
+
+    /// A strided stream with random one-off interruptions still gets
+    /// detected and supplies hits (robustness of the czone FSM).
+    #[test]
+    fn czone_survives_sparse_interruptions(
+        stride_blocks in 2u64..256,
+        interrupt_every in 5u64..20,
+    ) {
+        let stride = stride_blocks * 32; // bytes, multiple of a block
+        let mut sys = StreamSystem::new(StreamConfig::paper_strided(10, 20).unwrap());
+        let mut hits = 0u64;
+        for i in 0..200u64 {
+            if i % interrupt_every == interrupt_every - 1 {
+                // An isolated reference far away.
+                sys.on_l1_miss(Addr::new(1 << 40));
+            }
+            if sys.on_l1_miss(Addr::new(0x10_0000 + i * stride)).is_hit() {
+                hits += 1;
+            }
+        }
+        prop_assert!(hits > 150, "hits = {hits}");
+    }
+}

@@ -1,0 +1,138 @@
+//! Memory references: the unit items of a trace.
+
+use std::fmt;
+
+use crate::Addr;
+
+/// The kind of a memory reference.
+///
+/// The paper's stream buffers are *unified*: instruction fetches and data
+/// references share the same set of streams (§5). The simulators still need
+/// to distinguish the kinds to route references to the split L1
+/// instruction/data caches and to mark lines dirty on stores.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AccessKind {
+    /// A data load.
+    #[default]
+    Load,
+    /// A data store.
+    Store,
+    /// An instruction fetch.
+    IFetch,
+}
+
+impl AccessKind {
+    /// Returns `true` for data references (loads and stores).
+    pub const fn is_data(self) -> bool {
+        matches!(self, AccessKind::Load | AccessKind::Store)
+    }
+
+    /// Returns `true` for stores.
+    pub const fn is_store(self) -> bool {
+        matches!(self, AccessKind::Store)
+    }
+
+    /// All kinds, in a fixed order usable for indexing per-kind counters.
+    pub const ALL: [AccessKind; 3] = [AccessKind::Load, AccessKind::Store, AccessKind::IFetch];
+
+    /// A stable small integer for this kind (index into [`AccessKind::ALL`]).
+    pub const fn as_index(self) -> usize {
+        match self {
+            AccessKind::Load => 0,
+            AccessKind::Store => 1,
+            AccessKind::IFetch => 2,
+        }
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AccessKind::Load => "load",
+            AccessKind::Store => "store",
+            AccessKind::IFetch => "ifetch",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One memory reference: an address plus the kind of access.
+///
+/// # Example
+///
+/// ```
+/// use streamsim_trace::{Access, AccessKind, Addr};
+///
+/// let a = Access::store(Addr::new(0x40));
+/// assert_eq!(a.kind, AccessKind::Store);
+/// assert!(a.kind.is_data());
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Access {
+    /// The byte address referenced.
+    pub addr: Addr,
+    /// Load, store or instruction fetch.
+    pub kind: AccessKind,
+}
+
+impl Access {
+    /// Creates a reference of the given kind.
+    pub const fn new(addr: Addr, kind: AccessKind) -> Self {
+        Access { addr, kind }
+    }
+
+    /// Creates a data load reference.
+    pub const fn load(addr: Addr) -> Self {
+        Access::new(addr, AccessKind::Load)
+    }
+
+    /// Creates a data store reference.
+    pub const fn store(addr: Addr) -> Self {
+        Access::new(addr, AccessKind::Store)
+    }
+
+    /// Creates an instruction fetch reference.
+    pub const fn ifetch(addr: Addr) -> Self {
+        Access::new(addr, AccessKind::IFetch)
+    }
+}
+
+impl fmt::Display for Access {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.kind, self.addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_kind() {
+        assert_eq!(Access::load(Addr::new(1)).kind, AccessKind::Load);
+        assert_eq!(Access::store(Addr::new(1)).kind, AccessKind::Store);
+        assert_eq!(Access::ifetch(Addr::new(1)).kind, AccessKind::IFetch);
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(AccessKind::Load.is_data());
+        assert!(AccessKind::Store.is_data());
+        assert!(!AccessKind::IFetch.is_data());
+        assert!(AccessKind::Store.is_store());
+        assert!(!AccessKind::Load.is_store());
+    }
+
+    #[test]
+    fn kind_indexing_matches_all() {
+        for (i, k) in AccessKind::ALL.iter().enumerate() {
+            assert_eq!(k.as_index(), i);
+        }
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Access::load(Addr::new(16)).to_string(), "load 0x10");
+        assert_eq!(Access::ifetch(Addr::new(0)).to_string(), "ifetch 0x0");
+    }
+}

@@ -1,0 +1,361 @@
+//! Byte, word and cache-block address types.
+//!
+//! The paper's hardware operates on three granularities: the processor
+//! issues *byte* addresses, the non-unit-stride ("czone") detection logic
+//! operates on *word* addresses, and caches and stream buffers track *cache
+//! blocks*. Keeping the three as distinct newtypes prevents the classic
+//! simulator bug of mixing granularities in arithmetic.
+
+use std::fmt;
+
+/// A 64-bit byte address in the simulated physical address space.
+///
+/// `Addr` is a plain newtype over `u64`; use [`Addr::block`] and
+/// [`Addr::word`] to convert to coarser granularities.
+///
+/// # Example
+///
+/// ```
+/// use streamsim_trace::{Addr, BlockSize};
+///
+/// let block = BlockSize::new(64)?;
+/// let a = Addr::new(0x1004);
+/// assert_eq!(a.block(block).index(), 0x1000 / 64);
+/// assert_eq!(a.offset_in_block(block), 4);
+/// # Ok::<(), streamsim_trace::GranularityError>(())
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Creates an address from a raw byte address.
+    pub const fn new(raw: u64) -> Self {
+        Addr(raw)
+    }
+
+    /// Returns the raw byte address.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the cache block this byte address falls in.
+    pub const fn block(self, size: BlockSize) -> BlockAddr {
+        BlockAddr(self.0 >> size.log2())
+    }
+
+    /// Returns the machine word this byte address falls in.
+    pub const fn word(self, size: WordSize) -> WordAddr {
+        WordAddr(self.0 >> size.log2())
+    }
+
+    /// Returns the byte offset of this address within its cache block.
+    pub const fn offset_in_block(self, size: BlockSize) -> u64 {
+        self.0 & (size.bytes() - 1)
+    }
+
+    /// Returns the address advanced by `delta` bytes (signed), saturating at
+    /// the ends of the address space.
+    pub const fn offset(self, delta: i64) -> Addr {
+        Addr(self.0.saturating_add_signed(delta))
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(raw: u64) -> Self {
+        Addr(raw)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+/// A cache-block-granular address: the byte address shifted right by
+/// `log2(block size)`.
+///
+/// Consecutive `BlockAddr` indices denote consecutive cache blocks, so the
+/// unit-stride stream buffer logic is simply `block.next()`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockAddr(u64);
+
+impl BlockAddr {
+    /// Creates a block address from a raw block index.
+    pub const fn from_index(index: u64) -> Self {
+        BlockAddr(index)
+    }
+
+    /// Returns the raw block index.
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the byte address of the first byte of this block.
+    pub const fn base_addr(self, size: BlockSize) -> Addr {
+        Addr(self.0 << size.log2())
+    }
+
+    /// Returns the immediately following cache block.
+    pub const fn next(self) -> BlockAddr {
+        BlockAddr(self.0 + 1)
+    }
+
+    /// Returns the block advanced by `delta` blocks (signed), saturating.
+    pub const fn offset(self, delta: i64) -> BlockAddr {
+        BlockAddr(self.0.saturating_add_signed(delta))
+    }
+}
+
+impl fmt::Display for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "block {:#x}", self.0)
+    }
+}
+
+/// A word-granular address, used by the czone stride-detection logic
+/// exactly as in the paper ("we partition each word address into two
+/// parts").
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WordAddr(u64);
+
+impl WordAddr {
+    /// Creates a word address from a raw word index.
+    pub const fn from_index(index: u64) -> Self {
+        WordAddr(index)
+    }
+
+    /// Returns the raw word index.
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the byte address of the first byte of this word.
+    pub const fn base_addr(self, size: WordSize) -> Addr {
+        Addr(self.0 << size.log2())
+    }
+
+    /// Returns the high-order "tag" bits above a czone of `czone_bits` bits.
+    ///
+    /// Two word addresses with equal tags fall in the same czone partition.
+    pub const fn czone_tag(self, czone_bits: u32) -> u64 {
+        if czone_bits >= 64 {
+            0
+        } else {
+            self.0 >> czone_bits
+        }
+    }
+
+    /// Returns the signed distance in words from `other` to `self`.
+    pub const fn delta(self, other: WordAddr) -> i64 {
+        self.0.wrapping_sub(other.0) as i64
+    }
+}
+
+impl fmt::Display for WordAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "word {:#x}", self.0)
+    }
+}
+
+/// Error returned when constructing a [`BlockSize`] or [`WordSize`] from a
+/// value that is not a power of two within the supported range.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GranularityError {
+    value: u64,
+    what: &'static str,
+}
+
+impl fmt::Display for GranularityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid {} {}: must be a power of two between 1 and 2^32",
+            self.what, self.value
+        )
+    }
+}
+
+impl std::error::Error for GranularityError {}
+
+macro_rules! granularity {
+    ($(#[$doc:meta])* $name:ident, $what:expr, $default:expr) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name {
+            log2: u32,
+        }
+
+        impl $name {
+            /// Creates a granularity of `bytes` bytes.
+            ///
+            /// # Errors
+            ///
+            /// Returns [`GranularityError`] if `bytes` is not a power of two
+            /// between 1 and 2^32.
+            pub const fn new(bytes: u64) -> Result<Self, GranularityError> {
+                if bytes.is_power_of_two() && bytes <= (1 << 32) {
+                    Ok(Self {
+                        log2: bytes.trailing_zeros(),
+                    })
+                } else {
+                    Err(GranularityError { value: bytes, what: $what })
+                }
+            }
+
+            /// Creates a granularity of `2^log2` bytes.
+            pub const fn from_log2(log2: u32) -> Self {
+                assert!(log2 <= 32);
+                Self { log2 }
+            }
+
+            /// Size in bytes.
+            pub const fn bytes(self) -> u64 {
+                1 << self.log2
+            }
+
+            /// Base-2 logarithm of the size in bytes.
+            pub const fn log2(self) -> u32 {
+                self.log2
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::from_log2($default)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{} B", self.bytes())
+            }
+        }
+    };
+}
+
+granularity!(
+    /// A validated power-of-two cache block size.
+    ///
+    /// Defaults to 32 bytes, the primary-cache block size used throughout
+    /// the reproduction (the paper's L2 comparison also uses 64- and
+    /// 128-byte blocks).
+    BlockSize,
+    "block size",
+    5
+);
+
+granularity!(
+    /// A validated power-of-two machine word size.
+    ///
+    /// Defaults to 4 bytes, matching the 32-bit-era machines the paper
+    /// simulated; the czone stride detector measures strides in words.
+    WordSize,
+    "word size",
+    2
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_size_rejects_non_powers() {
+        assert!(BlockSize::new(0).is_err());
+        assert!(BlockSize::new(3).is_err());
+        assert!(BlockSize::new(48).is_err());
+        assert!(BlockSize::new(1 << 33).is_err());
+        assert_eq!(BlockSize::new(64).unwrap().log2(), 6);
+    }
+
+    #[test]
+    fn granularity_error_displays() {
+        let err = BlockSize::new(3).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("block size"), "{msg}");
+        assert!(msg.contains('3'), "{msg}");
+    }
+
+    #[test]
+    fn addr_block_mapping() {
+        let b32 = BlockSize::new(32).unwrap();
+        assert_eq!(Addr::new(0).block(b32).index(), 0);
+        assert_eq!(Addr::new(31).block(b32).index(), 0);
+        assert_eq!(Addr::new(32).block(b32).index(), 1);
+        assert_eq!(Addr::new(0x1_0000).block(b32).index(), 0x1_0000 / 32);
+        assert_eq!(Addr::new(33).offset_in_block(b32), 1);
+    }
+
+    #[test]
+    fn addr_word_mapping() {
+        let w = WordSize::new(4).unwrap();
+        assert_eq!(Addr::new(7).word(w).index(), 1);
+        assert_eq!(Addr::new(8).word(w).index(), 2);
+        assert_eq!(WordAddr::from_index(2).base_addr(w), Addr::new(8));
+    }
+
+    #[test]
+    fn addr_offset_saturates() {
+        assert_eq!(Addr::new(4).offset(-8), Addr::new(0));
+        assert_eq!(Addr::new(u64::MAX).offset(2), Addr::new(u64::MAX));
+        assert_eq!(Addr::new(100).offset(-36), Addr::new(64));
+    }
+
+    #[test]
+    fn block_addr_navigation() {
+        let b = BlockAddr::from_index(10);
+        assert_eq!(b.next().index(), 11);
+        assert_eq!(b.offset(-3).index(), 7);
+        assert_eq!(b.offset(-30).index(), 0);
+        let b64 = BlockSize::new(64).unwrap();
+        assert_eq!(b.base_addr(b64), Addr::new(640));
+    }
+
+    #[test]
+    fn czone_tag_partitions_words() {
+        let a = WordAddr::from_index(0x12345);
+        let b = WordAddr::from_index(0x12399);
+        // Same high bits above an 8-bit czone? 0x123 vs 0x123.
+        assert_eq!(a.czone_tag(8), b.czone_tag(8));
+        assert_ne!(a.czone_tag(4), b.czone_tag(4));
+        assert_eq!(a.czone_tag(64), 0);
+    }
+
+    #[test]
+    fn word_delta_is_signed() {
+        let a = WordAddr::from_index(100);
+        let b = WordAddr::from_index(140);
+        assert_eq!(b.delta(a), 40);
+        assert_eq!(a.delta(b), -40);
+        assert_eq!(a.delta(a), 0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Addr::new(255).to_string(), "0xff");
+        assert_eq!(format!("{:x}", Addr::new(255)), "ff");
+        assert_eq!(format!("{:X}", Addr::new(255)), "FF");
+        assert_eq!(BlockSize::default().to_string(), "32 B");
+        assert_eq!(WordSize::default().to_string(), "4 B");
+        assert_eq!(BlockAddr::from_index(1).to_string(), "block 0x1");
+        assert_eq!(WordAddr::from_index(1).to_string(), "word 0x1");
+    }
+
+    #[test]
+    fn default_granularities() {
+        assert_eq!(BlockSize::default().bytes(), 32);
+        assert_eq!(WordSize::default().bytes(), 4);
+    }
+}

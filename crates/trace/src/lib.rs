@@ -1,0 +1,45 @@
+//! Memory reference traces: addresses, accesses, sampling and trace statistics.
+//!
+//! This crate is the foundation of the `streamsim` workspace, a trace-driven
+//! reproduction of Palacharla & Kessler, *Evaluating Stream Buffers as a
+//! Secondary Cache Replacement* (ISCA 1994). Everything the simulators
+//! consume is expressed in terms of the types defined here:
+//!
+//! * [`Addr`] — a 64-bit byte address,
+//! * [`BlockAddr`] — a cache-block-granular address,
+//! * [`Access`] — one memory reference (load, store or instruction fetch),
+//! * [`BlockSize`] / [`WordSize`] — validated power-of-two granularities,
+//! * [`TimeSampler`] — the paper's 10 000-on / 90 000-off time-sampling
+//!   scheme as a reusable adaptor,
+//! * [`TraceStats`] — descriptive statistics over a reference stream,
+//! * [`io`] — a compact binary trace format for storing reference streams.
+//!
+//! # Example
+//!
+//! ```
+//! use streamsim_trace::{Access, Addr, BlockSize, TimeSampler};
+//!
+//! let block = BlockSize::new(32)?;
+//! let trace = (0..8u64).map(|i| Access::load(Addr::new(i * 8)));
+//!
+//! // Sample 2 references on, 2 off.
+//! let sampled: Vec<Access> = TimeSampler::new(trace, 2, 2).collect();
+//! assert_eq!(sampled.len(), 4);
+//! assert_eq!(sampled[0].addr.block(block).index(), 0);
+//! # Ok::<(), streamsim_trace::GranularityError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod access;
+mod addr;
+pub mod io;
+mod sample;
+mod stats;
+
+pub use access::{Access, AccessKind};
+pub use addr::{Addr, BlockAddr, BlockSize, GranularityError, WordAddr, WordSize};
+pub use sample::{sampling_sink, TimeSampler};
+pub use stats::{StrideClass, StrideHistogram, TraceStats};

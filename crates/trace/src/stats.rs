@@ -1,0 +1,329 @@
+//! Descriptive statistics over reference traces.
+//!
+//! These statistics characterise a workload's address stream *before* any
+//! cache is simulated: reference counts by kind, touched-footprint size, and
+//! the distribution of strides between successive data references. The
+//! workload crate uses them in tests to assert that each synthetic kernel
+//! has the access-pattern mix its paper counterpart is documented to have
+//! (e.g. `fftpde` is dominated by large power-of-two strides, `adm` by
+//! irregular gathers).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::{Access, AccessKind, Addr, BlockSize};
+
+/// Histogram of strides (in bytes) between successive *data* references.
+///
+/// Strides are bucketed by their magnitude class: zero, unit-block
+/// (magnitude smaller than one cache block, i.e. spatially local),
+/// small (within 8 blocks), large power-of-two, and irregular.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StrideHistogram {
+    /// Exact stride counts, capped to the most common strides.
+    counts: HashMap<i64, u64>,
+    /// Total strides observed.
+    total: u64,
+}
+
+/// Magnitude class of a stride; see [`StrideHistogram::class_fractions`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum StrideClass {
+    /// Stride of exactly zero bytes (re-reference).
+    Zero,
+    /// Magnitude below one cache block: sequential/spatially-local.
+    WithinBlock,
+    /// Magnitude within 8 blocks: short-range.
+    Near,
+    /// Larger magnitude but a multiple of the block size — a candidate for
+    /// the paper's non-unit-stride detection.
+    LargeStrided,
+    /// Anything else: irregular (gathers, pointer chasing).
+    Irregular,
+}
+
+impl StrideHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the stride from the previous data address to `addr`.
+    pub fn record(&mut self, stride: i64) {
+        *self.counts.entry(stride).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Total number of strides recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct stride values seen.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The `n` most common strides with their counts, most common first.
+    pub fn top(&self, n: usize) -> Vec<(i64, u64)> {
+        let mut v: Vec<(i64, u64)> = self.counts.iter().map(|(&s, &c)| (s, c)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(n);
+        v
+    }
+
+    /// Classifies a stride relative to a cache block size.
+    pub fn classify(stride: i64, block: BlockSize) -> StrideClass {
+        let mag = stride.unsigned_abs();
+        let block_bytes = block.bytes();
+        if stride == 0 {
+            StrideClass::Zero
+        } else if mag < block_bytes {
+            StrideClass::WithinBlock
+        } else if mag <= 8 * block_bytes {
+            StrideClass::Near
+        } else if mag.is_multiple_of(block_bytes) {
+            StrideClass::LargeStrided
+        } else {
+            StrideClass::Irregular
+        }
+    }
+
+    /// Fraction of strides falling in each class, keyed by class.
+    pub fn class_fractions(&self, block: BlockSize) -> HashMap<StrideClass, f64> {
+        let mut fractions = HashMap::new();
+        if self.total == 0 {
+            return fractions;
+        }
+        for (&stride, &count) in &self.counts {
+            *fractions
+                .entry(Self::classify(stride, block))
+                .or_insert(0.0) += count as f64;
+        }
+        for v in fractions.values_mut() {
+            *v /= self.total as f64;
+        }
+        fractions
+    }
+
+    /// Fraction of strides in a single class (0.0 if none recorded).
+    pub fn class_fraction(&self, class: StrideClass, block: BlockSize) -> f64 {
+        self.class_fractions(block)
+            .get(&class)
+            .copied()
+            .unwrap_or(0.0)
+    }
+}
+
+/// Aggregate statistics over a reference stream.
+///
+/// # Example
+///
+/// ```
+/// use streamsim_trace::{Access, Addr, TraceStats};
+///
+/// let mut stats = TraceStats::new();
+/// for i in 0..100u64 {
+///     stats.observe(Access::load(Addr::new(i * 8)));
+/// }
+/// assert_eq!(stats.total(), 100);
+/// assert_eq!(stats.data_refs(), 100);
+/// // 8-byte stride is within a 32-byte block: highly sequential.
+/// assert!(stats.strides().class_fraction(
+///     streamsim_trace::StrideClass::WithinBlock,
+///     Default::default()) > 0.9);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TraceStats {
+    counts: [u64; 3],
+    strides: StrideHistogram,
+    last_data_addr: Option<Addr>,
+    min_addr: Option<Addr>,
+    max_addr: Option<Addr>,
+}
+
+impl TraceStats {
+    /// Creates an empty statistics accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observes one reference.
+    pub fn observe(&mut self, access: Access) {
+        self.counts[access.kind.as_index()] += 1;
+        self.min_addr = Some(self.min_addr.map_or(access.addr, |m| m.min(access.addr)));
+        self.max_addr = Some(self.max_addr.map_or(access.addr, |m| m.max(access.addr)));
+        if access.kind.is_data() {
+            if let Some(prev) = self.last_data_addr {
+                self.strides
+                    .record(access.addr.raw().wrapping_sub(prev.raw()) as i64);
+            }
+            self.last_data_addr = Some(access.addr);
+        }
+    }
+
+    /// Builds statistics from an iterator of references.
+    pub fn from_trace<I: IntoIterator<Item = Access>>(trace: I) -> Self {
+        let mut stats = Self::new();
+        for a in trace {
+            stats.observe(a);
+        }
+        stats
+    }
+
+    /// Count of references of `kind`.
+    pub fn count(&self, kind: AccessKind) -> u64 {
+        self.counts[kind.as_index()]
+    }
+
+    /// Total references of all kinds.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Total data references (loads + stores).
+    pub fn data_refs(&self) -> u64 {
+        self.count(AccessKind::Load) + self.count(AccessKind::Store)
+    }
+
+    /// Fraction of data references that are stores (0.0 if no data refs).
+    pub fn store_fraction(&self) -> f64 {
+        let data = self.data_refs();
+        if data == 0 {
+            0.0
+        } else {
+            self.count(AccessKind::Store) as f64 / data as f64
+        }
+    }
+
+    /// The stride histogram over successive data references.
+    pub fn strides(&self) -> &StrideHistogram {
+        &self.strides
+    }
+
+    /// The span of the touched address range in bytes (max − min), or 0.
+    pub fn address_span(&self) -> u64 {
+        match (self.min_addr, self.max_addr) {
+            (Some(lo), Some(hi)) => hi.raw() - lo.raw(),
+            _ => 0,
+        }
+    }
+
+    /// Lowest address observed, if any.
+    pub fn min_addr(&self) -> Option<Addr> {
+        self.min_addr
+    }
+
+    /// Highest address observed, if any.
+    pub fn max_addr(&self) -> Option<Addr> {
+        self.max_addr
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} refs ({} loads, {} stores, {} ifetches), span {} bytes",
+            self.total(),
+            self.count(AccessKind::Load),
+            self.count(AccessKind::Store),
+            self.count(AccessKind::IFetch),
+            self.address_span()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_by_kind() {
+        let mut s = TraceStats::new();
+        s.observe(Access::load(Addr::new(0)));
+        s.observe(Access::store(Addr::new(8)));
+        s.observe(Access::ifetch(Addr::new(4096)));
+        assert_eq!(s.count(AccessKind::Load), 1);
+        assert_eq!(s.count(AccessKind::Store), 1);
+        assert_eq!(s.count(AccessKind::IFetch), 1);
+        assert_eq!(s.total(), 3);
+        assert_eq!(s.data_refs(), 2);
+        assert!((s.store_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strides_ignore_ifetches() {
+        let mut s = TraceStats::new();
+        s.observe(Access::load(Addr::new(0)));
+        s.observe(Access::ifetch(Addr::new(1_000_000)));
+        s.observe(Access::load(Addr::new(8)));
+        assert_eq!(s.strides().total(), 1);
+        assert_eq!(s.strides().top(1), vec![(8, 1)]);
+    }
+
+    #[test]
+    fn address_span_tracks_extremes() {
+        let mut s = TraceStats::new();
+        assert_eq!(s.address_span(), 0);
+        s.observe(Access::load(Addr::new(100)));
+        s.observe(Access::load(Addr::new(40)));
+        s.observe(Access::load(Addr::new(400)));
+        assert_eq!(s.address_span(), 360);
+        assert_eq!(s.min_addr(), Some(Addr::new(40)));
+        assert_eq!(s.max_addr(), Some(Addr::new(400)));
+    }
+
+    #[test]
+    fn stride_classification() {
+        let b = BlockSize::new(32).unwrap();
+        assert_eq!(StrideHistogram::classify(0, b), StrideClass::Zero);
+        assert_eq!(StrideHistogram::classify(8, b), StrideClass::WithinBlock);
+        assert_eq!(StrideHistogram::classify(-8, b), StrideClass::WithinBlock);
+        assert_eq!(StrideHistogram::classify(64, b), StrideClass::Near);
+        assert_eq!(StrideHistogram::classify(-256, b), StrideClass::Near);
+        assert_eq!(
+            StrideHistogram::classify(4096, b),
+            StrideClass::LargeStrided
+        );
+        assert_eq!(StrideHistogram::classify(4097, b), StrideClass::Irregular);
+    }
+
+    #[test]
+    fn class_fractions_sum_to_one() {
+        let b = BlockSize::default();
+        let mut h = StrideHistogram::new();
+        for s in [0, 4, 8, 64, 4096, 12345, -4, 8, 8] {
+            h.record(s);
+        }
+        let sum: f64 = h.class_fractions(b).values().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert_eq!(h.total(), 9);
+        assert_eq!(h.distinct(), 7);
+    }
+
+    #[test]
+    fn top_sorts_by_count_then_value() {
+        let mut h = StrideHistogram::new();
+        for s in [8, 8, 8, 4, 4, 16, 16] {
+            h.record(s);
+        }
+        assert_eq!(h.top(2), vec![(8, 3), (4, 2)]);
+    }
+
+    #[test]
+    fn from_trace_collects() {
+        let refs = (0..10u64).map(|i| Access::load(Addr::new(i * 4)));
+        let s = TraceStats::from_trace(refs);
+        assert_eq!(s.total(), 10);
+        assert_eq!(s.strides().total(), 9);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = TraceStats::from_trace([Access::load(Addr::new(0)), Access::store(Addr::new(64))]);
+        let msg = s.to_string();
+        assert!(msg.contains("2 refs"), "{msg}");
+        assert!(msg.contains("span 64"), "{msg}");
+    }
+}

@@ -1,0 +1,44 @@
+//! The fifteen benchmark kernels (Table 1).
+//!
+//! Each module models one traced program. The kernels execute real loop
+//! nests (stencils, solves, transforms, sorts, gathers) over modelled
+//! Fortran-layout arrays and emit the resulting reference streams; data
+//! values are not computed, only addresses. Per-kernel doc comments state
+//! which access-pattern facts from the paper the kernel reproduces.
+//!
+//! All kernels are deterministic (seeded PRNGs) and provide `paper()`
+//! constructors for the paper's input sizes; the five benchmarks of
+//! Table 4 (`appsp`, `appbt`, `applu`, `cgm`, `mgrid`) also provide
+//! `small()`/`large()` for the scaling comparison.
+
+mod adm;
+mod appbt;
+mod applu;
+mod appsp;
+mod bdna;
+mod cgm;
+mod dyfesm;
+mod embar;
+mod fftpde;
+mod is;
+mod mdg;
+mod mgrid;
+mod qcd;
+mod spec77;
+mod trfd;
+
+pub use adm::Adm;
+pub use appbt::Appbt;
+pub use applu::Applu;
+pub use appsp::Appsp;
+pub use bdna::Bdna;
+pub use cgm::Cgm;
+pub use dyfesm::Dyfesm;
+pub use embar::Embar;
+pub use fftpde::Fftpde;
+pub use is::Is;
+pub use mdg::Mdg;
+pub use mgrid::Mgrid;
+pub use qcd::Qcd;
+pub use spec77::Spec77;
+pub use trfd::Trfd;

@@ -1,0 +1,363 @@
+//! Modelled address space and Fortran-layout array descriptors.
+//!
+//! The paper's programs are Fortran, so multi-dimensional arrays are
+//! **column-major**: the *first* index is contiguous in memory. That
+//! detail matters here — it decides which loop order produces unit-stride
+//! sweeps and which produces the large constant strides the czone filter
+//! exists to catch — so the array types encode it.
+//!
+//! Kernels never store data; an array is just a base address plus extents
+//! used to compute the addresses their loops would touch.
+
+use streamsim_trace::Addr;
+
+/// The default base of the modelled data segment. Leaving the low
+/// addresses free keeps data clearly separated from the modelled code
+/// region used for instruction fetches.
+const DATA_BASE: u64 = 0x1000_0000;
+
+/// A bump allocator laying out arrays in a modelled address space.
+///
+/// # Example
+///
+/// ```
+/// use streamsim_workloads::AddressSpace;
+///
+/// let mut mem = AddressSpace::new();
+/// let x = mem.array1(100, 8);
+/// let y = mem.array1(100, 8);
+/// assert!(y.at(0) > x.at(99), "arrays do not overlap");
+/// ```
+#[derive(Clone, Debug)]
+pub struct AddressSpace {
+    next: u64,
+}
+
+impl AddressSpace {
+    /// Creates an address space with the default data base.
+    pub fn new() -> Self {
+        AddressSpace { next: DATA_BASE }
+    }
+
+    /// Creates an address space starting at `base` (e.g. to place two
+    /// workloads' data far apart).
+    pub fn with_base(base: u64) -> Self {
+        AddressSpace { next: base }
+    }
+
+    /// Total bytes allocated so far.
+    pub fn allocated_bytes(&self) -> u64 {
+        self.next - DATA_BASE.min(self.next)
+    }
+
+    /// Reserves `bytes` bytes aligned to `align` (a power of two) and
+    /// returns the base address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    pub fn alloc(&mut self, bytes: u64, align: u64) -> Addr {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let base = (self.next + align - 1) & !(align - 1);
+        self.next = base + bytes;
+        Addr::new(base)
+    }
+
+    /// Skips ahead so the next allocation starts at or after `addr`;
+    /// useful to control the distance between arrays (czone collisions).
+    pub fn skip_to(&mut self, addr: u64) {
+        self.next = self.next.max(addr);
+    }
+
+    /// Allocates a 1-D array of `len` elements of `elem` bytes.
+    pub fn array1(&mut self, len: u64, elem: u64) -> Array1 {
+        Array1 {
+            base: self.alloc(len * elem, elem.next_power_of_two().min(64)),
+            elem,
+            len,
+        }
+    }
+
+    /// Allocates a 2-D column-major array.
+    pub fn array2(&mut self, d0: u64, d1: u64, elem: u64) -> Array2 {
+        Array2 {
+            base: self.alloc(d0 * d1 * elem, elem.next_power_of_two().min(64)),
+            elem,
+            dims: [d0, d1],
+        }
+    }
+
+    /// Allocates a 3-D column-major array.
+    pub fn array3(&mut self, d0: u64, d1: u64, d2: u64, elem: u64) -> Array3 {
+        Array3 {
+            base: self.alloc(d0 * d1 * d2 * elem, elem.next_power_of_two().min(64)),
+            elem,
+            dims: [d0, d1, d2],
+        }
+    }
+
+    /// Allocates a 4-D column-major array.
+    pub fn array4(&mut self, d0: u64, d1: u64, d2: u64, d3: u64, elem: u64) -> Array4 {
+        Array4 {
+            base: self.alloc(d0 * d1 * d2 * d3 * elem, elem.next_power_of_two().min(64)),
+            elem,
+            dims: [d0, d1, d2, d3],
+        }
+    }
+}
+
+impl Default for AddressSpace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A 1-D array descriptor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Array1 {
+    base: Addr,
+    elem: u64,
+    len: u64,
+}
+
+impl Array1 {
+    /// Address of element `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `i` is out of bounds.
+    pub fn at(&self, i: u64) -> Addr {
+        debug_assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        Addr::new(self.base.raw() + i * self.elem)
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the array has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Element size in bytes.
+    pub fn elem_bytes(&self) -> u64 {
+        self.elem
+    }
+
+    /// Base address.
+    pub fn base(&self) -> Addr {
+        self.base
+    }
+
+    /// Total size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.len * self.elem
+    }
+}
+
+/// A 2-D column-major (Fortran) array descriptor: `at(i, j)` is contiguous
+/// in `i`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Array2 {
+    base: Addr,
+    elem: u64,
+    dims: [u64; 2],
+}
+
+impl Array2 {
+    /// Address of element `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if an index is out of bounds.
+    pub fn at(&self, i: u64, j: u64) -> Addr {
+        debug_assert!(i < self.dims[0] && j < self.dims[1]);
+        Addr::new(self.base.raw() + (i + self.dims[0] * j) * self.elem)
+    }
+
+    /// Extents.
+    pub fn dims(&self) -> [u64; 2] {
+        self.dims
+    }
+
+    /// Total size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.dims[0] * self.dims[1] * self.elem
+    }
+
+    /// The byte stride between consecutive `j` values at fixed `i` — the
+    /// "column stride" that becomes a non-unit prefetch stride.
+    pub fn column_stride_bytes(&self) -> u64 {
+        self.dims[0] * self.elem
+    }
+}
+
+/// A 3-D column-major array descriptor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Array3 {
+    base: Addr,
+    elem: u64,
+    dims: [u64; 3],
+}
+
+impl Array3 {
+    /// Address of element `(i, j, k)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if an index is out of bounds.
+    pub fn at(&self, i: u64, j: u64, k: u64) -> Addr {
+        debug_assert!(i < self.dims[0] && j < self.dims[1] && k < self.dims[2]);
+        Addr::new(self.base.raw() + (i + self.dims[0] * (j + self.dims[1] * k)) * self.elem)
+    }
+
+    /// Extents.
+    pub fn dims(&self) -> [u64; 3] {
+        self.dims
+    }
+
+    /// Total size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.dims[0] * self.dims[1] * self.dims[2] * self.elem
+    }
+
+    /// Byte stride between consecutive `j` values (one grid row).
+    pub fn row_stride_bytes(&self) -> u64 {
+        self.dims[0] * self.elem
+    }
+
+    /// Byte stride between consecutive `k` values (one grid plane).
+    pub fn plane_stride_bytes(&self) -> u64 {
+        self.dims[0] * self.dims[1] * self.elem
+    }
+}
+
+/// A 4-D column-major array descriptor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Array4 {
+    base: Addr,
+    elem: u64,
+    dims: [u64; 4],
+}
+
+impl Array4 {
+    /// Address of element `(i, j, k, l)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if an index is out of bounds.
+    pub fn at(&self, i: u64, j: u64, k: u64, l: u64) -> Addr {
+        debug_assert!(
+            i < self.dims[0] && j < self.dims[1] && k < self.dims[2] && l < self.dims[3]
+        );
+        let index = i + self.dims[0] * (j + self.dims[1] * (k + self.dims[2] * l));
+        Addr::new(self.base.raw() + index * self.elem)
+    }
+
+    /// Extents.
+    pub fn dims(&self) -> [u64; 4] {
+        self.dims
+    }
+
+    /// Total size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.dims.iter().product::<u64>() * self.elem
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocations_do_not_overlap() {
+        let mut mem = AddressSpace::new();
+        let a = mem.array1(10, 8);
+        let b = mem.array1(10, 8);
+        assert!(b.base().raw() >= a.base().raw() + a.bytes());
+        assert!(mem.allocated_bytes() >= 160);
+    }
+
+    #[test]
+    fn alignment_is_respected() {
+        let mut mem = AddressSpace::new();
+        let _ = mem.alloc(3, 1);
+        let a = mem.alloc(8, 64);
+        assert_eq!(a.raw() % 64, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_alignment_panics() {
+        let mut mem = AddressSpace::new();
+        let _ = mem.alloc(8, 3);
+    }
+
+    #[test]
+    fn array1_indexing() {
+        let mut mem = AddressSpace::new();
+        let a = mem.array1(100, 8);
+        assert_eq!(a.at(1).raw() - a.at(0).raw(), 8);
+        assert_eq!(a.len(), 100);
+        assert!(!a.is_empty());
+        assert_eq!(a.elem_bytes(), 8);
+        assert_eq!(a.bytes(), 800);
+    }
+
+    #[test]
+    fn array2_is_column_major() {
+        let mut mem = AddressSpace::new();
+        let a = mem.array2(10, 5, 8);
+        // First index contiguous.
+        assert_eq!(a.at(1, 0).raw() - a.at(0, 0).raw(), 8);
+        // Second index strides by a whole column.
+        assert_eq!(a.at(0, 1).raw() - a.at(0, 0).raw(), 80);
+        assert_eq!(a.column_stride_bytes(), 80);
+        assert_eq!(a.bytes(), 400);
+        assert_eq!(a.dims(), [10, 5]);
+    }
+
+    #[test]
+    fn array3_strides() {
+        let mut mem = AddressSpace::new();
+        let a = mem.array3(4, 5, 6, 8);
+        assert_eq!(a.at(1, 0, 0).raw() - a.at(0, 0, 0).raw(), 8);
+        assert_eq!(a.at(0, 1, 0).raw() - a.at(0, 0, 0).raw(), 32);
+        assert_eq!(a.at(0, 0, 1).raw() - a.at(0, 0, 0).raw(), 160);
+        assert_eq!(a.row_stride_bytes(), 32);
+        assert_eq!(a.plane_stride_bytes(), 160);
+        assert_eq!(a.bytes(), 4 * 5 * 6 * 8);
+    }
+
+    #[test]
+    fn array4_indexing() {
+        let mut mem = AddressSpace::new();
+        let a = mem.array4(2, 3, 4, 5, 8);
+        assert_eq!(a.at(0, 0, 0, 1).raw() - a.at(0, 0, 0, 0).raw(), 2 * 3 * 4 * 8);
+        assert_eq!(a.bytes(), 2 * 3 * 4 * 5 * 8);
+        assert_eq!(a.dims(), [2, 3, 4, 5]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_panics_in_debug() {
+        let mut mem = AddressSpace::new();
+        let a = mem.array1(10, 8);
+        let _ = a.at(10);
+    }
+
+    #[test]
+    fn skip_to_moves_forward_only() {
+        let mut mem = AddressSpace::new();
+        let a = mem.alloc(8, 8);
+        mem.skip_to(a.raw()); // backwards: ignored
+        let b = mem.alloc(8, 8);
+        assert!(b.raw() > a.raw());
+        mem.skip_to(0x9000_0000);
+        let c = mem.alloc(8, 8);
+        assert!(c.raw() >= 0x9000_0000);
+    }
+}

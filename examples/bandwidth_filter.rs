@@ -1,0 +1,70 @@
+//! The unit-stride filter trade-off (the paper's §6 / Figure 5 story).
+//!
+//! Streams that allocate on every miss waste memory bandwidth flushing
+//! speculative prefetches. The paper's filter allocates only after two
+//! misses to consecutive cache blocks. This example runs three
+//! contrasting benchmarks — bandwidth-hungry `adm`, short-burst `appbt`
+//! (the case the filter *hurts*) and long-stream `trfd` (the case it
+//! rescues) — with and without the filter, at several filter sizes.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example bandwidth_filter
+//! ```
+
+use streamsim::report::TextTable;
+use streamsim::{record_miss_trace, run_streams, RecordOptions, StreamConfig};
+use streamsim_streams::Allocation;
+use streamsim_workloads::benchmark;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("The §6 filter trade-off: hit rate vs extra memory bandwidth\n");
+
+    let mut table = TextTable::new(vec![
+        "bench",
+        "config",
+        "hit %",
+        "EB %",
+        "allocations",
+        "useless prefetches",
+    ]);
+
+    for name in ["adm", "appbt", "trfd"] {
+        let workload = benchmark(name).expect("known benchmark");
+        let trace = record_miss_trace(workload.as_ref(), &RecordOptions::default())?;
+
+        let configs: Vec<(String, StreamConfig)> = std::iter::once((
+            "no filter".to_owned(),
+            StreamConfig::paper_basic(10)?,
+        ))
+        .chain([4usize, 16, 64].into_iter().map(|entries| {
+            (
+                format!("filter[{entries}]"),
+                StreamConfig::new(10, 2, Allocation::UnitFilter { entries })
+                    .expect("valid config"),
+            )
+        }))
+        .collect();
+
+        for (label, config) in configs {
+            let stats = run_streams(&trace, config);
+            table.row(vec![
+                name.to_owned(),
+                label,
+                format!("{:.1}", stats.hit_rate() * 100.0),
+                format!("{:.1}", stats.extra_bandwidth() * 100.0),
+                stats.allocations.to_string(),
+                stats.useless_prefetches().to_string(),
+            ]);
+        }
+    }
+
+    println!("{table}");
+    println!("What to look for (paper §6.1):");
+    println!(" * adm: the filter slashes EB — isolated gather misses no longer allocate.");
+    println!(" * appbt: hit rate drops noticeably — its streams are short bursts and the");
+    println!("   filter spends two misses verifying each one (the paper's argument for a");
+    println!("   deactivatable filter).");
+    println!(" * trfd: EB collapses at almost no hit-rate cost — the paper's best case.");
+    Ok(())
+}

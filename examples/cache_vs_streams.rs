@@ -1,0 +1,78 @@
+//! Streams versus a secondary cache as the data set grows (§8, Table 4).
+//!
+//! The paper's headline economic argument: a handful of stream buffers
+//! can match the local hit rate of a multi-megabyte secondary cache on
+//! regular scientific codes, and as the data set grows the equivalent
+//! cache grows with it while the stream hardware stays fixed. This
+//! example runs `applu` at two input sizes, measures the stream hit rate,
+//! and finds the smallest L2 that keeps up.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example cache_vs_streams
+//! ```
+
+use streamsim::report::{size, TextTable};
+use streamsim::{
+    record_miss_trace, run_l2, run_streams, CacheConfig, RecordOptions, StreamConfig,
+};
+use streamsim_workloads::kernels::Applu;
+use streamsim_workloads::Workload;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Streams vs secondary cache as the data set scales (Table 4)\n");
+
+    let inputs: [(&str, Applu); 2] = [
+        ("small (18^3)", Applu::small()),
+        ("large (24^3)", Applu::large()),
+    ];
+
+    let mut table = TextTable::new(vec![
+        "input",
+        "data set",
+        "stream hit %",
+        "equivalent L2",
+        "L2 hit %",
+    ]);
+
+    for (label, workload) in inputs {
+        let trace = record_miss_trace(&workload, &RecordOptions::default())?;
+        let stream_hit = run_streams(&trace, StreamConfig::paper_strided(10, 16)?).hit_rate();
+
+        // Sweep L2 capacities; at each, take the best associativity the
+        // paper considered (1-4-way), block size pinned to the L1's so
+        // capacity is the operative variable (see the table4 driver docs).
+        let mut equivalent = None;
+        let mut l2_hit = 0.0;
+        for capacity in [64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20]
+        {
+            let mut best: f64 = 0.0;
+            for assoc in [1, 2, 4] {
+                let cfg = CacheConfig::secondary(capacity, assoc, trace.l1_block())?;
+                best = best.max(run_l2(&trace, cfg, None)?.hit_rate());
+            }
+            l2_hit = best;
+            if best >= stream_hit {
+                equivalent = Some(capacity);
+                break;
+            }
+        }
+
+        table.row(vec![
+            label.to_owned(),
+            format!(
+                "{:.1} MB",
+                workload.data_set_bytes() as f64 / (1 << 20) as f64
+            ),
+            format!("{:.1}", stream_hit * 100.0),
+            equivalent.map_or("> 4 MB".into(), size),
+            format!("{:.1}", l2_hit * 100.0),
+        ]);
+    }
+
+    println!("{table}");
+    println!("Paper (Table 4): applu streams at 62% -> 73% while the equivalent cache");
+    println!("doubles from 1 MB to 2 MB — a handful of stream buffers keeps pace with");
+    println!("megabytes of SRAM, and scales better with the data set.");
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Quickstart: simulate one workload through the paper's memory system.
+//!
+//! Builds the paper's hierarchy — 64K I + 64K D primary caches backed by
+//! ten stream buffers with the unit-stride filter — runs the `mgrid`
+//! benchmark through it, and prints the hit rates the paper's evaluation
+//! revolves around.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use streamsim::{MemorySystemBuilder, StreamConfig};
+use streamsim_workloads::benchmark;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The workload: the multigrid kernel at the paper's 32^3 input.
+    let workload = benchmark("mgrid").expect("mgrid is a known benchmark");
+    println!("workload: {} — {}", workload.name(), workload.description());
+    println!(
+        "modelled data set: {:.1} MB",
+        workload.data_set_bytes() as f64 / (1 << 20) as f64
+    );
+
+    // The memory system of Figure 1: split L1 + unified stream buffers.
+    let mut system = MemorySystemBuilder::paper_l1()
+        .streams(StreamConfig::paper_filtered(10)?)
+        .build()?;
+
+    system.run(workload.as_ref());
+    let report = system.finish();
+
+    println!();
+    println!("primary cache:");
+    println!("  references      {:>12}", report.l1.refs());
+    println!("  misses          {:>12}", report.l1.misses());
+    println!(
+        "  data miss rate  {:>11.2}%",
+        report.l1.data_miss_rate() * 100.0
+    );
+
+    let streams = report.streams.expect("streams configured");
+    println!();
+    println!("stream buffers (10 streams, depth 2, 16-entry unit filter):");
+    println!("  lookups         {:>12}", streams.lookups);
+    println!("  hits            {:>12}", streams.hits);
+    println!("  hit rate        {:>11.1}%", streams.hit_rate() * 100.0);
+    println!(
+        "  extra bandwidth {:>11.1}%",
+        streams.extra_bandwidth() * 100.0
+    );
+    println!("  mean run length {:>12.1}", streams.lengths.mean_length());
+
+    println!();
+    println!("paper reference (Fig. 3 / Fig. 5): mgrid streams at roughly 75-80% hit rate,");
+    println!("with the filter cutting extra bandwidth to under half its unfiltered level.");
+    Ok(())
+}

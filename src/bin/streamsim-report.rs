@@ -1,0 +1,143 @@
+//! `streamsim-report` — regenerate the paper's evaluation as one report.
+//!
+//! ```text
+//! USAGE:
+//!   streamsim-report [OPTIONS] [EXPERIMENT...]
+//!
+//! OPTIONS:
+//!   --quick           run reduced inputs (smoke test)
+//!   --sampling        enable the paper's 10k-on/90k-off time sampling
+//!   --out <FILE>      write the report to FILE instead of stdout
+//!   --list            list experiment names and exit
+//!   -h, --help        show this help
+//!
+//! EXPERIMENTS (default: all):
+//!   table1 table2 table3 table4 fig3 fig5 fig8 fig9
+//!   ablations baselines latency traffic multiprogramming scorecard cpi
+//!   topology
+//! ```
+
+use std::io::Write;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use streamsim::experiments::{self, ExperimentOptions, Scale};
+
+const ALL: [&str; 16] = [
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "fig3",
+    "fig5",
+    "fig8",
+    "fig9",
+    "ablations",
+    "baselines",
+    "latency",
+    "traffic",
+    "multiprogramming",
+    "scorecard",
+    "cpi",
+    "topology",
+];
+
+fn run_one(name: &str, options: &ExperimentOptions) -> Option<String> {
+    let text = match name {
+        "table1" => experiments::table1::run(options).to_string(),
+        "table2" => experiments::table2::run(options).to_string(),
+        "table3" => experiments::table3::run(options).to_string(),
+        "table4" => experiments::table4::run(options).to_string(),
+        "fig3" => experiments::fig3::run(options).to_string(),
+        "fig5" => experiments::fig5::run(options).to_string(),
+        "fig8" => experiments::fig8::run(options).to_string(),
+        "fig9" => experiments::fig9::run(options).to_string(),
+        "ablations" => experiments::ablations::run(options).to_string(),
+        "baselines" => experiments::baselines::run(options).to_string(),
+        "latency" => experiments::latency::run(options).to_string(),
+        "traffic" => experiments::traffic::run(options).to_string(),
+        "multiprogramming" => experiments::multiprogramming::run(options).to_string(),
+        "scorecard" => experiments::scorecard::run(options).to_string(),
+        "cpi" => experiments::cpi::run(options).to_string(),
+        "topology" => experiments::topology::run(options).to_string(),
+        _ => return None,
+    };
+    Some(text)
+}
+
+fn main() -> ExitCode {
+    let mut options = ExperimentOptions::default();
+    let mut out: Option<String> = None;
+    let mut selected: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => options.scale = Scale::Quick,
+            "--sampling" => options.sampling = Some((10_000, 90_000)),
+            "--out" => match args.next() {
+                Some(path) => out = Some(path),
+                None => {
+                    eprintln!("error: --out needs a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--list" => {
+                for name in ALL {
+                    println!("{name}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "-h" | "--help" => {
+                println!(
+                    "streamsim-report: regenerate the evaluation of Palacharla & Kessler \
+                     (ISCA 1994)\n\nUSAGE: streamsim-report [--quick] [--sampling] \
+                     [--out FILE] [--list] [EXPERIMENT...]\n\nEXPERIMENTS: {}",
+                    ALL.join(" ")
+                );
+                return ExitCode::SUCCESS;
+            }
+            name if ALL.contains(&name) => selected.push(name.to_owned()),
+            other => {
+                eprintln!("error: unknown argument or experiment '{other}' (try --list)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if selected.is_empty() {
+        selected = ALL.iter().map(|s| (*s).to_owned()).collect();
+    }
+
+    let mut report = String::new();
+    report.push_str(&format!(
+        "streamsim report — Palacharla & Kessler, ISCA 1994 (scale: {:?}, sampling: {})\n\n",
+        options.scale,
+        if options.sampling.is_some() { "paper 10%" } else { "off" },
+    ));
+    for name in &selected {
+        let start = Instant::now();
+        let text = run_one(name, &options).expect("validated above");
+        report.push_str(&format!("=== {name} ===\n{text}"));
+        report.push_str(&format!("[{name}: {:.2?}]\n\n", start.elapsed()));
+        eprintln!("{name} done in {:.2?}", start.elapsed());
+    }
+
+    match out {
+        Some(path) => {
+            let mut file = match std::fs::File::create(&path) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("error: cannot create {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Err(e) = file.write_all(report.as_bytes()) {
+                eprintln!("error: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("report written to {path}");
+        }
+        None => print!("{report}"),
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,232 @@
+//! Property-based tests over the core data structures and simulators.
+//!
+//! These check invariants that must hold for *any* reference stream, not
+//! just the benchmark kernels: prefetch-disposition conservation, hit
+//! and bandwidth bounds, filter monotonicity, cache sanity and set-
+//! sampling unbiasedness.
+
+use proptest::prelude::*;
+
+use streamsim::{
+    Access, AccessKind, Addr, Allocation, BlockSize, CacheConfig, Replacement, SetAssocCache,
+    StreamConfig, StreamSystem,
+};
+use streamsim_cache::SetSampling;
+
+/// Strategy: an arbitrary short reference stream over a modest footprint,
+/// mixing loads and stores.
+fn access_stream(max_len: usize) -> impl Strategy<Value = Vec<Access>> {
+    proptest::collection::vec(
+        (0u64..1 << 22, prop_oneof![Just(AccessKind::Load), Just(AccessKind::Store)]),
+        1..max_len,
+    )
+    .prop_map(|v| {
+        v.into_iter()
+            .map(|(raw, kind)| Access::new(Addr::new(raw), kind))
+            .collect()
+    })
+}
+
+/// Strategy: a miss-address stream (block-aligned-ish raw addresses).
+fn miss_stream(max_len: usize) -> impl Strategy<Value = Vec<Addr>> {
+    proptest::collection::vec(0u64..1 << 22, 1..max_len)
+        .prop_map(|v| v.into_iter().map(Addr::new).collect())
+}
+
+fn stream_configs() -> impl Strategy<Value = StreamConfig> {
+    (1usize..8, 1usize..5, 0u8..4).prop_map(|(streams, depth, policy)| {
+        let allocation = match policy {
+            0 => Allocation::OnMiss,
+            1 => Allocation::UnitFilter { entries: 8 },
+            2 => Allocation::UnitAndStrideFilters {
+                unit_entries: 8,
+                stride_entries: 8,
+                czone_bits: 14,
+            },
+            _ => Allocation::MinDelta {
+                entries: 8,
+                max_stride_words: 1 << 16,
+            },
+        };
+        StreamConfig::new(streams, depth, allocation).expect("generated config is valid")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every prefetch ends in exactly one disposition, whatever the
+    /// stream configuration and miss stream.
+    #[test]
+    fn prefetch_accounting_always_balances(
+        misses in miss_stream(400),
+        config in stream_configs(),
+    ) {
+        let mut sys = StreamSystem::new(config);
+        for &m in &misses {
+            sys.on_l1_miss(m);
+        }
+        sys.finalize();
+        let stats = sys.stats();
+        prop_assert!(stats.prefetch_accounting_balances(), "{stats:?}");
+        prop_assert_eq!(stats.lookups, misses.len() as u64);
+        prop_assert!(stats.hits <= stats.lookups);
+        prop_assert!(stats.prefetches_used == stats.hits);
+    }
+
+    /// Extra bandwidth can never exceed depth × allocation rate, and the
+    /// paper's closed-form is an upper bound on the measurement.
+    #[test]
+    fn eb_is_bounded_by_the_paper_formula(
+        misses in miss_stream(400),
+        config in stream_configs(),
+    ) {
+        let mut sys = StreamSystem::new(config);
+        for &m in &misses {
+            sys.on_l1_miss(m);
+        }
+        sys.finalize();
+        let stats = sys.stats();
+        let formula = stats.extra_bandwidth_paper_formula(config.depth());
+        prop_assert!(
+            stats.extra_bandwidth() <= formula + 1e-9,
+            "measured {} > formula {}",
+            stats.extra_bandwidth(),
+            formula
+        );
+    }
+
+    /// Replaying the same stream twice gives identical statistics
+    /// (simulators are deterministic).
+    #[test]
+    fn stream_system_is_deterministic(
+        misses in miss_stream(300),
+        config in stream_configs(),
+    ) {
+        let run = || {
+            let mut sys = StreamSystem::new(config);
+            for &m in &misses {
+                sys.on_l1_miss(m);
+            }
+            sys.finalize();
+            sys.stats()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// The unit filter can only reduce allocations (and hence issued
+    /// prefetches) relative to allocate-on-miss.
+    #[test]
+    fn filter_never_increases_traffic(misses in miss_stream(400)) {
+        let run = |config: StreamConfig| {
+            let mut sys = StreamSystem::new(config);
+            for &m in &misses {
+                sys.on_l1_miss(m);
+            }
+            sys.finalize();
+            sys.stats()
+        };
+        let plain = run(StreamConfig::new(4, 2, Allocation::OnMiss).unwrap());
+        let filtered = run(StreamConfig::new(4, 2, Allocation::UnitFilter { entries: 8 }).unwrap());
+        prop_assert!(filtered.allocations <= plain.allocations);
+        prop_assert!(filtered.prefetches_issued <= plain.prefetches_issued);
+    }
+
+    /// Cache misses are at least the number of distinct blocks touched
+    /// (cold misses) and at most the total accesses; a second identical
+    /// pass on a cache bigger than the footprint hits everything.
+    #[test]
+    fn cache_miss_bounds(stream in access_stream(300)) {
+        let block = BlockSize::new(32).unwrap();
+        let cfg = CacheConfig::new(1 << 22, 4, block)
+            .unwrap()
+            .with_replacement(Replacement::Lru);
+        let mut cache = SetAssocCache::new(cfg).unwrap();
+        let mut blocks: Vec<u64> = stream.iter().map(|a| a.addr.block(block).index()).collect();
+        blocks.sort_unstable();
+        blocks.dedup();
+
+        for &a in &stream {
+            cache.access(a.addr, a.kind);
+        }
+        let first_pass = *cache.stats();
+        prop_assert!(first_pass.misses() >= blocks.len() as u64 || cfg.num_sets() == 0);
+        prop_assert!(first_pass.misses() <= first_pass.accesses());
+
+        // 4 MB 4-way over a ≤4 MB footprint: capacity misses impossible;
+        // with LRU and this working set every block survives, so a second
+        // pass is all hits.
+        cache.reset_stats();
+        for &a in &stream {
+            cache.access(a.addr, a.kind);
+        }
+        prop_assert_eq!(cache.stats().misses(), 0);
+    }
+
+    /// Set sampling never sees a different hit/miss outcome for the
+    /// references it does simulate: its miss count equals the full
+    /// cache's misses restricted to the sampled sets.
+    #[test]
+    fn set_sampling_is_exact_per_set(stream in access_stream(300)) {
+        let block = BlockSize::new(32).unwrap();
+        let cfg = CacheConfig::new(64 << 10, 2, block).unwrap();
+        let mut full = SetAssocCache::new(cfg).unwrap();
+        let sampling = SetSampling::new(2, 1);
+        let mut sampled = SetAssocCache::with_sampling(cfg, sampling).unwrap();
+
+        let sets = cfg.num_sets();
+        let mut full_sampled_misses = 0u64;
+        let mut full_sampled_accesses = 0u64;
+        for &a in &stream {
+            let set = a.addr.block(block).index() & (sets - 1);
+            let outcome = full.access(a.addr, a.kind);
+            if sampling.selects(set) {
+                full_sampled_accesses += 1;
+                if outcome.is_miss() {
+                    full_sampled_misses += 1;
+                }
+            }
+            sampled.access(a.addr, a.kind);
+        }
+        prop_assert_eq!(sampled.stats().accesses(), full_sampled_accesses);
+        prop_assert_eq!(sampled.stats().misses(), full_sampled_misses);
+    }
+
+    /// Unified streams presented with a pure unit-stride run always hit
+    /// after the first miss, for any number of buffers and depth.
+    #[test]
+    fn unit_run_hits_after_first_miss(
+        base in 0u64..1 << 30,
+        len in 2u64..200,
+        buffers in 1usize..8,
+    ) {
+        let mut sys = StreamSystem::new(StreamConfig::paper_basic(buffers).unwrap());
+        let mut hits = 0;
+        for i in 0..len {
+            if sys.on_l1_miss(Addr::new(base + i * 32)).is_hit() {
+                hits += 1;
+            }
+        }
+        prop_assert_eq!(hits, len - 1);
+    }
+
+    /// Writeback invalidation is conservative: it never *creates* hits.
+    #[test]
+    fn invalidation_only_removes_hits(misses in miss_stream(200)) {
+        let block = BlockSize::default();
+        let run = |invalidate: bool| {
+            let mut sys = StreamSystem::new(StreamConfig::paper_basic(4).unwrap());
+            for (i, &m) in misses.iter().enumerate() {
+                if invalidate && i % 7 == 0 {
+                    sys.on_writeback(m.block(block).next());
+                }
+                sys.on_l1_miss(m);
+            }
+            sys.finalize();
+            sys.stats()
+        };
+        let clean = run(false);
+        let invalidated = run(true);
+        prop_assert!(invalidated.hits <= clean.hits);
+    }
+}

@@ -1,0 +1,65 @@
+//! Integration tests for the `streamsim-report` binary.
+
+use std::process::Command;
+
+fn report() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_streamsim-report"))
+}
+
+#[test]
+fn list_prints_all_experiments() {
+    let out = report().arg("--list").output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    for name in [
+        "table1", "table2", "table3", "table4", "fig3", "fig5", "fig8", "fig9", "ablations",
+        "baselines", "latency", "traffic", "multiprogramming",
+    ] {
+        assert!(text.contains(name), "missing {name} in {text}");
+    }
+}
+
+#[test]
+fn help_exits_successfully() {
+    let out = report().arg("--help").output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("USAGE"));
+}
+
+#[test]
+fn unknown_experiment_fails() {
+    let out = report().arg("fig42").output().expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("fig42"));
+}
+
+#[test]
+fn quick_single_experiment_prints_its_table() {
+    let out = report()
+        .args(["--quick", "table2"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("=== table2 ==="), "{text}");
+    assert!(text.contains("trfd"), "{text}");
+    assert!(text.contains("scale: Quick"), "{text}");
+}
+
+#[test]
+fn out_flag_writes_a_file() {
+    let dir = std::env::temp_dir().join("streamsim-report-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("report.txt");
+    let out = report()
+        .args(["--quick", "--out", path.to_str().unwrap(), "fig9"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let written = std::fs::read_to_string(&path).unwrap();
+    assert!(written.contains("=== fig9 ==="));
+    assert!(written.contains("czone"));
+    std::fs::remove_file(&path).ok();
+}

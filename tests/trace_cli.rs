@@ -1,0 +1,78 @@
+//! Integration tests for the `streamsim-trace` binary.
+
+use std::process::Command;
+
+fn trace_tool() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_streamsim-trace"))
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("streamsim-trace-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn list_names_all_benchmarks() {
+    let out = trace_tool().arg("list").output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(text.lines().count(), 15);
+    assert!(text.contains("fftpde"));
+}
+
+#[test]
+fn gen_info_replay_round_trip() {
+    let path = tmp("mdg.sstr");
+    let out = trace_tool()
+        .args(["gen", "mdg", path.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{:?}", out);
+    assert!(path.exists());
+
+    let out = trace_tool()
+        .args(["info", path.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("refs"), "{text}");
+    assert!(text.contains("top strides"), "{text}");
+
+    let out = trace_tool()
+        .args(["replay", path.to_str().unwrap(), "4"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("stream hit"), "{text}");
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn gen_rejects_unknown_benchmark() {
+    let path = tmp("nope.sstr");
+    let out = trace_tool()
+        .args(["gen", "nope", path.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn replay_rejects_missing_file() {
+    let out = trace_tool()
+        .args(["replay", "/nonexistent/trace.sstr"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn help_runs() {
+    let out = trace_tool().arg("--help").output().expect("binary runs");
+    assert!(out.status.success());
+    assert!(String::from_utf8(out.stdout).unwrap().contains("USAGE"));
+}
