@@ -1,6 +1,4 @@
 //! Regenerates the estimated-memory-CPI extension.
 fn main() {
-    streamsim_bench::run_experiment("cpi", |opts| {
-        streamsim_core::experiments::cpi::run(&opts)
-    });
+    streamsim_bench::run_experiment("cpi", |opts| streamsim_core::experiments::cpi::run(&opts));
 }

@@ -1,6 +1,4 @@
 //! Regenerates the paper's Figure 3 (hit rate vs number of streams).
 fn main() {
-    streamsim_bench::run_experiment("fig3", |opts| {
-        streamsim_core::experiments::fig3::run(&opts)
-    });
+    streamsim_bench::run_experiment("fig3", |opts| streamsim_core::experiments::fig3::run(&opts));
 }

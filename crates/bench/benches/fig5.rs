@@ -1,6 +1,4 @@
 //! Regenerates the paper's fig5.
 fn main() {
-    streamsim_bench::run_experiment("fig5", |opts| {
-        streamsim_core::experiments::fig5::run(&opts)
-    });
+    streamsim_bench::run_experiment("fig5", |opts| streamsim_core::experiments::fig5::run(&opts));
 }

@@ -1,6 +1,4 @@
 //! Regenerates the paper's Figure 8 (non-unit-stride detection).
 fn main() {
-    streamsim_bench::run_experiment("fig8", |opts| {
-        streamsim_core::experiments::fig8::run(&opts)
-    });
+    streamsim_bench::run_experiment("fig8", |opts| streamsim_core::experiments::fig8::run(&opts));
 }

@@ -1,6 +1,4 @@
 //! Regenerates the paper's fig9.
 fn main() {
-    streamsim_bench::run_experiment("fig9", |opts| {
-        streamsim_core::experiments::fig9::run(&opts)
-    });
+    streamsim_bench::run_experiment("fig9", |opts| streamsim_core::experiments::fig9::run(&opts));
 }

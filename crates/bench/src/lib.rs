@@ -9,6 +9,11 @@
 //! Set `STREAMSIM_SCALE=quick` to run the reduced inputs (useful when
 //! smoke-testing the harness itself), and `STREAMSIM_SAMPLING=paper` to
 //! enable the paper's 10 000-on / 90 000-off time sampling.
+//!
+//! The `micro` target uses the in-tree [`timing`] harness instead of an
+//! experiment driver; see that module for its output format and knobs.
+
+pub mod timing;
 
 use std::time::Instant;
 

@@ -1,7 +1,6 @@
 //! The generic set-associative cache simulator.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use streamsim_prng::{Rng, Xoshiro256StarStar};
 
 use streamsim_trace::{AccessKind, Addr, BlockAddr};
 
@@ -95,7 +94,7 @@ pub struct SetAssocCache {
     set_mask: u64,
     set_bits: u32,
     clock: u64,
-    rng: Option<SmallRng>,
+    rng: Option<Xoshiro256StarStar>,
     /// One word of tree bits per simulated set (tree-PLRU only).
     plru: Vec<u64>,
     stats: CacheStats,
@@ -177,7 +176,7 @@ impl SetAssocCache {
             None => sets,
         };
         let rng = match config.replacement() {
-            Replacement::Random { seed } => Some(SmallRng::seed_from_u64(seed)),
+            Replacement::Random { seed } => Some(Xoshiro256StarStar::seed_from_u64(seed)),
             _ => None,
         };
         let plru = if config.replacement() == Replacement::TreePlru {
@@ -253,7 +252,10 @@ impl SetAssocCache {
         match self.detailed(addr, kind) {
             None => AccessOutcome::Bypassed,
             Some(DetailedOutcome { hit: true, .. }) => AccessOutcome::Hit,
-            Some(DetailedOutcome { hit: false, evicted }) => AccessOutcome::Miss {
+            Some(DetailedOutcome {
+                hit: false,
+                evicted,
+            }) => AccessOutcome::Miss {
                 writeback: evicted.filter(|e| e.dirty).map(|e| e.block),
             },
         }

@@ -181,10 +181,12 @@ impl CacheConfig {
     /// Never fails in practice; the signature is fallible only because it
     /// delegates to [`CacheConfig::new`].
     pub fn paper_l1() -> Result<Self, CacheConfigError> {
-        Ok(
-            Self::new(64 * 1024, 4, BlockSize::new(32).expect("32 is a power of two"))?
-                .with_replacement(Replacement::Random { seed: 0x5eed }),
-        )
+        Ok(Self::new(
+            64 * 1024,
+            4,
+            BlockSize::new(32).expect("32 is a power of two"),
+        )?
+        .with_replacement(Replacement::Random { seed: 0x5eed }))
     }
 
     /// A secondary-cache configuration as swept in the paper's Table 4:

@@ -152,13 +152,17 @@ mod tests {
                 }
             }
         }
-        assert_eq!(sys.memory_read_blocks(), 128, "only cold misses reach memory");
+        assert_eq!(
+            sys.memory_read_blocks(),
+            128,
+            "only cold misses reach memory"
+        );
     }
 
     #[test]
     fn memory_traffic_counts_reads_and_dirty_writebacks() {
         let mut sys = system(1024); // L2 same size as L1: thrashes
-        // Write a 4 KB region twice: dirty blocks must eventually escape.
+                                    // Write a 4 KB region twice: dirty blocks must eventually escape.
         for _ in 0..2 {
             for i in 0..128u64 {
                 sys.access(Access::store(Addr::new(i * 32)));

@@ -11,9 +11,7 @@
 
 use streamsim_trace::{AccessKind, Addr, BlockSize};
 
-use crate::{
-    CacheConfig, CacheConfigError, CacheStats, SetAssocCache, VictimCache, VictimOutcome,
-};
+use crate::{CacheConfig, CacheConfigError, CacheStats, SetAssocCache, VictimCache, VictimOutcome};
 
 /// Where a reference was serviced by a [`VictimL1`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -75,7 +73,10 @@ impl VictimL1 {
     pub fn access(&mut self, addr: Addr, kind: AccessKind) -> VictimL1Outcome {
         match self.cache.access_detailed(addr, kind) {
             None | Some(crate::DetailedOutcome { hit: true, .. }) => VictimL1Outcome::Hit,
-            Some(crate::DetailedOutcome { hit: false, evicted }) => {
+            Some(crate::DetailedOutcome {
+                hit: false,
+                evicted,
+            }) => {
                 // Every displaced line — clean or dirty — goes to the
                 // victim buffer (this is what distinguishes a victim
                 // cache from a plain write buffer).

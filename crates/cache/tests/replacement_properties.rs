@@ -1,6 +1,8 @@
-//! Property-based tests for the cache replacement policies.
+//! Property-based tests for the cache replacement policies, on the
+//! in-tree `streamsim-quickcheck` harness.
 
-use proptest::prelude::*;
+use streamsim_prng::quickcheck::{check, check_with, Gen};
+use streamsim_prng::Rng;
 
 use streamsim_cache::{CacheConfig, Replacement, SetAssocCache};
 use streamsim_trace::{AccessKind, Addr, BlockSize};
@@ -9,9 +11,13 @@ const BLOCK: u64 = 32;
 
 /// Build a small cache with the given policy: 4 sets × `assoc` ways.
 fn cache(assoc: u32, policy: Replacement) -> SetAssocCache {
-    let cfg = CacheConfig::new(4 * assoc as u64 * BLOCK, assoc, BlockSize::new(BLOCK).unwrap())
-        .unwrap()
-        .with_replacement(policy);
+    let cfg = CacheConfig::new(
+        4 * assoc as u64 * BLOCK,
+        assoc,
+        BlockSize::new(BLOCK).unwrap(),
+    )
+    .unwrap()
+    .with_replacement(policy);
     SetAssocCache::new(cfg).unwrap()
 }
 
@@ -20,17 +26,14 @@ fn addr(set: u64, tag: u64) -> Addr {
     Addr::new(((tag << 2) | set) * BLOCK)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// LRU invariant: after any access sequence confined to one set, the
-    /// `assoc` most recently used distinct blocks are exactly the
-    /// resident ones.
-    #[test]
-    fn lru_keeps_the_most_recent_blocks(
-        tags in proptest::collection::vec(0u64..12, 1..60),
-        assoc in 1u32..5,
-    ) {
+/// LRU invariant: after any access sequence confined to one set, the
+/// `assoc` most recently used distinct blocks are exactly the resident
+/// ones.
+#[test]
+fn lru_keeps_the_most_recent_blocks() {
+    check_with("lru_keeps_the_most_recent_blocks", 96, |g| {
+        let tags = g.vec(1usize..60, |g| g.gen_range(0u64..12));
+        let assoc = g.gen_range(1u32..5);
         let mut c = cache(assoc, Replacement::Lru);
         for &t in &tags {
             c.access(addr(2, t), AccessKind::Load);
@@ -46,7 +49,7 @@ proptest! {
             }
         }
         for &t in &recent {
-            prop_assert!(c.probe(addr(2, t)), "tag {t} should be resident");
+            assert!(c.probe(addr(2, t)), "tag {t} should be resident");
         }
         // And any distinct tag beyond the assoc most recent is absent.
         let mut all: Vec<u64> = Vec::new();
@@ -56,21 +59,22 @@ proptest! {
             }
         }
         for &t in all.iter().skip(assoc as usize) {
-            prop_assert!(!c.probe(addr(2, t)), "tag {t} should be evicted");
+            assert!(!c.probe(addr(2, t)), "tag {t} should be evicted");
         }
-    }
+    });
+}
 
-    /// FIFO invariant: residency depends only on fill order, never on
-    /// touches — the resident set equals the last `assoc` distinct blocks
-    /// in *first-miss* order among those still unreplaced. We check the
-    /// weaker but exact property that a re-access never extends a block's
-    /// lifetime: interleaving extra touches of one block does not change
-    /// which blocks survive.
-    #[test]
-    fn fifo_touches_do_not_extend_lifetime(
-        tags in proptest::collection::vec(0u64..10, 1..40),
-        hot in 0u64..10,
-    ) {
+/// FIFO invariant: residency depends only on fill order, never on
+/// touches — the resident set equals the last `assoc` distinct blocks
+/// in *first-miss* order among those still unreplaced. We check the
+/// weaker but exact property that a re-access never extends a block's
+/// lifetime: interleaving extra touches of one block does not change
+/// which blocks survive.
+#[test]
+fn fifo_touches_do_not_extend_lifetime() {
+    check_with("fifo_touches_do_not_extend_lifetime", 96, |g| {
+        let tags = g.vec(1usize..40, |g| g.gen_range(0u64..10));
+        let hot = g.gen_range(0u64..10);
         let run = |with_touches: bool| {
             let mut c = cache(2, Replacement::Fifo);
             for &t in &tags {
@@ -85,17 +89,18 @@ proptest! {
             }
             (0u64..10).map(|t| c.probe(addr(1, t))).collect::<Vec<_>>()
         };
-        prop_assert_eq!(run(false), run(true));
-    }
+        assert_eq!(run(false), run(true));
+    });
+}
 
-    /// All policies agree on a working set that fits: no evictions ever
-    /// happen, so every policy gives the same (perfect) behaviour after
-    /// the cold misses.
-    #[test]
-    fn policies_agree_below_capacity(
-        tags in proptest::collection::vec(0u64..4, 1..50),
-    ) {
+/// All policies agree on a working set that fits: no evictions ever
+/// happen, so every policy gives the same (perfect) behaviour after the
+/// cold misses.
+#[test]
+fn policies_agree_below_capacity() {
+    check_with("policies_agree_below_capacity", 96, |g| {
         // 4 distinct tags into a 4-way set: never evicts.
+        let tags = g.vec(1usize..50, |g| g.gen_range(0u64..4));
         let policies = [
             Replacement::Lru,
             Replacement::Fifo,
@@ -114,31 +119,35 @@ proptest! {
             results.push((hits, c.stats().misses()));
         }
         for w in results.windows(2) {
-            prop_assert_eq!(w[0], w[1]);
+            assert_eq!(w[0], w[1]);
         }
-    }
+    });
+}
 
-    /// Misses never exceed accesses and writebacks never exceed fills,
-    /// for any policy and any store-heavy access pattern.
-    #[test]
-    fn counters_stay_consistent(
-        ops in proptest::collection::vec((0u64..64, proptest::bool::ANY), 1..200),
-        policy in 0u8..4,
-    ) {
-        let policy = match policy {
-            0 => Replacement::Lru,
-            1 => Replacement::Fifo,
-            2 => Replacement::Random { seed: 7 },
-            _ => Replacement::TreePlru,
-        };
+/// Misses never exceed accesses and writebacks never exceed fills, for
+/// any policy and any store-heavy access pattern.
+#[test]
+fn counters_stay_consistent() {
+    check("counters_stay_consistent", |g| {
+        let ops = g.vec(1usize..200, |g| (g.gen_range(0u64..64), g.gen_bool(0.5)));
+        let policy = g.pick(&[
+            Replacement::Lru,
+            Replacement::Fifo,
+            Replacement::Random { seed: 7 },
+            Replacement::TreePlru,
+        ]);
         let mut c = cache(2, policy);
         for &(block, store) in &ops {
-            let kind = if store { AccessKind::Store } else { AccessKind::Load };
+            let kind = if store {
+                AccessKind::Store
+            } else {
+                AccessKind::Load
+            };
             c.access(Addr::new(block * BLOCK), kind);
         }
         let stats = c.stats();
-        prop_assert!(stats.misses() <= stats.accesses());
-        prop_assert!(stats.writebacks <= stats.misses());
-        prop_assert_eq!(stats.accesses(), ops.len() as u64);
-    }
+        assert!(stats.misses() <= stats.accesses());
+        assert!(stats.writebacks <= stats.misses());
+        assert_eq!(stats.accesses(), ops.len() as u64);
+    });
 }

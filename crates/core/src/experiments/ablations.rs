@@ -239,8 +239,7 @@ pub fn run(options: &ExperimentOptions) -> Ablations {
         };
         let cfg = CacheConfig::new(l1_bytes, 1, BlockSize::default()).expect("valid");
         let mut l1 = VictimL1::new(cfg, 16).expect("valid");
-        let mut streams =
-            StreamSystem::new(StreamConfig::paper_basic(10).expect("valid"));
+        let mut streams = StreamSystem::new(StreamConfig::paper_basic(10).expect("valid"));
         w.generate(&mut |access| {
             if access.kind == streamsim_trace::AccessKind::IFetch {
                 return;
@@ -272,7 +271,10 @@ pub fn run(options: &ExperimentOptions) -> Ablations {
 
 impl fmt::Display for Ablations {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Ablation: hit rate (%) vs stream depth (10 streams, no filter)")?;
+        writeln!(
+            f,
+            "Ablation: hit rate (%) vs stream depth (10 streams, no filter)"
+        )?;
         let mut headers: Vec<String> = vec!["bench".into()];
         headers.extend(DEPTHS.iter().map(|d| format!("depth {d}")));
         let mut t = TextTable::new(headers);
@@ -320,7 +322,10 @@ impl fmt::Display for Ablations {
         }
         writeln!(f, "{t}")?;
 
-        writeln!(f, "Ablation: unified vs partitioned (2 I + 8 D) streams, hit rate (%)")?;
+        writeln!(
+            f,
+            "Ablation: unified vs partitioned (2 I + 8 D) streams, hit rate (%)"
+        )?;
         let mut t = TextTable::new(vec!["bench", "unified (10)", "partitioned"]);
         for (name, [unified, part]) in &self.topology {
             t.row(vec![

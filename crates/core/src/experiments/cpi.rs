@@ -138,11 +138,10 @@ fn measure(
 
     let bare = misses as f64 * lm / refs as f64;
     let hit_stall = stream_hit_stall(&streams, inter_miss, timing);
-    let with_streams = (streams.hits as f64 * hit_stall + streams.misses() as f64 * lm)
-        / refs as f64;
-    let with_l2 = (misses as f64)
-        * (l2_hit * timing.l2_latency as f64 + (1.0 - l2_hit) * lm)
-        / refs as f64;
+    let with_streams =
+        (streams.hits as f64 * hit_stall + streams.misses() as f64 * lm) / refs as f64;
+    let with_l2 =
+        (misses as f64) * (l2_hit * timing.l2_latency as f64 + (1.0 - l2_hit) * lm) / refs as f64;
 
     Row {
         name,
@@ -227,10 +226,7 @@ mod tests {
         let cpi = run(&ExperimentOptions::quick());
         let embar = cpi.row("embar").unwrap().stream_speedup();
         let adm = cpi.row("adm").unwrap().stream_speedup();
-        assert!(
-            embar > adm,
-            "embar speedup {embar} should exceed adm {adm}"
-        );
+        assert!(embar > adm, "embar speedup {embar} should exceed adm {adm}");
     }
 
     #[test]

@@ -29,18 +29,18 @@ pub mod ablations;
 pub mod baselines;
 pub mod cpi;
 pub mod fig3;
-pub mod latency;
-pub mod multiprogramming;
-pub mod scorecard;
 pub mod fig5;
 pub mod fig8;
 pub mod fig9;
+pub mod latency;
+pub mod multiprogramming;
+pub mod scorecard;
 pub mod table1;
 pub mod table2;
-pub mod traffic;
 pub mod table3;
 pub mod table4;
 pub mod topology;
+pub mod traffic;
 
 use streamsim_workloads::{all_benchmarks, kernels, Workload};
 
@@ -247,8 +247,8 @@ pub fn table4_pairs(scale: Scale) -> Vec<Table4Pair> {
 pub fn miss_traces(options: &ExperimentOptions) -> Vec<(String, MissTrace)> {
     let record = options.record_options();
     parallel_map(workload_set(options.scale), move |w| {
-        let trace = record_miss_trace(w.as_ref(), &record)
-            .expect("paper L1 configuration is valid");
+        let trace =
+            record_miss_trace(w.as_ref(), &record).expect("paper L1 configuration is valid");
         (w.name().to_owned(), trace)
     })
 }

@@ -35,8 +35,8 @@ pub struct Table1 {
 pub fn run(options: &ExperimentOptions) -> Table1 {
     let record = options.record_options();
     let rows = parallel_map(workload_set(options.scale), move |w| {
-        let trace = record_miss_trace(w.as_ref(), &record)
-            .expect("paper L1 configuration is valid");
+        let trace =
+            record_miss_trace(w.as_ref(), &record).expect("paper L1 configuration is valid");
         Row {
             name: w.name().to_owned(),
             suite: w.suite().to_string(),

@@ -65,22 +65,13 @@ impl fmt::Display for Table2 {
             f,
             "Table 2: extra bandwidth of ordinary streams (10 streams, depth 2, no filter)"
         )?;
-        let mut t = TextTable::new(vec![
-            "bench",
-            "EB %",
-            "formula %",
-            "paper %",
-            "hit %",
-        ]);
+        let mut t = TextTable::new(vec!["bench", "EB %", "formula %", "paper %", "hit %"]);
         for r in &self.rows {
             let p = paper::benchmark(&r.name);
             t.row(vec![
                 r.name.clone(),
                 format!("{:.0}", r.eb() * 100.0),
-                format!(
-                    "{:.0}",
-                    r.stats.extra_bandwidth_paper_formula(2) * 100.0
-                ),
+                format!("{:.0}", r.stats.extra_bandwidth_paper_formula(2) * 100.0),
                 p.map_or(String::new(), |p| format!("{:.0}", p.eb_basic_pct)),
                 format!("{:.0}", r.stats.hit_rate() * 100.0),
             ]);

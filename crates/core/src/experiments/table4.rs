@@ -89,7 +89,12 @@ fn best_l2_hit(trace: &MissTrace, size_bytes: u64) -> f64 {
     best
 }
 
-fn measure(name: &str, large: bool, workload: &dyn streamsim_workloads::Workload, options: &ExperimentOptions) -> Row {
+fn measure(
+    name: &str,
+    large: bool,
+    workload: &dyn streamsim_workloads::Workload,
+    options: &ExperimentOptions,
+) -> Row {
     let trace = record_miss_trace(workload, &options.record_options())
         .expect("paper L1 configuration is valid");
     let stream_hit = run_streams(

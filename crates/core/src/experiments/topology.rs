@@ -191,15 +191,10 @@ mod tests {
         let options = ExperimentOptions::quick();
         let result = run(&options);
         for (name, trace) in miss_traces(&options) {
-            let direct = crate::run_streams(
-                &trace,
-                StreamConfig::paper_filtered(10).expect("valid"),
-            );
+            let direct =
+                crate::run_streams(&trace, StreamConfig::paper_filtered(10).expect("valid"));
             let row = result.row(&name).expect("benchmark present");
-            assert!(
-                (row.stream_hit - direct.hit_rate()).abs() < 1e-12,
-                "{name}"
-            );
+            assert!((row.stream_hit - direct.hit_rate()).abs() < 1e-12, "{name}");
         }
     }
 

@@ -85,8 +85,7 @@ pub fn run(options: &ExperimentOptions) -> Traffic {
         let trace = record_miss_trace(w.as_ref(), &record).expect("valid L1");
         let streams = run_streams(&trace, StreamConfig::paper_filtered(10).expect("valid"));
         let baseline = baseline_bytes(&trace);
-        let streams_bytes =
-            baseline + streams.useless_prefetches() * trace.l1_block().bytes();
+        let streams_bytes = baseline + streams.useless_prefetches() * trace.l1_block().bytes();
 
         // Conventional system over the same references.
         let l2_cfg = CacheConfig::new(L2_BYTES, 2, BlockSize::default()).expect("valid L2");
@@ -94,10 +93,9 @@ pub fn run(options: &ExperimentOptions) -> Traffic {
             TwoLevel::new(record.icache, record.dcache, l2_cfg).expect("valid hierarchy");
         match record.sampling {
             Some((on, off)) => {
-                let mut sink =
-                    streamsim_trace::sampling_sink(on, off, |a| {
-                        two_level.access(a);
-                    });
+                let mut sink = streamsim_trace::sampling_sink(on, off, |a| {
+                    two_level.access(a);
+                });
                 w.generate(&mut sink);
             }
             None => w.generate(&mut |a| {

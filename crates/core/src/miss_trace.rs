@@ -9,7 +9,9 @@
 //! smaller, which is what makes the paper's parameter sweeps (ten stream
 //! counts × fifteen benchmarks, dozens of L2 geometries) cheap.
 
-use streamsim_cache::{AccessOutcome, CacheConfig, CacheConfigError, SetAssocCache, SetSampling, SplitL1};
+use streamsim_cache::{
+    AccessOutcome, CacheConfig, CacheConfigError, SetAssocCache, SetSampling, SplitL1,
+};
 use streamsim_streams::{StreamConfig, StreamStats, StreamSystem};
 use streamsim_trace::{sampling_sink, Access, AccessKind, Addr, BlockSize};
 use streamsim_workloads::Workload;
@@ -259,8 +261,8 @@ mod tests {
 
     #[test]
     fn streams_ace_sequential_misses() {
-        let trace = record_miss_trace(&SequentialSweep::default(), &RecordOptions::default())
-            .unwrap();
+        let trace =
+            record_miss_trace(&SequentialSweep::default(), &RecordOptions::default()).unwrap();
         let stats = run_streams(&trace, StreamConfig::paper_basic(4).unwrap());
         assert!(stats.hit_rate() > 0.9, "hit rate {}", stats.hit_rate());
         assert!(stats.prefetch_accounting_balances());
@@ -268,8 +270,7 @@ mod tests {
 
     #[test]
     fn streams_fail_random_misses() {
-        let trace = record_miss_trace(&RandomGather::default(), &RecordOptions::default())
-            .unwrap();
+        let trace = record_miss_trace(&RandomGather::default(), &RecordOptions::default()).unwrap();
         let stats = run_streams(&trace, StreamConfig::paper_basic(10).unwrap());
         assert!(stats.hit_rate() < 0.05, "hit rate {}", stats.hit_rate());
         // Unfiltered random misses waste ~depth prefetches per miss.
@@ -278,8 +279,7 @@ mod tests {
 
     #[test]
     fn filter_slashes_random_bandwidth() {
-        let trace = record_miss_trace(&RandomGather::default(), &RecordOptions::default())
-            .unwrap();
+        let trace = record_miss_trace(&RandomGather::default(), &RecordOptions::default()).unwrap();
         let plain = run_streams(&trace, StreamConfig::paper_basic(10).unwrap());
         let filtered = run_streams(&trace, StreamConfig::paper_filtered(10).unwrap());
         assert!(filtered.extra_bandwidth() < plain.extra_bandwidth() / 5.0);
@@ -349,8 +349,8 @@ mod tests {
 
     #[test]
     fn trace_accessors_are_consistent() {
-        let trace = record_miss_trace(&SequentialSweep::default(), &RecordOptions::default())
-            .unwrap();
+        let trace =
+            record_miss_trace(&SequentialSweep::default(), &RecordOptions::default()).unwrap();
         assert_eq!(
             trace.events().len() as u64,
             trace.fetches() + trace.writebacks()

@@ -256,16 +256,76 @@ pub struct Table4Row {
 
 /// Table 4 as printed in the paper.
 pub const TABLE4: [Table4Row; 10] = [
-    Table4Row { name: "appsp", input: "12 x 12 x 12", large: false, stream_hit_pct: 43, min_l2_bytes: 128 << 10 },
-    Table4Row { name: "appsp", input: "24 x 24 x 24", large: true, stream_hit_pct: 65, min_l2_bytes: 1 << 20 },
-    Table4Row { name: "appbt", input: "12 x 12 x 12", large: false, stream_hit_pct: 50, min_l2_bytes: 512 << 10 },
-    Table4Row { name: "appbt", input: "24 x 24 x 24", large: true, stream_hit_pct: 52, min_l2_bytes: 2 << 20 },
-    Table4Row { name: "applu", input: "12 x 12 x 12", large: false, stream_hit_pct: 62, min_l2_bytes: 1 << 20 },
-    Table4Row { name: "applu", input: "24 x 24 x 24", large: true, stream_hit_pct: 73, min_l2_bytes: 2 << 20 },
-    Table4Row { name: "cgm", input: "1400 x 1400", large: false, stream_hit_pct: 85, min_l2_bytes: 1 << 20 },
-    Table4Row { name: "cgm", input: "5600 x 5600", large: true, stream_hit_pct: 51, min_l2_bytes: 64 << 10 },
-    Table4Row { name: "mgrid", input: "32 x 32 x 32", large: false, stream_hit_pct: 76, min_l2_bytes: 2 << 20 },
-    Table4Row { name: "mgrid", input: "64 x 64 x 64", large: true, stream_hit_pct: 88, min_l2_bytes: 4 << 20 },
+    Table4Row {
+        name: "appsp",
+        input: "12 x 12 x 12",
+        large: false,
+        stream_hit_pct: 43,
+        min_l2_bytes: 128 << 10,
+    },
+    Table4Row {
+        name: "appsp",
+        input: "24 x 24 x 24",
+        large: true,
+        stream_hit_pct: 65,
+        min_l2_bytes: 1 << 20,
+    },
+    Table4Row {
+        name: "appbt",
+        input: "12 x 12 x 12",
+        large: false,
+        stream_hit_pct: 50,
+        min_l2_bytes: 512 << 10,
+    },
+    Table4Row {
+        name: "appbt",
+        input: "24 x 24 x 24",
+        large: true,
+        stream_hit_pct: 52,
+        min_l2_bytes: 2 << 20,
+    },
+    Table4Row {
+        name: "applu",
+        input: "12 x 12 x 12",
+        large: false,
+        stream_hit_pct: 62,
+        min_l2_bytes: 1 << 20,
+    },
+    Table4Row {
+        name: "applu",
+        input: "24 x 24 x 24",
+        large: true,
+        stream_hit_pct: 73,
+        min_l2_bytes: 2 << 20,
+    },
+    Table4Row {
+        name: "cgm",
+        input: "1400 x 1400",
+        large: false,
+        stream_hit_pct: 85,
+        min_l2_bytes: 1 << 20,
+    },
+    Table4Row {
+        name: "cgm",
+        input: "5600 x 5600",
+        large: true,
+        stream_hit_pct: 51,
+        min_l2_bytes: 64 << 10,
+    },
+    Table4Row {
+        name: "mgrid",
+        input: "32 x 32 x 32",
+        large: false,
+        stream_hit_pct: 76,
+        min_l2_bytes: 2 << 20,
+    },
+    Table4Row {
+        name: "mgrid",
+        input: "64 x 64 x 64",
+        large: true,
+        stream_hit_pct: 88,
+        min_l2_bytes: 4 << 20,
+    },
 ];
 
 /// Figure 9 (≈): czone sensitivity anchors. For `fftpde` detection works
@@ -339,9 +399,11 @@ mod tests {
     #[test]
     fn fig8_values_match_prose() {
         // §7.1: fftpde 26→71, appsp 33→65, trfd 50→65.
-        for (name, basic, strided) in
-            [("fftpde", 26.0, 71.0), ("appsp", 33.0, 65.0), ("trfd", 50.0, 65.0)]
-        {
+        for (name, basic, strided) in [
+            ("fftpde", 26.0, 71.0),
+            ("appsp", 33.0, 65.0),
+            ("trfd", 50.0, 65.0),
+        ] {
             let b = benchmark(name).unwrap();
             assert_eq!(b.hit_basic_pct, basic, "{name}");
             assert_eq!(b.hit_strided_pct, strided, "{name}");

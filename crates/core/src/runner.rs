@@ -22,8 +22,24 @@ where
 {
     let threads = std::thread::available_parallelism()
         .map(NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(items.len().max(1));
+        .unwrap_or(1);
+    parallel_map_with_threads(items, threads, f)
+}
+
+/// [`parallel_map`] with an explicit worker-thread cap instead of
+/// `available_parallelism`.
+///
+/// Results are returned in input order whatever the scheduling, so for a
+/// pure `f` the output is a function of the input alone — experiment
+/// results must be byte-identical across any thread count, and the
+/// determinism regression tests below pin exactly that.
+pub fn parallel_map_with_threads<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
     if threads <= 1 || items.len() <= 1 {
         return items.into_iter().map(f).collect();
     }
@@ -82,5 +98,49 @@ mod tests {
         let out = parallel_map(items, |s| s.len());
         assert_eq!(out[0], 1);
         assert_eq!(out[10], 2);
+    }
+
+    /// Determinism regression: an experiment-shaped workload (record a
+    /// seeded kernel's miss trace, replay it through streams) returns
+    /// identical results whether it runs on 1, 2, 3, or 7 worker
+    /// threads. This is the property every table/figure driver relies on
+    /// when it spreads (benchmark × config) cells over cores.
+    #[test]
+    fn results_are_identical_across_thread_counts() {
+        use streamsim_cache::{CacheConfig, Replacement};
+        use streamsim_streams::StreamConfig;
+        use streamsim_trace::BlockSize;
+        use streamsim_workloads::generators::RandomGather;
+
+        let cell = |seed: u64| {
+            let workload = RandomGather {
+                footprint: 1 << 16,
+                count: 3_000,
+                seed,
+            };
+            let cfg = CacheConfig::new(4 * 1024, 2, BlockSize::new(32).unwrap())
+                .unwrap()
+                .with_replacement(Replacement::Random { seed });
+            let opts = crate::RecordOptions {
+                icache: cfg,
+                dcache: cfg,
+                sampling: None,
+            };
+            let rec = crate::record_miss_trace(&workload, &opts).unwrap();
+            let streams = crate::run_streams(&rec, StreamConfig::paper_filtered(4).unwrap());
+            (rec.fetches(), rec.writebacks(), streams)
+        };
+        let seeds: Vec<u64> = (0..12).collect();
+        let reference = parallel_map_with_threads(seeds.clone(), 1, |s| cell(s));
+        for threads in [2, 3, 7] {
+            let got = parallel_map_with_threads(seeds.clone(), threads, |s| cell(s));
+            assert_eq!(got, reference, "diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn thread_cap_of_zero_is_clamped_to_one() {
+        let out = parallel_map_with_threads(vec![1, 2, 3], 0, |i: i32| i * 10);
+        assert_eq!(out, vec![10, 20, 30]);
     }
 }

@@ -317,8 +317,7 @@ mod tests {
         sys.run(&w);
         let report = sys.finish();
 
-        let trace =
-            crate::record_miss_trace(&w, &crate::RecordOptions::default()).unwrap();
+        let trace = crate::record_miss_trace(&w, &crate::RecordOptions::default()).unwrap();
         let replayed = crate::run_streams(&trace, StreamConfig::paper_basic(4).unwrap());
 
         let direct = report.streams.unwrap();

@@ -1,6 +1,8 @@
-//! Property-based tests for miss-trace recording, via the public API.
+//! Property-based tests for miss-trace recording, via the public API,
+//! on the in-tree `streamsim-quickcheck` harness.
 
-use proptest::prelude::*;
+use streamsim_prng::quickcheck::{check_with, Gen};
+use streamsim_prng::Rng;
 
 use streamsim_cache::{CacheConfig, Replacement};
 use streamsim_core::{record_miss_trace, run_l2, run_streams, MissEvent, RecordOptions};
@@ -19,48 +21,43 @@ fn tiny_l1() -> RecordOptions {
     }
 }
 
-fn accesses(max_len: usize) -> impl Strategy<Value = Vec<Access>> {
-    proptest::collection::vec(
-        (
-            0u64..1 << 18,
-            prop_oneof![
-                3 => Just(AccessKind::Load),
-                1 => Just(AccessKind::Store),
-                1 => Just(AccessKind::IFetch)
-            ],
-        ),
-        1..max_len,
-    )
-    .prop_map(|v| {
-        v.into_iter()
-            .map(|(a, k)| Access::new(Addr::new(a), k))
-            .collect()
+fn accesses(g: &mut Gen, max_len: usize) -> Vec<Access> {
+    g.vec(1..max_len, |g| {
+        let addr = g.gen_range(0u64..1 << 18);
+        let kind = g.pick_weighted(&[
+            (3, AccessKind::Load),
+            (1, AccessKind::Store),
+            (1, AccessKind::IFetch),
+        ]);
+        Access::new(Addr::new(addr), kind)
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The recorded fetch count equals the L1's miss count, and every
-    /// write-back event corresponds to a counted cache write-back.
-    #[test]
-    fn fetches_equal_l1_misses(trace in accesses(400)) {
+/// The recorded fetch count equals the L1's miss count, and every
+/// write-back event corresponds to a counted cache write-back.
+#[test]
+fn fetches_equal_l1_misses() {
+    check_with("fetches_equal_l1_misses", 48, |g| {
+        let trace = accesses(g, 400);
         let w = RecordedTrace::new("prop", trace);
         let rec = record_miss_trace(&w, &tiny_l1()).unwrap();
-        prop_assert_eq!(
+        assert_eq!(
             rec.fetches(),
             rec.l1().icache.misses() + rec.l1().dcache.misses()
         );
-        prop_assert_eq!(
+        assert_eq!(
             rec.writebacks(),
             rec.l1().icache.writebacks + rec.l1().dcache.writebacks
         );
-    }
+    });
+}
 
-    /// Fetch events preserve program order of the missing references:
-    /// filtering the input to its missing subset reproduces the events.
-    #[test]
-    fn events_are_in_program_order(trace in accesses(300)) {
+/// Fetch events preserve program order of the missing references:
+/// filtering the input to its missing subset reproduces the events.
+#[test]
+fn events_are_in_program_order() {
+    check_with("events_are_in_program_order", 48, |g| {
+        let trace = accesses(g, 300);
         let w = RecordedTrace::new("prop", trace.clone());
         let rec = record_miss_trace(&w, &tiny_l1()).unwrap();
         let fetched: Vec<(u64, AccessKind)> = rec
@@ -75,42 +72,54 @@ proptest! {
         let mut it = trace.iter();
         for (addr, kind) in &fetched {
             let found = it.any(|a| a.addr.raw() == *addr && a.kind == *kind);
-            prop_assert!(found, "fetch ({addr:#x}, {kind:?}) out of order");
+            assert!(found, "fetch ({addr:#x}, {kind:?}) out of order");
         }
-    }
+    });
+}
 
-    /// A read-only reference stream never produces write-backs.
-    #[test]
-    fn loads_never_write_back(raw in proptest::collection::vec(0u64..1 << 18, 1..300)) {
-        let trace: Vec<Access> = raw.into_iter().map(|a| Access::load(Addr::new(a))).collect();
+/// A read-only reference stream never produces write-backs.
+#[test]
+fn loads_never_write_back() {
+    check_with("loads_never_write_back", 48, |g| {
+        let raw = g.vec(1usize..300, |g| g.gen_range(0u64..1 << 18));
+        let trace: Vec<Access> = raw
+            .into_iter()
+            .map(|a| Access::load(Addr::new(a)))
+            .collect();
         let w = RecordedTrace::new("ro", trace);
         let rec = record_miss_trace(&w, &tiny_l1()).unwrap();
-        prop_assert_eq!(rec.writebacks(), 0);
-    }
+        assert_eq!(rec.writebacks(), 0);
+    });
+}
 
-    /// Replaying the same miss trace through streams and an L2 is
-    /// deterministic, and the stream lookup count equals the fetches.
-    #[test]
-    fn replays_are_deterministic_and_complete(trace in accesses(300)) {
+/// Replaying the same miss trace through streams and an L2 is
+/// deterministic, and the stream lookup count equals the fetches.
+#[test]
+fn replays_are_deterministic_and_complete() {
+    check_with("replays_are_deterministic_and_complete", 48, |g| {
+        let trace = accesses(g, 300);
         let w = RecordedTrace::new("prop", trace);
         let rec = record_miss_trace(&w, &tiny_l1()).unwrap();
         let cfg = StreamConfig::paper_filtered(4).unwrap();
         let s1 = run_streams(&rec, cfg);
         let s2 = run_streams(&rec, cfg);
-        prop_assert_eq!(s1, s2);
-        prop_assert_eq!(s1.lookups, rec.fetches());
-        prop_assert!(s1.prefetch_accounting_balances());
+        assert_eq!(s1, s2);
+        assert_eq!(s1.lookups, rec.fetches());
+        assert!(s1.prefetch_accounting_balances());
 
         let l2cfg = CacheConfig::new(64 * 1024, 2, BlockSize::new(32).unwrap()).unwrap();
         let l2a = run_l2(&rec, l2cfg, None).unwrap();
         let l2b = run_l2(&rec, l2cfg, None).unwrap();
-        prop_assert_eq!(l2a, l2b);
-        prop_assert_eq!(l2a.accesses(), rec.fetches() + rec.writebacks());
-    }
+        assert_eq!(l2a, l2b);
+        assert_eq!(l2a.accesses(), rec.fetches() + rec.writebacks());
+    });
+}
 
-    /// Time sampling can only shrink the trace, never grow it.
-    #[test]
-    fn sampling_shrinks_recordings(trace in accesses(400)) {
+/// Time sampling can only shrink the trace, never grow it.
+#[test]
+fn sampling_shrinks_recordings() {
+    check_with("sampling_shrinks_recordings", 48, |g| {
+        let trace = accesses(g, 400);
         let w = RecordedTrace::new("prop", trace);
         let full = record_miss_trace(&w, &tiny_l1()).unwrap();
         let sampled = record_miss_trace(
@@ -125,9 +134,12 @@ proptest! {
         // subsetting, so sampling can add a bounded number of cold-start
         // misses at window boundaries — but it must not inflate the
         // trace wholesale.
-        prop_assert!(sampled.fetches() <= full.fetches() + 64,
+        assert!(
+            sampled.fetches() <= full.fetches() + 64,
             "sampling grew the miss trace: {} vs {}",
-            sampled.fetches(), full.fetches());
-        prop_assert!(sampled.l1().refs() <= full.l1().refs());
-    }
+            sampled.fetches(),
+            full.fetches()
+        );
+        assert!(sampled.l1().refs() <= full.l1().refs());
+    });
 }

@@ -1,0 +1,213 @@
+//! The sampling surface: uniform ranges, coin flips, shuffles.
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::RngCore;
+
+/// Uniform value in `[0, bound)` by Lemire's multiply-shift rejection
+/// method — exactly uniform for every bound, with no modulo bias and at
+/// most one multiply on the fast path.
+fn bounded(rng: &mut impl RngCore, bound: u64) -> u64 {
+    debug_assert!(bound > 0, "empty range");
+    let mut m = u128::from(rng.next_u64()) * u128::from(bound);
+    if (m as u64) < bound {
+        // Reject the small sliver of values that would over-represent
+        // low results: 2^64 mod bound candidates per wrap.
+        let threshold = bound.wrapping_neg() % bound;
+        while (m as u64) < threshold {
+            m = u128::from(rng.next_u64()) * u128::from(bound);
+        }
+    }
+    (m >> 64) as u64
+}
+
+/// A range that can be sampled uniformly — the argument type of
+/// [`Rng::gen_range`]. Implemented for half-open and inclusive ranges of
+/// the integer types the simulator uses.
+pub trait SampleRange {
+    /// The element type produced.
+    type Output;
+    /// Draws one uniform value from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample(self, rng: &mut impl RngCore) -> Self::Output;
+}
+
+macro_rules! impl_sample_unsigned {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut impl RngCore) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + bounded(rng, span) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut impl RngCore) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t; // full 64-bit range
+                }
+                lo + bounded(rng, span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_unsigned!(u32, u64, usize);
+
+macro_rules! impl_sample_signed {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut impl RngCore) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = self.end.wrapping_sub(self.start) as $u as u64;
+                self.start.wrapping_add(bounded(rng, span) as $t)
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut impl RngCore) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = hi.wrapping_sub(lo) as $u as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(bounded(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_signed!(i64 => u64, i32 => u32);
+
+/// Derived sampling methods, available on every [`RngCore`] — the
+/// `rand`-shaped surface the simulator and kernels are written against.
+pub trait Rng: RngCore + Sized {
+    /// A uniform value from `range` (half-open or inclusive).
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// An unbiased Fisher–Yates shuffle of `xs` in place.
+    fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.gen_range(0..=i);
+            xs.swap(i, j);
+        }
+    }
+
+    /// A uniformly chosen element of `xs`, or `None` if empty.
+    fn choose<'a, T>(&mut self, xs: &'a [T]) -> Option<&'a T> {
+        if xs.is_empty() {
+            None
+        } else {
+            Some(&xs[self.gen_range(0..xs.len())])
+        }
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Xoshiro256StarStar;
+
+    fn rng() -> Xoshiro256StarStar {
+        Xoshiro256StarStar::seed_from_u64(123)
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut g = rng();
+        for _ in 0..10_000 {
+            assert!(g.gen_range(10u64..20) < 20);
+            assert!(g.gen_range(10u64..20) >= 10);
+            let v = g.gen_range(5usize..=7);
+            assert!((5..=7).contains(&v));
+            let s = g.gen_range(-8i64..=8);
+            assert!((-8..=8).contains(&s));
+        }
+    }
+
+    #[test]
+    fn full_u64_inclusive_range_does_not_overflow() {
+        let mut g = rng();
+        let _ = g.gen_range(0u64..=u64::MAX);
+        let _ = g.gen_range(i64::MIN..=i64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut g = rng();
+        let _ = g.gen_range(5u64..5);
+    }
+
+    #[test]
+    fn small_ranges_are_roughly_uniform() {
+        // Chi-squared style sanity check: 6 bins, 60k draws, each bin
+        // within 5% of expectation (far looser than a real test, but it
+        // catches modulo bias and shift bugs).
+        let mut g = rng();
+        let mut counts = [0u32; 6];
+        for _ in 0..60_000 {
+            counts[g.gen_range(0usize..6)] += 1;
+        }
+        for c in counts {
+            assert!((9_500..10_500).contains(&c), "counts = {counts:?}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut g = rng();
+        let heads = (0..100_000).filter(|_| g.gen_bool(0.25)).count();
+        assert!((24_000..26_000).contains(&heads), "heads = {heads}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut g = rng();
+        let mut xs: Vec<u32> = (0..100).collect();
+        g.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(
+            xs, sorted,
+            "100 elements virtually never shuffle to identity"
+        );
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut g = rng();
+        let xs = [1, 2, 3];
+        assert_eq!(g.choose::<u8>(&[]), None);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[*g.choose(&xs).unwrap() as usize - 1] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+}

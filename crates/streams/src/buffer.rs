@@ -171,7 +171,12 @@ impl StreamBuffer {
     /// # Panics
     ///
     /// Panics if `stride_bytes == 0`.
-    pub(crate) fn allocate(&mut self, miss: Addr, stride_bytes: i64, now: u64) -> AllocationEffects {
+    pub(crate) fn allocate(
+        &mut self,
+        miss: Addr,
+        stride_bytes: i64,
+        now: u64,
+    ) -> AllocationEffects {
         assert!(stride_bytes != 0, "a stream cannot have stride zero");
         let flushed = self.entries.iter().filter(|e| e.valid).count() as u64;
         let previous_run = self.run_hits;

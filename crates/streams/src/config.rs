@@ -106,7 +106,10 @@ impl fmt::Display for StreamConfigError {
             StreamConfigError::ZeroDepth => f.write_str("stream depth must be at least 1"),
             StreamConfigError::EmptyFilter => f.write_str("filters need at least one entry"),
             StreamConfigError::BadCzone { bits } => {
-                write!(f, "czone size of {bits} bits is outside the usable 1..=62 range")
+                write!(
+                    f,
+                    "czone size of {bits} bits is outside the usable 1..=62 range"
+                )
             }
         }
     }
@@ -167,9 +170,7 @@ impl StreamConfig {
             return Err(StreamConfigError::ZeroDepth);
         }
         match allocation {
-            Allocation::UnitFilter { entries: 0 } => {
-                return Err(StreamConfigError::EmptyFilter)
-            }
+            Allocation::UnitFilter { entries: 0 } => return Err(StreamConfigError::EmptyFilter),
             Allocation::UnitAndStrideFilters {
                 unit_entries,
                 stride_entries,
@@ -182,9 +183,7 @@ impl StreamConfig {
                     return Err(StreamConfigError::BadCzone { bits: czone_bits });
                 }
             }
-            Allocation::MinDelta { entries: 0, .. } => {
-                return Err(StreamConfigError::EmptyFilter)
-            }
+            Allocation::MinDelta { entries: 0, .. } => return Err(StreamConfigError::EmptyFilter),
             _ => {}
         }
         Ok(StreamConfig {

@@ -213,9 +213,7 @@ impl LeadHistogram {
         if self.total == 0 {
             return 0.0;
         }
-        let covered: u64 = (Self::bucket(min_lead)..6)
-            .map(|i| self.buckets[i])
-            .sum();
+        let covered: u64 = (Self::bucket(min_lead)..6).map(|i| self.buckets[i]).sum();
         covered as f64 / self.total as f64
     }
 

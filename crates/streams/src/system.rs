@@ -90,7 +90,11 @@ impl StreamSystem {
             Allocation::MinDelta {
                 entries,
                 max_stride_words,
-            } => (None, None, Some(MinDeltaDetector::new(entries, max_stride_words))),
+            } => (
+                None,
+                None,
+                Some(MinDeltaDetector::new(entries, max_stride_words)),
+            ),
         };
         StreamSystem {
             config,
@@ -260,7 +264,10 @@ impl StreamSystem {
     pub fn snapshot(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
-        let _ = writeln!(out, "buffer  active  stride      head block  queued  run hits");
+        let _ = writeln!(
+            out,
+            "buffer  active  stride      head block  queued  run hits"
+        );
         for (i, b) in self.buffers.iter().enumerate() {
             let head = b
                 .head_block()
@@ -306,7 +313,11 @@ mod tests {
         let mut sys = basic(1);
         assert_eq!(sys.on_l1_miss(Addr::new(0)), StreamOutcome::MissAllocated);
         for i in 1..20u64 {
-            assert_eq!(sys.on_l1_miss(Addr::new(i * 32)), StreamOutcome::Hit, "i={i}");
+            assert_eq!(
+                sys.on_l1_miss(Addr::new(i * 32)),
+                StreamOutcome::Hit,
+                "i={i}"
+            );
         }
         sys.finalize();
         let stats = sys.stats();
@@ -509,7 +520,10 @@ mod tests {
         let measured = stats.extra_bandwidth();
         let formula = stats.extra_bandwidth_paper_formula(2);
         assert!((measured - formula).abs() < 1e-12);
-        assert!((measured - 2.0).abs() < 1e-12, "2 useless prefetches per miss");
+        assert!(
+            (measured - 2.0).abs() < 1e-12,
+            "2 useless prefetches per miss"
+        );
     }
 
     #[test]

@@ -1,48 +1,52 @@
 //! Property-based tests for the stride-detection filters and the stream
-//! system's allocation policies.
+//! system's allocation policies, on the in-tree `streamsim-quickcheck`
+//! harness.
 
-use proptest::prelude::*;
+use streamsim_prng::quickcheck::{check_with, Gen};
+use streamsim_prng::Rng;
 
 use streamsim_streams::{Allocation, CzoneFilter, MinDeltaDetector, StreamConfig, StreamSystem};
 use streamsim_trace::{Addr, WordAddr};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Three consecutive constant-stride references within one partition
-    /// always trigger detection with exactly that stride, for any base,
-    /// stride and czone large enough to contain them.
-    #[test]
-    fn czone_detects_any_clean_constant_stride(
-        base in 0u64..1 << 40,
-        stride in prop_oneof![1i64..1 << 20, -(1i64 << 20)..-1],
-        czone_bits in 24u32..40,
-    ) {
+/// Three consecutive constant-stride references within one partition
+/// always trigger detection with exactly that stride, for any base,
+/// stride and czone large enough to contain them.
+#[test]
+fn czone_detects_any_clean_constant_stride() {
+    check_with("czone_detects_any_clean_constant_stride", 128, |g| {
+        let base = g.gen_range(0u64..1 << 40);
+        let stride = if g.gen_bool(0.5) {
+            g.gen_range(1i64..1 << 20)
+        } else {
+            g.gen_range(-(1i64 << 20)..-1)
+        };
+        let czone_bits = g.gen_range(24u32..40);
         // Keep all three references in one partition: align the base so
         // base, base+s, base+2s share their high bits.
         let span = stride.unsigned_abs() * 2 + 1;
-        prop_assume!(span < (1u64 << czone_bits) / 2);
+        g.assume(span < (1u64 << czone_bits) / 2);
         let partition = base >> czone_bits << czone_bits;
         let start = partition + (1 << (czone_bits - 1)); // middle of czone
         let mut filter = CzoneFilter::new(8, czone_bits);
         let w = |i: i64| WordAddr::from_index(start.wrapping_add_signed(i * stride));
-        prop_assert_eq!(filter.lookup(w(0)), None);
-        prop_assert_eq!(filter.lookup(w(1)), None);
-        prop_assert_eq!(filter.lookup(w(2)), Some(stride));
-    }
+        assert_eq!(filter.lookup(w(0)), None);
+        assert_eq!(filter.lookup(w(1)), None);
+        assert_eq!(filter.lookup(w(2)), Some(stride));
+    });
+}
 
-    /// Detection in one partition is unaffected by arbitrary traffic in
-    /// other partitions (as long as the filter has capacity).
-    #[test]
-    fn czone_partitions_are_independent(
-        noise in proptest::collection::vec(0u64..1 << 20, 0..6),
-    ) {
+/// Detection in one partition is unaffected by arbitrary traffic in
+/// other partitions (as long as the filter has capacity).
+#[test]
+fn czone_partitions_are_independent() {
+    check_with("czone_partitions_are_independent", 128, |g| {
+        let noise = g.vec(0usize..6, |g| g.gen_range(0u64..1 << 20));
         let czone_bits = 16u32;
         let mut filter = CzoneFilter::new(16, czone_bits);
         // The victim stream lives in partition 40.
         let base = 40u64 << czone_bits;
         let stride = 100i64;
-        let mut refs = vec![base, base + 100, base + 200];
+        let refs = [base, base + 100, base + 200];
         // Interleave noise from partitions 0..15 (never 40).
         let mut sequence = Vec::new();
         for (i, &r) in refs.iter().enumerate() {
@@ -59,17 +63,17 @@ proptest! {
                 }
             }
         }
-        prop_assert_eq!(detected, Some(stride));
-        refs.clear();
-    }
+        assert_eq!(detected, Some(stride));
+    });
+}
 
-    /// The min-delta detector's reported stride is always the smallest
-    /// nonzero distance to a remembered address, within its bound.
-    #[test]
-    fn min_delta_reports_the_minimum(
-        history in proptest::collection::vec(0u64..1 << 24, 1..12),
-        probe in 0u64..1 << 24,
-    ) {
+/// The min-delta detector's reported stride is always the smallest
+/// nonzero distance to a remembered address, within its bound.
+#[test]
+fn min_delta_reports_the_minimum() {
+    check_with("min_delta_reports_the_minimum", 128, |g| {
+        let history = g.vec(1usize..12, |g| g.gen_range(0u64..1 << 24));
+        let probe = g.gen_range(0u64..1 << 24);
         let bound = 1i64 << 22;
         let mut d = MinDeltaDetector::new(16, bound);
         for &h in &history {
@@ -81,63 +85,64 @@ proptest! {
             .map(|&h| probe.wrapping_sub(h) as i64)
             .filter(|&x| x != 0 && x.unsigned_abs() <= bound.unsigned_abs())
             .min_by_key(|x| x.unsigned_abs());
-        prop_assert_eq!(got, expected);
-    }
+        assert_eq!(got, expected);
+    });
+}
 
-    /// Whatever the allocation policy, hit counts and filter counters are
-    /// internally consistent: every hit consumed a prefetch, every
-    /// filtered miss was declined by a filter lookup.
-    #[test]
-    fn policy_counters_are_consistent(
-        misses in proptest::collection::vec(0u64..1 << 24, 1..300),
-        policy in 0u8..3,
-    ) {
-        let allocation = match policy {
-            0 => Allocation::OnMiss,
-            1 => Allocation::UnitFilter { entries: 8 },
-            _ => Allocation::UnitAndStrideFilters {
+/// Whatever the allocation policy, hit counts and filter counters are
+/// internally consistent: every hit consumed a prefetch, every filtered
+/// miss was declined by a filter lookup.
+#[test]
+fn policy_counters_are_consistent() {
+    check_with("policy_counters_are_consistent", 128, |g| {
+        let misses = g.vec(1usize..300, |g| g.gen_range(0u64..1 << 24));
+        let allocation = g.pick(&[
+            Allocation::OnMiss,
+            Allocation::UnitFilter { entries: 8 },
+            Allocation::UnitAndStrideFilters {
                 unit_entries: 8,
                 stride_entries: 8,
                 czone_bits: 14,
             },
-        };
+        ]);
         let mut sys = StreamSystem::new(StreamConfig::new(6, 2, allocation).unwrap());
         for &m in &misses {
             sys.on_l1_miss(Addr::new(m * 8));
         }
         sys.finalize();
         let stats = sys.stats();
-        prop_assert!(stats.prefetch_accounting_balances());
+        assert!(stats.prefetch_accounting_balances());
         match allocation {
             Allocation::OnMiss => {
-                prop_assert_eq!(stats.allocations, stats.misses());
+                assert_eq!(stats.allocations, stats.misses());
             }
             Allocation::UnitFilter { .. } => {
-                prop_assert_eq!(stats.unit_filter.lookups, stats.misses());
-                prop_assert_eq!(stats.allocations, stats.unit_filter.allocations);
+                assert_eq!(stats.unit_filter.lookups, stats.misses());
+                assert_eq!(stats.allocations, stats.unit_filter.allocations);
             }
             _ => {
-                prop_assert_eq!(stats.unit_filter.lookups, stats.misses());
+                assert_eq!(stats.unit_filter.lookups, stats.misses());
                 // czone sees exactly the unit-filter misses.
-                prop_assert_eq!(
+                assert_eq!(
                     stats.stride_filter.lookups,
                     stats.misses() - stats.unit_filter.allocations
                 );
-                prop_assert_eq!(
+                assert_eq!(
                     stats.allocations,
                     stats.unit_filter.allocations + stats.stride_filter.allocations
                 );
             }
         }
-    }
+    });
+}
 
-    /// A strided stream with random one-off interruptions still gets
-    /// detected and supplies hits (robustness of the czone FSM).
-    #[test]
-    fn czone_survives_sparse_interruptions(
-        stride_blocks in 2u64..256,
-        interrupt_every in 5u64..20,
-    ) {
+/// A strided stream with random one-off interruptions still gets
+/// detected and supplies hits (robustness of the czone FSM).
+#[test]
+fn czone_survives_sparse_interruptions() {
+    check_with("czone_survives_sparse_interruptions", 128, |g| {
+        let stride_blocks = g.gen_range(2u64..256);
+        let interrupt_every = g.gen_range(5u64..20);
         let stride = stride_blocks * 32; // bytes, multiple of a block
         let mut sys = StreamSystem::new(StreamConfig::paper_strided(10, 20).unwrap());
         let mut hits = 0u64;
@@ -150,6 +155,6 @@ proptest! {
                 hits += 1;
             }
         }
-        prop_assert!(hits > 150, "hits = {hits}");
-    }
+        assert!(hits > 150, "hits = {hits}");
+    });
 }

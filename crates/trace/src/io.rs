@@ -116,7 +116,10 @@ pub fn read_trace<R: Read>(mut reader: R) -> io::Result<Vec<Access>> {
     reader.read_exact(&mut count)?;
     let count = u64::from_le_bytes(count);
     let mut trace = Vec::with_capacity(usize::try_from(count).map_err(|_| {
-        io::Error::new(io::ErrorKind::InvalidData, "trace too large for this platform")
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            "trace too large for this platform",
+        )
     })?);
     let mut word = [0u8; 8];
     for _ in 0..count {
@@ -220,7 +223,10 @@ pub fn read_trace_compressed<R: Read>(mut reader: R) -> io::Result<Vec<Access>> 
     reader.read_exact(&mut count)?;
     let count = u64::from_le_bytes(count);
     let mut trace = Vec::with_capacity(usize::try_from(count).map_err(|_| {
-        io::Error::new(io::ErrorKind::InvalidData, "trace too large for this platform")
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            "trace too large for this platform",
+        )
     })?);
     let mut last = [0u64; 3];
     for _ in 0..count {
@@ -326,7 +332,10 @@ mod tests {
     fn compressed_roundtrip_empty() {
         let mut buf = Vec::new();
         write_trace_compressed(&mut buf, &[]).unwrap();
-        assert_eq!(read_trace_compressed(&buf[..]).unwrap(), Vec::<Access>::new());
+        assert_eq!(
+            read_trace_compressed(&buf[..]).unwrap(),
+            Vec::<Access>::new()
+        );
     }
 
     #[test]

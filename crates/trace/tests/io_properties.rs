@@ -1,90 +1,87 @@
-//! Property-based tests for the trace formats and the time sampler.
+//! Property-based tests for the trace formats and the time sampler,
+//! on the in-tree `streamsim-quickcheck` harness.
 
-use proptest::prelude::*;
+use streamsim_prng::quickcheck::{check, Gen};
+use streamsim_prng::Rng;
 
-use streamsim_trace::io::{
-    read_trace, read_trace_compressed, write_trace, write_trace_compressed,
-};
+use streamsim_trace::io::{read_trace, read_trace_compressed, write_trace, write_trace_compressed};
 use streamsim_trace::{Access, AccessKind, Addr, TimeSampler};
 
-fn arbitrary_trace(max_len: usize) -> impl Strategy<Value = Vec<Access>> {
-    proptest::collection::vec(
-        (
-            0u64..(1u64 << 62),
-            prop_oneof![
-                Just(AccessKind::Load),
-                Just(AccessKind::Store),
-                Just(AccessKind::IFetch)
-            ],
-        ),
-        0..max_len,
-    )
-    .prop_map(|v| {
-        v.into_iter()
-            .map(|(a, k)| Access::new(Addr::new(a), k))
-            .collect()
+fn arbitrary_trace(g: &mut Gen, max_len: usize) -> Vec<Access> {
+    g.vec(0..max_len, |g| {
+        let addr = g.gen_range(0u64..1 << 62);
+        let kind = g.pick(&[AccessKind::Load, AccessKind::Store, AccessKind::IFetch]);
+        Access::new(Addr::new(addr), kind)
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The raw format round-trips any trace with addresses below 2^62.
-    #[test]
-    fn raw_round_trips(trace in arbitrary_trace(200)) {
+/// The raw format round-trips any trace with addresses below 2^62.
+#[test]
+fn raw_round_trips() {
+    check("raw_round_trips", |g| {
+        let trace = arbitrary_trace(g, 200);
         let mut buf = Vec::new();
         write_trace(&mut buf, &trace).unwrap();
-        prop_assert_eq!(read_trace(&buf[..]).unwrap(), trace);
-    }
+        assert_eq!(read_trace(&buf[..]).unwrap(), trace);
+    });
+}
 
-    /// The compressed format round-trips any trace, including wild
-    /// deltas that need full-width varints.
-    #[test]
-    fn compressed_round_trips(trace in arbitrary_trace(200)) {
+/// The compressed format round-trips any trace, including wild deltas
+/// that need full-width varints.
+#[test]
+fn compressed_round_trips() {
+    check("compressed_round_trips", |g| {
+        let trace = arbitrary_trace(g, 200);
         let mut buf = Vec::new();
         write_trace_compressed(&mut buf, &trace).unwrap();
-        prop_assert_eq!(read_trace_compressed(&buf[..]).unwrap(), trace);
-    }
+        assert_eq!(read_trace_compressed(&buf[..]).unwrap(), trace);
+    });
+}
 
-    /// Compressed output is never catastrophically larger than raw: at
-    /// most 11 bytes per record (1 kind byte + a 10-byte varint) plus the
-    /// header.
-    #[test]
-    fn compressed_size_is_bounded(trace in arbitrary_trace(200)) {
+/// Compressed output is never catastrophically larger than raw: at most
+/// 11 bytes per record (1 kind byte + a 10-byte varint) plus the header.
+#[test]
+fn compressed_size_is_bounded() {
+    check("compressed_size_is_bounded", |g| {
+        let trace = arbitrary_trace(g, 200);
         let mut buf = Vec::new();
         write_trace_compressed(&mut buf, &trace).unwrap();
-        prop_assert!(buf.len() <= 16 + trace.len() * 11);
-    }
+        assert!(buf.len() <= 16 + trace.len() * 11);
+    });
+}
 
-    /// Truncating a compressed stream anywhere after the header yields an
-    /// error, never a silently short trace.
-    #[test]
-    fn truncation_is_detected(trace in arbitrary_trace(100), cut in 0usize..200) {
-        prop_assume!(!trace.is_empty());
+/// Truncating a compressed stream anywhere after the header yields an
+/// error, never a silently short trace.
+#[test]
+fn truncation_is_detected() {
+    check("truncation_is_detected", |g| {
+        let trace = arbitrary_trace(g, 100);
+        g.assume(!trace.is_empty());
+        let cut = g.gen_range(0usize..200);
         let mut buf = Vec::new();
         write_trace_compressed(&mut buf, &trace).unwrap();
         let cut = 16 + cut % (buf.len() - 16);
-        prop_assume!(cut < buf.len());
+        g.assume(cut < buf.len());
         buf.truncate(cut);
-        prop_assert!(read_trace_compressed(&buf[..]).is_err());
-    }
+        assert!(read_trace_compressed(&buf[..]).is_err());
+    });
+}
 
-    /// The sampler keeps exactly the references whose position falls in
-    /// an "on" window, in order.
-    #[test]
-    fn sampler_matches_reference_model(
-        trace in arbitrary_trace(150),
-        on in 1u64..20,
-        off in 0u64..20,
-    ) {
-        let sampled: Vec<Access> =
-            TimeSampler::new(trace.iter().copied(), on, off).collect();
+/// The sampler keeps exactly the references whose position falls in an
+/// "on" window, in order.
+#[test]
+fn sampler_matches_reference_model() {
+    check("sampler_matches_reference_model", |g| {
+        let trace = arbitrary_trace(g, 150);
+        let on = g.gen_range(1u64..20);
+        let off = g.gen_range(0u64..20);
+        let sampled: Vec<Access> = TimeSampler::new(trace.iter().copied(), on, off).collect();
         let expected: Vec<Access> = trace
             .iter()
             .enumerate()
             .filter(|(i, _)| (*i as u64) % (on + off) < on)
             .map(|(_, &a)| a)
             .collect();
-        prop_assert_eq!(sampled, expected);
-    }
+        assert_eq!(sampled, expected);
+    });
 }

@@ -69,12 +69,9 @@ impl Workload for RecordedTrace {
     }
 
     fn data_set_bytes(&self) -> u64 {
-        let (lo, hi) = self
-            .trace
-            .iter()
-            .fold((u64::MAX, 0u64), |(lo, hi), a| {
-                (lo.min(a.addr.raw()), hi.max(a.addr.raw()))
-            });
+        let (lo, hi) = self.trace.iter().fold((u64::MAX, 0u64), |(lo, hi), a| {
+            (lo.min(a.addr.raw()), hi.max(a.addr.raw()))
+        });
         hi.saturating_sub(lo)
     }
 
@@ -182,7 +179,11 @@ impl Workload for Interleaved {
     }
 
     fn generate(&self, sink: &mut dyn FnMut(Access)) {
-        let traces: Vec<Vec<Access>> = self.parts.iter().map(|p| crate::collect_trace(p.as_ref())).collect();
+        let traces: Vec<Vec<Access>> = self
+            .parts
+            .iter()
+            .map(|p| crate::collect_trace(p.as_ref()))
+            .collect();
         let mut cursors = vec![0usize; traces.len()];
         loop {
             let mut emitted = false;
@@ -258,16 +259,15 @@ mod tests {
             seed: 2,
         };
         let quantum = 50;
-        let mix = Interleaved::new(
-            "mix",
-            vec![Box::new(a.clone()), Box::new(b)],
-            quantum,
-        );
+        let mix = Interleaved::new("mix", vec![Box::new(a.clone()), Box::new(b)], quantum);
         let combined = collect_trace(&mix);
         let first_of_a = collect_trace(&a);
         // The first quantum must be exactly the start of workload A.
         assert_eq!(&combined[..quantum], &first_of_a[..quantum]);
-        assert_ne!(&combined[quantum..2 * quantum], &first_of_a[quantum..2 * quantum]);
+        assert_ne!(
+            &combined[quantum..2 * quantum],
+            &first_of_a[quantum..2 * quantum]
+        );
     }
 
     #[test]

@@ -6,8 +6,7 @@
 //! sweep must give a stream hit rate near 1, a uniform random gather near
 //! 0). The integration tests and several benches use them directly.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use streamsim_prng::{Rng, Xoshiro256StarStar};
 
 use streamsim_trace::{Access, Addr};
 
@@ -221,7 +220,7 @@ impl Workload for RandomGather {
         let mut mem = AddressSpace::new();
         let words = self.footprint / 8;
         let a = mem.array1(words, 8);
-        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(self.seed);
         let mut t = Tracer::new(sink, 1024, Tracer::DEFAULT_IFETCH_INTERVAL);
         for _ in 0..self.count {
             t.load(a.at(rng.gen_range(0..words)));
@@ -277,7 +276,7 @@ impl Workload for PointerChase {
         // Build a random cyclic permutation (Sattolo's algorithm) so the
         // chase visits every node before repeating.
         let mut order: Vec<u64> = (0..self.nodes).collect();
-        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(self.seed);
         let mut i = self.nodes as usize - 1;
         while i > 0 {
             let j = rng.gen_range(0..i);

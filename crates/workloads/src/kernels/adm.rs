@@ -9,8 +9,7 @@
 //! unfiltered bandwidth waste in Table 2 (150 %) — and it is the workload
 //! the unit-stride filter rescues most in bandwidth terms.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use streamsim_prng::{Rng, Xoshiro256StarStar};
 
 use streamsim_trace::Access;
 
@@ -67,9 +66,13 @@ impl Workload for Adm {
         let idx = mem.array1(self.cells, 4);
         let idx2 = mem.array1(self.cells, 4);
 
-        let mut rng = SmallRng::seed_from_u64(self.seed);
-        let gathers: Vec<u64> = (0..self.cells).map(|_| rng.gen_range(0..self.cells)).collect();
-        let scatters: Vec<u64> = (0..self.cells).map(|_| rng.gen_range(0..self.cells)).collect();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(self.seed);
+        let gathers: Vec<u64> = (0..self.cells)
+            .map(|_| rng.gen_range(0..self.cells))
+            .collect();
+        let scatters: Vec<u64> = (0..self.cells)
+            .map(|_| rng.gen_range(0..self.cells))
+            .collect();
 
         let mut t = Tracer::new(sink, 4096, Tracer::DEFAULT_IFETCH_INTERVAL);
         for _ in 0..self.steps {

@@ -8,8 +8,7 @@
 //! distribution in Table 3 (36 % of hits from runs of 1–5, 33 % from runs
 //! over 20).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use streamsim_prng::{Rng, Xoshiro256StarStar};
 
 use streamsim_trace::Access;
 
@@ -68,7 +67,7 @@ impl Workload for Bdna {
         let force = mem.array2(self.atoms, 3, 8);
         let list = mem.array1(self.atoms * self.neighbours, 4);
 
-        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(self.seed);
         let partners: Vec<u64> = (0..self.atoms * self.neighbours)
             .map(|p| {
                 let i = p / self.neighbours;

@@ -10,8 +10,7 @@
 //! 64 KB secondary cache suffices. The kernel reproduces both regimes via
 //! the `bandwidth` parameter (None = fully scattered columns).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use streamsim_prng::{Rng, Xoshiro256StarStar};
 
 use streamsim_trace::Access;
 
@@ -94,7 +93,7 @@ impl Workload for Cgm {
 
         // Deterministic sparsity pattern: nnz spread evenly over rows,
         // columns banded or scattered.
-        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(self.seed);
         let per_row = (self.nnz / self.rows).max(1);
         let mut columns = Vec::with_capacity((self.rows * per_row) as usize);
         for row in 0..self.rows {

@@ -7,8 +7,7 @@
 //! array indirections (scatter/gather)"), giving low Figure 3 hit rates
 //! and a short-run-heavy Table 3 row (50 % of hits from runs of 1–5).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use streamsim_prng::{Rng, Xoshiro256StarStar};
 
 use streamsim_trace::Access;
 
@@ -69,7 +68,7 @@ impl Workload for Dyfesm {
 
         // Unstructured mesh: elements touch loosely clustered nodes with
         // a long-range tail (renumbered mesh with fill).
-        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(self.seed);
         let nodes_of: Vec<u64> = (0..self.elements * self.nodes_per_elem)
             .map(|p| {
                 let e = p / self.nodes_per_elem;

@@ -8,8 +8,7 @@
 //! filter cuts its extra bandwidth from 48 % to 7 % at almost no hit-rate
 //! cost (Figure 5).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use streamsim_prng::{Rng, Xoshiro256StarStar};
 
 use streamsim_trace::Access;
 
@@ -64,8 +63,10 @@ impl Workload for Is {
         let rank = mem.array1(self.keys, 4);
         let count = mem.array1(self.max_key, 4);
 
-        let mut rng = SmallRng::seed_from_u64(self.seed);
-        let values: Vec<u64> = (0..self.keys).map(|_| rng.gen_range(0..self.max_key)).collect();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(self.seed);
+        let values: Vec<u64> = (0..self.keys)
+            .map(|_| rng.gen_range(0..self.max_key))
+            .collect();
 
         let mut t = Tracer::new(sink, 2048, Tracer::DEFAULT_IFETCH_INTERVAL);
         for _ in 0..self.iters {

@@ -7,8 +7,7 @@
 //! block. Misses are few and half-regular, putting mdg mid-pack among
 //! the PERFECT codes in Figure 3.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use streamsim_prng::{Rng, Xoshiro256StarStar};
 
 use streamsim_trace::Access;
 
@@ -63,16 +62,13 @@ impl Workload for Mdg {
         let force = mem.array2(n * 9, 1, 8);
         let pairs = mem.array1(n * (n - 1) / 2, 8);
 
-        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(self.seed);
         // The pair list comes from a spatial cell sort, so molecule
         // indices within it are *not* sequential: shuffle the pairs.
         let mut pair_order: Vec<(u64, u64)> = (0..n)
             .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
             .collect();
-        for idx in (1..pair_order.len()).rev() {
-            let other = rng.gen_range(0..=idx);
-            pair_order.swap(idx, other);
-        }
+        rng.shuffle(&mut pair_order);
         let mut t = Tracer::new(sink, 4096, Tracer::DEFAULT_IFETCH_INTERVAL);
         for _ in 0..self.steps {
             // Pairwise force loop: the pair list itself streams

@@ -67,33 +67,33 @@ impl Workload for Qcd {
             for half in 0..2u64 {
                 for pair in 0..sites / 2 {
                     let site = pair * 2 + ((pair + half) & 1);
-                for (mu, link) in links.iter().enumerate() {
-                    // The updated link: one 144-byte burst.
-                    for e in 0..MATRIX {
-                        t.load(link.at(e, site));
-                    }
-                    // Staple: neighbours in both directions of the
-                    // other dimensions.
-                    for (nu, other) in links.iter().enumerate() {
-                        if nu == mu {
-                            continue;
+                    for (mu, link) in links.iter().enumerate() {
+                        // The updated link: one 144-byte burst.
+                        for e in 0..MATRIX {
+                            t.load(link.at(e, site));
                         }
-                        let fwd = (site + strides[nu]) % sites;
-                        let bwd = (site + sites - strides[nu]) % sites;
-                        for e in [0u64, 5, 13] {
-                            t.load(other.at(e, fwd));
-                            t.load(other.at(e, bwd));
+                        // Staple: neighbours in both directions of the
+                        // other dimensions.
+                        for (nu, other) in links.iter().enumerate() {
+                            if nu == mu {
+                                continue;
+                            }
+                            let fwd = (site + strides[nu]) % sites;
+                            let bwd = (site + sites - strides[nu]) % sites;
+                            for e in [0u64, 5, 13] {
+                                t.load(other.at(e, fwd));
+                                t.load(other.at(e, bwd));
+                            }
+                        }
+                        // Local SU(3) algebra.
+                        for _ in 0..8 {
+                            sp = (sp + 1) % scratch.len();
+                            t.load(scratch.at(sp));
+                        }
+                        for e in 0..MATRIX {
+                            t.store(link.at(e, site));
                         }
                     }
-                    // Local SU(3) algebra.
-                    for _ in 0..8 {
-                        sp = (sp + 1) % scratch.len();
-                        t.load(scratch.at(sp));
-                    }
-                    for e in 0..MATRIX {
-                        t.store(link.at(e, site));
-                    }
-                }
                 }
             }
         }

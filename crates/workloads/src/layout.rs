@@ -249,9 +249,7 @@ impl Array4 {
     ///
     /// Panics in debug builds if an index is out of bounds.
     pub fn at(&self, i: u64, j: u64, k: u64, l: u64) -> Addr {
-        debug_assert!(
-            i < self.dims[0] && j < self.dims[1] && k < self.dims[2] && l < self.dims[3]
-        );
+        debug_assert!(i < self.dims[0] && j < self.dims[1] && k < self.dims[2] && l < self.dims[3]);
         let index = i + self.dims[0] * (j + self.dims[1] * (k + self.dims[2] * l));
         Addr::new(self.base.raw() + index * self.elem)
     }
@@ -335,7 +333,10 @@ mod tests {
     fn array4_indexing() {
         let mut mem = AddressSpace::new();
         let a = mem.array4(2, 3, 4, 5, 8);
-        assert_eq!(a.at(0, 0, 0, 1).raw() - a.at(0, 0, 0, 0).raw(), 2 * 3 * 4 * 8);
+        assert_eq!(
+            a.at(0, 0, 0, 1).raw() - a.at(0, 0, 0, 0).raw(),
+            2 * 3 * 4 * 8
+        );
         assert_eq!(a.bytes(), 2 * 3 * 4 * 5 * 8);
         assert_eq!(a.dims(), [2, 3, 4, 5]);
     }

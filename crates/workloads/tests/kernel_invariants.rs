@@ -87,6 +87,33 @@ fn all_kernels_are_deterministic() {
     }
 }
 
+/// Determinism regression at the byte level: the *serialized* reference
+/// stream of every kernel is identical across two independent
+/// generations. This is stronger than comparing `Vec<Access>` — it pins
+/// the full trace-encode pipeline, which is what experiments hash and
+/// cache on disk, so a PRNG or encoder change can never silently
+/// reshuffle a kernel's reference stream.
+#[test]
+fn all_kernels_emit_byte_identical_reference_streams() {
+    use streamsim_trace::io::write_trace_compressed;
+    for w in small_kernels() {
+        let encode = || {
+            let mut buf = Vec::new();
+            write_trace_compressed(&mut buf, &collect_trace(w.as_ref())).unwrap();
+            buf
+        };
+        let first = encode();
+        let second = encode();
+        assert_eq!(
+            first,
+            second,
+            "{}: serialized reference streams differ between runs",
+            w.name()
+        );
+        assert!(!first.is_empty(), "{}", w.name());
+    }
+}
+
 #[test]
 fn all_kernels_emit_all_reference_kinds() {
     for w in small_kernels() {
@@ -177,10 +204,6 @@ fn store_fractions_are_plausible() {
     for w in small_kernels() {
         let stats = TraceStats::from_trace(collect_trace(w.as_ref()));
         let f = stats.store_fraction();
-        assert!(
-            (0.01..0.8).contains(&f),
-            "{}: store fraction {f}",
-            w.name()
-        );
+        assert!((0.01..0.8).contains(&f), "{}: store fraction {f}", w.name());
     }
 }

@@ -33,18 +33,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let workload = benchmark(name).expect("known benchmark");
         let trace = record_miss_trace(workload.as_ref(), &RecordOptions::default())?;
 
-        let configs: Vec<(String, StreamConfig)> = std::iter::once((
-            "no filter".to_owned(),
-            StreamConfig::paper_basic(10)?,
-        ))
-        .chain([4usize, 16, 64].into_iter().map(|entries| {
-            (
-                format!("filter[{entries}]"),
-                StreamConfig::new(10, 2, Allocation::UnitFilter { entries })
-                    .expect("valid config"),
-            )
-        }))
-        .collect();
+        let configs: Vec<(String, StreamConfig)> =
+            std::iter::once(("no filter".to_owned(), StreamConfig::paper_basic(10)?))
+                .chain([4usize, 16, 64].into_iter().map(|entries| {
+                    (
+                        format!("filter[{entries}]"),
+                        StreamConfig::new(10, 2, Allocation::UnitFilter { entries })
+                            .expect("valid config"),
+                    )
+                }))
+                .collect();
 
         for (label, config) in configs {
             let stats = run_streams(&trace, config);

@@ -13,9 +13,7 @@
 //! ```
 
 use streamsim::report::{size, TextTable};
-use streamsim::{
-    record_miss_trace, run_l2, run_streams, CacheConfig, RecordOptions, StreamConfig,
-};
+use streamsim::{record_miss_trace, run_l2, run_streams, CacheConfig, RecordOptions, StreamConfig};
 use streamsim_workloads::kernels::Applu;
 use streamsim_workloads::Workload;
 
@@ -44,8 +42,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // capacity is the operative variable (see the table4 driver docs).
         let mut equivalent = None;
         let mut l2_hit = 0.0;
-        for capacity in [64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20]
-        {
+        for capacity in [
+            64 << 10,
+            128 << 10,
+            256 << 10,
+            512 << 10,
+            1 << 20,
+            2 << 20,
+            4 << 20,
+        ] {
             let mut best: f64 = 0.0;
             for assoc in [1, 2, 4] {
                 let cfg = CacheConfig::secondary(capacity, assoc, trace.l1_block())?;

@@ -14,8 +14,8 @@
 
 use streamsim::report::TextTable;
 use streamsim::{record_miss_trace, run_streams, RecordOptions, StreamConfig};
-use streamsim_workloads::combinators::Interleaved;
 use streamsim_workloads::benchmark;
+use streamsim_workloads::combinators::Interleaved;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = StreamConfig::paper_filtered(10)?;
@@ -34,15 +34,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         solo.push(stats);
     }
-    let weighted = (solo[0].hits + solo[1].hits) as f64
-        / (solo[0].lookups + solo[1].lookups) as f64;
+    let weighted =
+        (solo[0].hits + solo[1].hits) as f64 / (solo[0].lookups + solo[1].lookups) as f64;
     println!("miss-weighted solo hit rate: {:.1}%\n", weighted * 100.0);
 
-    let mut table = TextTable::new(vec![
-        "quantum (refs)",
-        "hit %",
-        "penalty vs solo",
-    ]);
+    let mut table = TextTable::new(vec!["quantum (refs)", "hit %", "penalty vs solo"]);
     for quantum in [500usize, 5_000, 50_000, 500_000] {
         let mix = Interleaved::new(
             "mgrid+adm",

@@ -18,7 +18,11 @@ use streamsim_workloads::benchmark;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let workload = benchmark("fftpde").expect("known benchmark");
-    println!("workload: {} — {}\n", workload.name(), workload.description());
+    println!(
+        "workload: {} — {}\n",
+        workload.name(),
+        workload.description()
+    );
 
     let trace = record_miss_trace(workload.as_ref(), &RecordOptions::default())?;
     println!(

@@ -12,8 +12,8 @@
 //! ```
 
 use streamsim::{
-    benchmark, collect_trace, record_miss_trace, run_streams, Access, RecordOptions,
-    StreamConfig, TimeSampler,
+    benchmark, collect_trace, record_miss_trace, run_streams, Access, RecordOptions, StreamConfig,
+    TimeSampler,
 };
 use streamsim_trace::io::{read_trace_compressed, write_trace_compressed};
 use streamsim_workloads::combinators::RecordedTrace;
@@ -22,8 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Generate and time-sample, as the paper did (10k on / 90k off).
     let workload = benchmark("applu").expect("known benchmark");
     let full: Vec<Access> = collect_trace(workload.as_ref());
-    let sampled: Vec<Access> =
-        TimeSampler::paper_default(full.iter().copied()).collect();
+    let sampled: Vec<Access> = TimeSampler::paper_default(full.iter().copied()).collect();
     println!(
         "generated {} references, paper sampling kept {} ({:.1}%)",
         full.len(),
@@ -56,7 +55,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nreplaying {} primary-cache misses:", miss_trace.fetches());
     for (label, config) in [
         ("10 streams, unfiltered", StreamConfig::paper_basic(10)?),
-        ("10 streams + unit filter", StreamConfig::paper_filtered(10)?),
+        (
+            "10 streams + unit filter",
+            StreamConfig::paper_filtered(10)?,
+        ),
     ] {
         let stats = run_streams(&miss_trace, config);
         println!(

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate.
+#
+# Runs everything the repository promises in ROADMAP.md, fully offline:
+# no step may reach a network, and `--offline` turns an accidental
+# dependency on crates.io into a hard error instead of a hidden fetch.
+# The workspace has zero external dependencies by policy (see
+# DESIGN.md, "Hermetic builds"); scripts/ci.sh is the executable form
+# of that policy.
+#
+# Usage: scripts/ci.sh [--workspace]
+#
+#   default       the tier-1 gate: build + root-package tests
+#   --workspace   additionally run every member crate's test suite
+#                 (slower; what CI runs nightly)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+test_scope=()
+if [[ "${1:-}" == "--workspace" ]]; then
+    test_scope=(--workspace)
+fi
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test -q --offline ${test_scope[*]:-}"
+cargo test -q --offline "${test_scope[@]}"
+
+echo "==> tier-1 gate passed"

@@ -112,7 +112,11 @@ fn main() -> ExitCode {
     report.push_str(&format!(
         "streamsim report — Palacharla & Kessler, ISCA 1994 (scale: {:?}, sampling: {})\n\n",
         options.scale,
-        if options.sampling.is_some() { "paper 10%" } else { "off" },
+        if options.sampling.is_some() {
+            "paper 10%"
+        } else {
+            "off"
+        },
     ));
     for name in &selected {
         let start = Instant::now();

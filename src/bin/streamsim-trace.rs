@@ -99,7 +99,12 @@ fn cmd_replay(path: &str, streams: usize) -> ExitCode {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.iter().map(String::as_str).collect::<Vec<_>>().as_slice() {
+    match args
+        .iter()
+        .map(String::as_str)
+        .collect::<Vec<_>>()
+        .as_slice()
+    {
         ["gen", name, path] => cmd_gen(name, path),
         ["info", path] => cmd_info(path),
         ["replay", path] => cmd_replay(path, 10),

@@ -77,11 +77,8 @@ fn paper_time_sampling_preserves_hit_rate_roughly() {
         elem: 8,
     };
     let full = record_miss_trace(&workload, &RecordOptions::default()).unwrap();
-    let sampled = record_miss_trace(
-        &workload,
-        &RecordOptions::default().with_paper_sampling(),
-    )
-    .unwrap();
+    let sampled =
+        record_miss_trace(&workload, &RecordOptions::default().with_paper_sampling()).unwrap();
     assert!(sampled.fetches() < full.fetches() / 5);
     let hit_full = run_streams(&full, StreamConfig::paper_basic(10).unwrap()).hit_rate();
     let hit_sampled = run_streams(&sampled, StreamConfig::paper_basic(10).unwrap()).hit_rate();
@@ -137,7 +134,7 @@ fn sampler_wrapping_matches_generated_subset() {
 
 #[test]
 fn victim_cache_recovers_direct_mapped_ping_pong() {
-    use streamsim::{AccessOutcome, AccessKind, Addr, SetAssocCache, VictimCache};
+    use streamsim::{AccessKind, AccessOutcome, Addr, SetAssocCache, VictimCache};
     use streamsim_cache::VictimOutcome;
 
     // Two blocks that collide in a direct-mapped cache ping-pong; the

@@ -3,9 +3,11 @@
 //! These check invariants that must hold for *any* reference stream, not
 //! just the benchmark kernels: prefetch-disposition conservation, hit
 //! and bandwidth bounds, filter monotonicity, cache sanity and set-
-//! sampling unbiasedness.
+//! sampling unbiasedness. They run on the in-tree `streamsim-quickcheck`
+//! harness (see `streamsim_prng::quickcheck` for the replay workflow).
 
-use proptest::prelude::*;
+use streamsim_prng::quickcheck::{check, Gen};
+use streamsim_prng::Rng;
 
 use streamsim::{
     Access, AccessKind, Addr, Allocation, BlockSize, CacheConfig, Replacement, SetAssocCache,
@@ -13,74 +15,67 @@ use streamsim::{
 };
 use streamsim_cache::SetSampling;
 
-/// Strategy: an arbitrary short reference stream over a modest footprint,
-/// mixing loads and stores.
-fn access_stream(max_len: usize) -> impl Strategy<Value = Vec<Access>> {
-    proptest::collection::vec(
-        (0u64..1 << 22, prop_oneof![Just(AccessKind::Load), Just(AccessKind::Store)]),
-        1..max_len,
-    )
-    .prop_map(|v| {
-        v.into_iter()
-            .map(|(raw, kind)| Access::new(Addr::new(raw), kind))
-            .collect()
+/// An arbitrary short reference stream over a modest footprint, mixing
+/// loads and stores.
+fn access_stream(g: &mut Gen, max_len: usize) -> Vec<Access> {
+    g.vec(1..max_len, |g| {
+        let raw = g.gen_range(0u64..1 << 22);
+        let kind = g.pick(&[AccessKind::Load, AccessKind::Store]);
+        Access::new(Addr::new(raw), kind)
     })
 }
 
-/// Strategy: a miss-address stream (block-aligned-ish raw addresses).
-fn miss_stream(max_len: usize) -> impl Strategy<Value = Vec<Addr>> {
-    proptest::collection::vec(0u64..1 << 22, 1..max_len)
-        .prop_map(|v| v.into_iter().map(Addr::new).collect())
+/// A miss-address stream (block-aligned-ish raw addresses).
+fn miss_stream(g: &mut Gen, max_len: usize) -> Vec<Addr> {
+    g.vec(1..max_len, |g| Addr::new(g.gen_range(0u64..1 << 22)))
 }
 
-fn stream_configs() -> impl Strategy<Value = StreamConfig> {
-    (1usize..8, 1usize..5, 0u8..4).prop_map(|(streams, depth, policy)| {
-        let allocation = match policy {
-            0 => Allocation::OnMiss,
-            1 => Allocation::UnitFilter { entries: 8 },
-            2 => Allocation::UnitAndStrideFilters {
-                unit_entries: 8,
-                stride_entries: 8,
-                czone_bits: 14,
-            },
-            _ => Allocation::MinDelta {
-                entries: 8,
-                max_stride_words: 1 << 16,
-            },
-        };
-        StreamConfig::new(streams, depth, allocation).expect("generated config is valid")
-    })
+fn stream_config(g: &mut Gen) -> StreamConfig {
+    let streams = g.gen_range(1usize..8);
+    let depth = g.gen_range(1usize..5);
+    let allocation = g.pick(&[
+        Allocation::OnMiss,
+        Allocation::UnitFilter { entries: 8 },
+        Allocation::UnitAndStrideFilters {
+            unit_entries: 8,
+            stride_entries: 8,
+            czone_bits: 14,
+        },
+        Allocation::MinDelta {
+            entries: 8,
+            max_stride_words: 1 << 16,
+        },
+    ]);
+    StreamConfig::new(streams, depth, allocation).expect("generated config is valid")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every prefetch ends in exactly one disposition, whatever the
-    /// stream configuration and miss stream.
-    #[test]
-    fn prefetch_accounting_always_balances(
-        misses in miss_stream(400),
-        config in stream_configs(),
-    ) {
+/// Every prefetch ends in exactly one disposition, whatever the stream
+/// configuration and miss stream.
+#[test]
+fn prefetch_accounting_always_balances() {
+    check("prefetch_accounting_always_balances", |g| {
+        let misses = miss_stream(g, 400);
+        let config = stream_config(g);
         let mut sys = StreamSystem::new(config);
         for &m in &misses {
             sys.on_l1_miss(m);
         }
         sys.finalize();
         let stats = sys.stats();
-        prop_assert!(stats.prefetch_accounting_balances(), "{stats:?}");
-        prop_assert_eq!(stats.lookups, misses.len() as u64);
-        prop_assert!(stats.hits <= stats.lookups);
-        prop_assert!(stats.prefetches_used == stats.hits);
-    }
+        assert!(stats.prefetch_accounting_balances(), "{stats:?}");
+        assert_eq!(stats.lookups, misses.len() as u64);
+        assert!(stats.hits <= stats.lookups);
+        assert!(stats.prefetches_used == stats.hits);
+    });
+}
 
-    /// Extra bandwidth can never exceed depth × allocation rate, and the
-    /// paper's closed-form is an upper bound on the measurement.
-    #[test]
-    fn eb_is_bounded_by_the_paper_formula(
-        misses in miss_stream(400),
-        config in stream_configs(),
-    ) {
+/// Extra bandwidth can never exceed depth × allocation rate, and the
+/// paper's closed-form is an upper bound on the measurement.
+#[test]
+fn eb_is_bounded_by_the_paper_formula() {
+    check("eb_is_bounded_by_the_paper_formula", |g| {
+        let misses = miss_stream(g, 400);
+        let config = stream_config(g);
         let mut sys = StreamSystem::new(config);
         for &m in &misses {
             sys.on_l1_miss(m);
@@ -88,21 +83,22 @@ proptest! {
         sys.finalize();
         let stats = sys.stats();
         let formula = stats.extra_bandwidth_paper_formula(config.depth());
-        prop_assert!(
+        assert!(
             stats.extra_bandwidth() <= formula + 1e-9,
             "measured {} > formula {}",
             stats.extra_bandwidth(),
             formula
         );
-    }
+    });
+}
 
-    /// Replaying the same stream twice gives identical statistics
-    /// (simulators are deterministic).
-    #[test]
-    fn stream_system_is_deterministic(
-        misses in miss_stream(300),
-        config in stream_configs(),
-    ) {
+/// Replaying the same stream twice gives identical statistics
+/// (simulators are deterministic).
+#[test]
+fn stream_system_is_deterministic() {
+    check("stream_system_is_deterministic", |g| {
+        let misses = miss_stream(g, 300);
+        let config = stream_config(g);
         let run = || {
             let mut sys = StreamSystem::new(config);
             for &m in &misses {
@@ -111,13 +107,16 @@ proptest! {
             sys.finalize();
             sys.stats()
         };
-        prop_assert_eq!(run(), run());
-    }
+        assert_eq!(run(), run());
+    });
+}
 
-    /// The unit filter can only reduce allocations (and hence issued
-    /// prefetches) relative to allocate-on-miss.
-    #[test]
-    fn filter_never_increases_traffic(misses in miss_stream(400)) {
+/// The unit filter can only reduce allocations (and hence issued
+/// prefetches) relative to allocate-on-miss.
+#[test]
+fn filter_never_increases_traffic() {
+    check("filter_never_increases_traffic", |g| {
+        let misses = miss_stream(g, 400);
         let run = |config: StreamConfig| {
             let mut sys = StreamSystem::new(config);
             for &m in &misses {
@@ -128,15 +127,18 @@ proptest! {
         };
         let plain = run(StreamConfig::new(4, 2, Allocation::OnMiss).unwrap());
         let filtered = run(StreamConfig::new(4, 2, Allocation::UnitFilter { entries: 8 }).unwrap());
-        prop_assert!(filtered.allocations <= plain.allocations);
-        prop_assert!(filtered.prefetches_issued <= plain.prefetches_issued);
-    }
+        assert!(filtered.allocations <= plain.allocations);
+        assert!(filtered.prefetches_issued <= plain.prefetches_issued);
+    });
+}
 
-    /// Cache misses are at least the number of distinct blocks touched
-    /// (cold misses) and at most the total accesses; a second identical
-    /// pass on a cache bigger than the footprint hits everything.
-    #[test]
-    fn cache_miss_bounds(stream in access_stream(300)) {
+/// Cache misses are at least the number of distinct blocks touched
+/// (cold misses) and at most the total accesses; a second identical
+/// pass on a cache bigger than the footprint hits everything.
+#[test]
+fn cache_miss_bounds() {
+    check("cache_miss_bounds", |g| {
+        let stream = access_stream(g, 300);
         let block = BlockSize::new(32).unwrap();
         let cfg = CacheConfig::new(1 << 22, 4, block)
             .unwrap()
@@ -150,8 +152,8 @@ proptest! {
             cache.access(a.addr, a.kind);
         }
         let first_pass = *cache.stats();
-        prop_assert!(first_pass.misses() >= blocks.len() as u64 || cfg.num_sets() == 0);
-        prop_assert!(first_pass.misses() <= first_pass.accesses());
+        assert!(first_pass.misses() >= blocks.len() as u64 || cfg.num_sets() == 0);
+        assert!(first_pass.misses() <= first_pass.accesses());
 
         // 4 MB 4-way over a ≤4 MB footprint: capacity misses impossible;
         // with LRU and this working set every block survives, so a second
@@ -160,14 +162,17 @@ proptest! {
         for &a in &stream {
             cache.access(a.addr, a.kind);
         }
-        prop_assert_eq!(cache.stats().misses(), 0);
-    }
+        assert_eq!(cache.stats().misses(), 0);
+    });
+}
 
-    /// Set sampling never sees a different hit/miss outcome for the
-    /// references it does simulate: its miss count equals the full
-    /// cache's misses restricted to the sampled sets.
-    #[test]
-    fn set_sampling_is_exact_per_set(stream in access_stream(300)) {
+/// Set sampling never sees a different hit/miss outcome for the
+/// references it does simulate: its miss count equals the full cache's
+/// misses restricted to the sampled sets.
+#[test]
+fn set_sampling_is_exact_per_set() {
+    check("set_sampling_is_exact_per_set", |g| {
+        let stream = access_stream(g, 300);
         let block = BlockSize::new(32).unwrap();
         let cfg = CacheConfig::new(64 << 10, 2, block).unwrap();
         let mut full = SetAssocCache::new(cfg).unwrap();
@@ -188,18 +193,19 @@ proptest! {
             }
             sampled.access(a.addr, a.kind);
         }
-        prop_assert_eq!(sampled.stats().accesses(), full_sampled_accesses);
-        prop_assert_eq!(sampled.stats().misses(), full_sampled_misses);
-    }
+        assert_eq!(sampled.stats().accesses(), full_sampled_accesses);
+        assert_eq!(sampled.stats().misses(), full_sampled_misses);
+    });
+}
 
-    /// Unified streams presented with a pure unit-stride run always hit
-    /// after the first miss, for any number of buffers and depth.
-    #[test]
-    fn unit_run_hits_after_first_miss(
-        base in 0u64..1 << 30,
-        len in 2u64..200,
-        buffers in 1usize..8,
-    ) {
+/// Unified streams presented with a pure unit-stride run always hit
+/// after the first miss, for any number of buffers and depth.
+#[test]
+fn unit_run_hits_after_first_miss() {
+    check("unit_run_hits_after_first_miss", |g| {
+        let base = g.gen_range(0u64..1 << 30);
+        let len = g.gen_range(2u64..200);
+        let buffers = g.gen_range(1usize..8);
         let mut sys = StreamSystem::new(StreamConfig::paper_basic(buffers).unwrap());
         let mut hits = 0;
         for i in 0..len {
@@ -207,12 +213,15 @@ proptest! {
                 hits += 1;
             }
         }
-        prop_assert_eq!(hits, len - 1);
-    }
+        assert_eq!(hits, len - 1);
+    });
+}
 
-    /// Writeback invalidation is conservative: it never *creates* hits.
-    #[test]
-    fn invalidation_only_removes_hits(misses in miss_stream(200)) {
+/// Writeback invalidation is conservative: it never *creates* hits.
+#[test]
+fn invalidation_only_removes_hits() {
+    check("invalidation_only_removes_hits", |g| {
+        let misses = miss_stream(g, 200);
         let block = BlockSize::default();
         let run = |invalidate: bool| {
             let mut sys = StreamSystem::new(StreamConfig::paper_basic(4).unwrap());
@@ -227,6 +236,6 @@ proptest! {
         };
         let clean = run(false);
         let invalidated = run(true);
-        prop_assert!(invalidated.hits <= clean.hits);
-    }
+        assert!(invalidated.hits <= clean.hits);
+    });
 }

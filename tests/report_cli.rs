@@ -12,8 +12,19 @@ fn list_prints_all_experiments() {
     assert!(out.status.success());
     let text = String::from_utf8(out.stdout).unwrap();
     for name in [
-        "table1", "table2", "table3", "table4", "fig3", "fig5", "fig8", "fig9", "ablations",
-        "baselines", "latency", "traffic", "multiprogramming",
+        "table1",
+        "table2",
+        "table3",
+        "table4",
+        "fig3",
+        "fig5",
+        "fig8",
+        "fig9",
+        "ablations",
+        "baselines",
+        "latency",
+        "traffic",
+        "multiprogramming",
     ] {
         assert!(text.contains(name), "missing {name} in {text}");
     }
