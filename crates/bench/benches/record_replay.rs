@@ -1,0 +1,89 @@
+//! Timing: the record-once/replay-many engine against the per-cell path.
+//!
+//! All three sides compute the quick-scale Figure 3 sweep (15
+//! benchmarks × 10 stream counts), on a subset of the benchmarks so the
+//! per-cell side finishes in reasonable time:
+//!
+//! * **per_cell** — the naive shape: every (benchmark, stream-count)
+//!   cell records its own miss trace and runs its own pass, so each L1
+//!   is simulated ten times;
+//! * **shared_trace_per_config** — the pre-engine driver shape: record
+//!   each benchmark's trace once, then run one full pass over it per
+//!   stream count;
+//! * **record_once_replay_many** — the current engine: traces come from
+//!   a shared [`TraceStore`] and all 10 configurations ride one replay
+//!   pass per trace.
+//!
+//! The timing harness prints the median for each side in its JSON line;
+//! the engine must beat the per-cell baseline by roughly the number of
+//! configurations, since recording the L1 dominates the sweep.
+//!
+//! [`TraceStore`]: streamsim_core::TraceStore
+
+use streamsim_bench::timing;
+use streamsim_core::experiments::fig3::STREAM_COUNTS;
+use streamsim_core::experiments::{workload_set, ExperimentOptions, Scale};
+use streamsim_core::{record_miss_trace, replay_streams, run_streams, TraceStore};
+use streamsim_streams::StreamConfig;
+use streamsim_workloads::Workload;
+
+/// A stream-heavy subset of the Table 1 benchmarks: enough to exercise
+/// both the recorder and the replay engine without making the per-cell
+/// baseline take minutes.
+const BENCHMARKS: [&str; 5] = ["embar", "mgrid", "fftpde", "appsp", "adm"];
+
+fn workloads() -> Vec<Box<dyn Workload>> {
+    workload_set(Scale::Quick)
+        .into_iter()
+        .filter(|w| BENCHMARKS.contains(&w.name()))
+        .collect()
+}
+
+fn main() {
+    let options = ExperimentOptions::quick();
+    let record = options.record_options();
+    let configs: Vec<StreamConfig> = STREAM_COUNTS
+        .iter()
+        .map(|&n| StreamConfig::paper_basic(n).expect("valid"))
+        .collect();
+
+    let mut group = timing::group("fig3_sweep");
+    group.sample_size(5);
+
+    group.bench_function("per_cell", || {
+        let mut total_hits = 0u64;
+        for w in workloads() {
+            for &config in &configs {
+                let trace = record_miss_trace(w.as_ref(), &record).expect("valid L1");
+                total_hits += run_streams(&trace, config).hits;
+            }
+        }
+        total_hits
+    });
+
+    group.bench_function("shared_trace_per_config", || {
+        let mut total_hits = 0u64;
+        for w in workloads() {
+            let trace = record_miss_trace(w.as_ref(), &record).expect("valid L1");
+            for &config in &configs {
+                total_hits += run_streams(&trace, config).hits;
+            }
+        }
+        total_hits
+    });
+
+    group.bench_function("record_once_replay_many", || {
+        let store = TraceStore::default();
+        let mut total_hits = 0u64;
+        for w in workloads() {
+            let trace = store.record(w.as_ref(), &record).expect("valid L1");
+            total_hits += replay_streams(&trace, &configs)
+                .iter()
+                .map(|s| s.hits)
+                .sum::<u64>();
+        }
+        total_hits
+    });
+
+    group.finish();
+}

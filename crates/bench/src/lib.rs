@@ -29,17 +29,22 @@ pub fn options_from_env() -> ExperimentOptions {
         Ok("paper") => Some((10_000, 90_000)),
         _ => None,
     };
-    ExperimentOptions { scale, sampling }
+    ExperimentOptions {
+        scale,
+        sampling,
+        store: Default::default(),
+    }
 }
 
 /// Runs an experiment closure, printing its name, result and wall time.
 pub fn run_experiment<R: std::fmt::Display>(name: &str, f: impl FnOnce(ExperimentOptions) -> R) {
     // `cargo bench` passes harness flags like `--bench`; ignore them.
     let options = options_from_env();
+    let scale = options.scale;
     let start = Instant::now();
     let result = f(options);
     let elapsed = start.elapsed();
-    println!("=== {name} (scale: {:?}) ===", options.scale);
+    println!("=== {name} (scale: {scale:?}) ===");
     println!("{result}");
     println!("[{name} completed in {:.2?}]", elapsed);
 }

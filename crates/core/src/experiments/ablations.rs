@@ -25,15 +25,19 @@
 //!   against full simulation.
 
 use std::fmt;
+use std::sync::Arc;
 
 use streamsim_cache::{CacheConfig, Replacement, SetSampling, VictimL1, VictimL1Outcome};
 use streamsim_streams::{Allocation, MatchPolicy, StreamConfig, StreamSystem};
-use streamsim_trace::BlockSize;
+use streamsim_trace::{AccessKind, Addr, BlockSize};
 use streamsim_workloads::Workload;
 
 use crate::experiments::{workload_set, ExperimentOptions};
-use crate::report::TextTable;
-use crate::{run_l2, run_streams, MissTrace, RecordOptions};
+use crate::sink::{col, Artifact, ArtifactSink, Cell};
+use crate::{
+    replay, replay_l2, replay_streams, run_streams, MissObserver, MissTrace, RecordOptions,
+    StreamObserver,
+};
 
 /// The benchmarks used for ablations: one stream-friendly, one strided,
 /// one short-burst, one irregular.
@@ -75,29 +79,59 @@ fn ablation_workloads(options: &ExperimentOptions) -> Vec<Box<dyn Workload>> {
         .collect()
 }
 
-fn trace_of(w: &dyn Workload, options: &ExperimentOptions) -> MissTrace {
-    crate::record_miss_trace(w, &options.record_options()).expect("valid L1")
+fn trace_of(w: &dyn Workload, options: &ExperimentOptions) -> Arc<MissTrace> {
+    options
+        .store
+        .record(w, &options.record_options())
+        .expect("valid L1")
+}
+
+/// Partitioned-stream observer: instruction misses feed a 2-stream
+/// system, data misses an 8-stream system (same total hardware as the
+/// unified ten).
+struct PartitionedObserver {
+    isys: StreamSystem,
+    dsys: StreamSystem,
+}
+
+impl MissObserver for PartitionedObserver {
+    fn on_fetch(&mut self, addr: Addr, kind: AccessKind) {
+        if kind == AccessKind::IFetch {
+            self.isys.on_l1_miss(addr);
+        } else {
+            self.dsys.on_l1_miss(addr);
+        }
+    }
+
+    fn on_writeback(&mut self, base: Addr) {
+        let block = base.block(BlockSize::default());
+        self.isys.on_writeback(block);
+        self.dsys.on_writeback(block);
+    }
+
+    fn finish(&mut self) {
+        self.isys.finalize();
+        self.dsys.finalize();
+    }
 }
 
 /// Runs the ablation suite.
 pub fn run(options: &ExperimentOptions) -> Ablations {
     let workloads = ablation_workloads(options);
-    let traces: Vec<(String, MissTrace)> = crate::parallel_map(workloads, |w| {
+    let traces: Vec<(String, Arc<MissTrace>)> = crate::parallel_map(workloads, |w| {
         (w.name().to_owned(), trace_of(w.as_ref(), options))
     });
 
     let depth = traces
         .iter()
         .map(|(name, trace)| {
-            let rates = DEPTHS
+            let configs: Vec<StreamConfig> = DEPTHS
                 .iter()
-                .map(|&d| {
-                    run_streams(
-                        trace,
-                        StreamConfig::new(10, d, Allocation::OnMiss).expect("valid"),
-                    )
-                    .hit_rate()
-                })
+                .map(|&d| StreamConfig::new(10, d, Allocation::OnMiss).expect("valid"))
+                .collect();
+            let rates = replay_streams(trace, &configs)
+                .iter()
+                .map(|s| s.hit_rate())
                 .collect();
             (name.clone(), rates)
         })
@@ -106,30 +140,29 @@ pub fn run(options: &ExperimentOptions) -> Ablations {
     let match_policy = traces
         .iter()
         .map(|(name, trace)| {
-            let head = run_streams(trace, StreamConfig::paper_basic(10).expect("valid"));
-            let any = run_streams(
-                trace,
+            let configs = [
+                StreamConfig::paper_basic(10).expect("valid"),
                 StreamConfig::new(10, 4, Allocation::OnMiss)
                     .expect("valid")
                     .with_match_policy(MatchPolicy::AnyEntry),
-            );
-            (name.clone(), [head.hit_rate(), any.hit_rate()])
+            ];
+            let stats = replay_streams(trace, &configs);
+            (name.clone(), [stats[0].hit_rate(), stats[1].hit_rate()])
         })
         .collect();
 
     let filter_size = traces
         .iter()
         .map(|(name, trace)| {
-            let cells = FILTER_SIZES
+            let configs: Vec<StreamConfig> = FILTER_SIZES
                 .iter()
                 .map(|&entries| {
-                    let stats = run_streams(
-                        trace,
-                        StreamConfig::new(10, 2, Allocation::UnitFilter { entries })
-                            .expect("valid"),
-                    );
-                    (stats.hit_rate(), stats.extra_bandwidth())
+                    StreamConfig::new(10, 2, Allocation::UnitFilter { entries }).expect("valid")
                 })
+                .collect();
+            let cells = replay_streams(trace, &configs)
+                .iter()
+                .map(|stats| (stats.hit_rate(), stats.extra_bandwidth()))
                 .collect();
             (name.clone(), cells)
         })
@@ -138,9 +171,8 @@ pub fn run(options: &ExperimentOptions) -> Ablations {
     let stride_scheme = traces
         .iter()
         .map(|(name, trace)| {
-            let czone = run_streams(trace, StreamConfig::paper_strided(10, 16).expect("valid"));
-            let min_delta = run_streams(
-                trace,
+            let configs = [
+                StreamConfig::paper_strided(10, 16).expect("valid"),
                 StreamConfig::new(
                     10,
                     2,
@@ -150,51 +182,38 @@ pub fn run(options: &ExperimentOptions) -> Ablations {
                     },
                 )
                 .expect("valid"),
-            );
-            (name.clone(), [czone.hit_rate(), min_delta.hit_rate()])
+            ];
+            let stats = replay_streams(trace, &configs);
+            (name.clone(), [stats[0].hit_rate(), stats[1].hit_rate()])
         })
         .collect();
 
-    // Topology: replay the unified miss stream; the partitioned variant
-    // routes instruction misses to a 2-stream system and data misses to
-    // an 8-stream system (same total hardware).
+    // Topology: the unified system and the partitioned variant observe
+    // the same replay pass over the unified miss stream.
     let topology = traces
         .iter()
         .map(|(name, trace)| {
-            let unified = run_streams(trace, StreamConfig::paper_basic(10).expect("valid"));
-            let mut isys = StreamSystem::new(StreamConfig::paper_basic(2).expect("valid"));
-            let mut dsys = StreamSystem::new(StreamConfig::paper_basic(8).expect("valid"));
-            for event in trace.events() {
-                match *event {
-                    crate::MissEvent::Fetch { addr, kind } => {
-                        if kind == streamsim_trace::AccessKind::IFetch {
-                            isys.on_l1_miss(addr);
-                        } else {
-                            dsys.on_l1_miss(addr);
-                        }
-                    }
-                    crate::MissEvent::Writeback { base } => {
-                        let block = base.block(BlockSize::default());
-                        isys.on_writeback(block);
-                        dsys.on_writeback(block);
-                    }
-                }
-            }
-            isys.finalize();
-            dsys.finalize();
-            let (i, d) = (isys.stats(), dsys.stats());
+            let mut unified = StreamObserver::new(StreamConfig::paper_basic(10).expect("valid"));
+            let mut part = PartitionedObserver {
+                isys: StreamSystem::new(StreamConfig::paper_basic(2).expect("valid")),
+                dsys: StreamSystem::new(StreamConfig::paper_basic(8).expect("valid")),
+            };
+            replay(trace, &mut [&mut unified, &mut part]);
+            let (i, d) = (part.isys.stats(), part.dsys.stats());
             let lookups = i.lookups + d.lookups;
-            let part = if lookups == 0 {
+            let part_rate = if lookups == 0 {
                 0.0
             } else {
                 (i.hits + d.hits) as f64 / lookups as f64
             };
-            (name.clone(), [unified.hit_rate(), part])
+            (name.clone(), [unified.stats().hit_rate(), part_rate])
         })
         .collect();
 
     // L1 replacement policy: re-record each miss trace under random,
-    // LRU and tree-PLRU primaries and compare stream hit rates.
+    // LRU and tree-PLRU primaries and compare stream hit rates. The
+    // store keys on the full RecordOptions, so each policy gets its own
+    // cached trace.
     let l1_replacement = crate::parallel_map(ablation_workloads(options), |w| {
         let base = options.record_options();
         let rates = [
@@ -209,23 +228,21 @@ pub fn run(options: &ExperimentOptions) -> Ablations {
                 dcache: cfg,
                 sampling: base.sampling,
             };
-            let trace = crate::record_miss_trace(w.as_ref(), &record).expect("valid L1");
+            let trace = options.store.record(w.as_ref(), &record).expect("valid L1");
             run_streams(&trace, StreamConfig::paper_basic(10).expect("valid")).hit_rate()
         });
         (w.name().to_owned(), rates)
     });
 
     // Set-sampling validation: the paper's Table 4 estimator against
-    // full simulation of a 1 MB L2.
+    // full simulation of a 1 MB L2 — both observers share one pass.
     let sampling = traces
         .iter()
         .map(|(name, trace)| {
             let cfg = CacheConfig::new(1 << 20, 2, trace.l1_block()).expect("valid L2");
-            let full = run_l2(trace, cfg, None).expect("valid").hit_rate();
-            let est = run_l2(trace, cfg, Some(SetSampling::new(2, 1)))
-                .expect("valid")
-                .hit_rate();
-            (name.clone(), full, est)
+            let cells = [(cfg, None), (cfg, Some(SetSampling::new(2, 1)))];
+            let stats = replay_l2(trace, &cells).expect("valid");
+            (name.clone(), stats[0].hit_rate(), stats[1].hit_rate())
         })
         .collect();
 
@@ -269,121 +286,157 @@ pub fn run(options: &ExperimentOptions) -> Ablations {
     }
 }
 
+impl Artifact for Ablations {
+    fn artifact(&self) -> &'static str {
+        "ablations"
+    }
+
+    fn emit(&self, sink: &mut dyn ArtifactSink) {
+        let pct = |v: f64| Cell::num(v * 100.0, format!("{:.0}", v * 100.0));
+
+        let mut columns = vec![col("bench", "bench")];
+        columns.extend(
+            DEPTHS
+                .iter()
+                .map(|d| col(format!("depth {d}"), format!("hit_pct_depth{d}"))),
+        );
+        sink.begin_table(
+            self.artifact(),
+            "depth",
+            "Ablation: hit rate (%) vs stream depth (10 streams, no filter)",
+            &columns,
+        );
+        for (name, rates) in &self.depth {
+            let mut cells = vec![Cell::text(name.clone())];
+            cells.extend(rates.iter().map(|&h| pct(h)));
+            sink.row(&cells);
+        }
+
+        sink.begin_table(
+            self.artifact(),
+            "match_policy",
+            "Ablation: match policy, hit rate (%)",
+            &[
+                col("bench", "bench"),
+                col("head-only", "head_only_hit_pct"),
+                col("any-entry (depth 4)", "any_entry_hit_pct"),
+            ],
+        );
+        for (name, [head, any]) in &self.match_policy {
+            sink.row(&[Cell::text(name.clone()), pct(*head), pct(*any)]);
+        }
+
+        let mut columns = vec![col("bench", "bench")];
+        columns.extend(
+            FILTER_SIZES
+                .iter()
+                .map(|s| col(format!("{s} entries"), format!("hit_pct_f{s}"))),
+        );
+        sink.begin_table(
+            self.artifact(),
+            "filter_size",
+            "Ablation: unit-filter size, hit % / EB %",
+            &columns,
+        );
+        for (name, cells) in &self.filter_size {
+            let mut row = vec![Cell::text(name.clone())];
+            row.extend(cells.iter().map(|&(h, eb)| {
+                Cell::num(h * 100.0, format!("{:.0}/{:.0}", h * 100.0, eb * 100.0))
+            }));
+            sink.row(&row);
+        }
+
+        sink.begin_table(
+            self.artifact(),
+            "stride_scheme",
+            "Ablation: stride-detection scheme, hit rate (%)",
+            &[
+                col("bench", "bench"),
+                col("czone (16b)", "czone_hit_pct"),
+                col("min-delta", "min_delta_hit_pct"),
+            ],
+        );
+        for (name, [czone, min_delta]) in &self.stride_scheme {
+            sink.row(&[Cell::text(name.clone()), pct(*czone), pct(*min_delta)]);
+        }
+
+        sink.begin_table(
+            self.artifact(),
+            "topology",
+            "Ablation: unified vs partitioned (2 I + 8 D) streams, hit rate (%)",
+            &[
+                col("bench", "bench"),
+                col("unified (10)", "unified_hit_pct"),
+                col("partitioned", "partitioned_hit_pct"),
+            ],
+        );
+        for (name, [unified, part]) in &self.topology {
+            sink.row(&[Cell::text(name.clone()), pct(*unified), pct(*part)]);
+        }
+
+        sink.begin_table(
+            self.artifact(),
+            "victim",
+            "Ablation: Jouppi's front end — direct-mapped L1 + 16-entry victim buffer + streams",
+            &[
+                col("bench", "bench"),
+                col("DM miss %", "dm_miss_pct"),
+                col("victim recovery %", "victim_recovery_pct"),
+                col("stream hit %", "stream_hit_pct"),
+            ],
+        );
+        for (name, miss, recovery, stream_hit) in &self.victim {
+            sink.row(&[
+                Cell::text(name.clone()),
+                Cell::num(miss * 100.0, format!("{:.2}", miss * 100.0)),
+                pct(*recovery),
+                pct(*stream_hit),
+            ]);
+        }
+
+        sink.begin_table(
+            self.artifact(),
+            "l1_replacement",
+            "Ablation: stream hit rate (%) vs L1 replacement policy (10 streams)",
+            &[
+                col("bench", "bench"),
+                col("random (paper)", "random_hit_pct"),
+                col("LRU", "lru_hit_pct"),
+                col("tree-PLRU", "plru_hit_pct"),
+            ],
+        );
+        for (name, [random, lru, plru]) in &self.l1_replacement {
+            sink.row(&[
+                Cell::text(name.clone()),
+                pct(*random),
+                pct(*lru),
+                pct(*plru),
+            ]);
+        }
+
+        sink.begin_table(
+            self.artifact(),
+            "sampling",
+            "Ablation: set-sampling estimator vs full simulation (1 MB L2 local hit %)",
+            &[
+                col("bench", "bench"),
+                col("full", "full_hit_pct"),
+                col("1/4 sampled", "sampled_hit_pct"),
+            ],
+        );
+        for (name, full, est) in &self.sampling {
+            sink.row(&[
+                Cell::text(name.clone()),
+                Cell::num(full * 100.0, format!("{:.1}", full * 100.0)),
+                Cell::num(est * 100.0, format!("{:.1}", est * 100.0)),
+            ]);
+        }
+    }
+}
+
 impl fmt::Display for Ablations {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "Ablation: hit rate (%) vs stream depth (10 streams, no filter)"
-        )?;
-        let mut headers: Vec<String> = vec!["bench".into()];
-        headers.extend(DEPTHS.iter().map(|d| format!("depth {d}")));
-        let mut t = TextTable::new(headers);
-        for (name, rates) in &self.depth {
-            let mut cells = vec![name.clone()];
-            cells.extend(rates.iter().map(|h| format!("{:.0}", h * 100.0)));
-            t.row(cells);
-        }
-        writeln!(f, "{t}")?;
-
-        writeln!(f, "Ablation: match policy, hit rate (%)")?;
-        let mut t = TextTable::new(vec!["bench", "head-only", "any-entry (depth 4)"]);
-        for (name, [head, any]) in &self.match_policy {
-            t.row(vec![
-                name.clone(),
-                format!("{:.0}", head * 100.0),
-                format!("{:.0}", any * 100.0),
-            ]);
-        }
-        writeln!(f, "{t}")?;
-
-        writeln!(f, "Ablation: unit-filter size, hit % / EB %")?;
-        let mut headers: Vec<String> = vec!["bench".into()];
-        headers.extend(FILTER_SIZES.iter().map(|s| format!("{s} entries")));
-        let mut t = TextTable::new(headers);
-        for (name, cells) in &self.filter_size {
-            let mut row = vec![name.clone()];
-            row.extend(
-                cells
-                    .iter()
-                    .map(|(h, eb)| format!("{:.0}/{:.0}", h * 100.0, eb * 100.0)),
-            );
-            t.row(row);
-        }
-        writeln!(f, "{t}")?;
-
-        writeln!(f, "Ablation: stride-detection scheme, hit rate (%)")?;
-        let mut t = TextTable::new(vec!["bench", "czone (16b)", "min-delta"]);
-        for (name, [czone, min_delta]) in &self.stride_scheme {
-            t.row(vec![
-                name.clone(),
-                format!("{:.0}", czone * 100.0),
-                format!("{:.0}", min_delta * 100.0),
-            ]);
-        }
-        writeln!(f, "{t}")?;
-
-        writeln!(
-            f,
-            "Ablation: unified vs partitioned (2 I + 8 D) streams, hit rate (%)"
-        )?;
-        let mut t = TextTable::new(vec!["bench", "unified (10)", "partitioned"]);
-        for (name, [unified, part]) in &self.topology {
-            t.row(vec![
-                name.clone(),
-                format!("{:.0}", unified * 100.0),
-                format!("{:.0}", part * 100.0),
-            ]);
-        }
-        writeln!(f, "{t}")?;
-
-        writeln!(
-            f,
-            "Ablation: Jouppi's front end — direct-mapped L1 + 16-entry victim buffer + streams"
-        )?;
-        let mut t = TextTable::new(vec![
-            "bench",
-            "DM miss %",
-            "victim recovery %",
-            "stream hit %",
-        ]);
-        for (name, miss, recovery, stream_hit) in &self.victim {
-            t.row(vec![
-                name.clone(),
-                format!("{:.2}", miss * 100.0),
-                format!("{:.0}", recovery * 100.0),
-                format!("{:.0}", stream_hit * 100.0),
-            ]);
-        }
-        writeln!(f, "{t}")?;
-
-        writeln!(
-            f,
-            "Ablation: stream hit rate (%) vs L1 replacement policy (10 streams)"
-        )?;
-        let mut t = TextTable::new(vec!["bench", "random (paper)", "LRU", "tree-PLRU"]);
-        for (name, [random, lru, plru]) in &self.l1_replacement {
-            t.row(vec![
-                name.clone(),
-                format!("{:.0}", random * 100.0),
-                format!("{:.0}", lru * 100.0),
-                format!("{:.0}", plru * 100.0),
-            ]);
-        }
-        writeln!(f, "{t}")?;
-
-        writeln!(
-            f,
-            "Ablation: set-sampling estimator vs full simulation (1 MB L2 local hit %)"
-        )?;
-        let mut t = TextTable::new(vec!["bench", "full", "1/4 sampled"]);
-        for (name, full, est) in &self.sampling {
-            t.row(vec![
-                name.clone(),
-                format!("{:.1}", full * 100.0),
-                format!("{:.1}", est * 100.0),
-            ]);
-        }
-        t.fmt(f)
+        f.write_str(&crate::render_text(self))
     }
 }
 

@@ -22,8 +22,8 @@ use std::fmt;
 use streamsim_streams::{Allocation, StreamConfig, StreamStats};
 
 use crate::experiments::{miss_traces, ExperimentOptions};
-use crate::report::TextTable;
-use crate::run_streams;
+use crate::replay_streams;
+use crate::sink::{col, Artifact, ArtifactSink, Cell};
 
 /// The five configurations compared, in lineage order.
 pub const CONFIGS: [&str; 5] = [
@@ -67,44 +67,66 @@ fn configs() -> Vec<StreamConfig> {
     ]
 }
 
-/// Runs the experiment.
+/// Runs the experiment. The whole lineage replays over each benchmark's
+/// trace in a single pass.
 pub fn run(options: &ExperimentOptions) -> Baselines {
     let rows = crate::parallel_map(miss_traces(options), |(name, trace)| Row {
         name,
-        stats: configs()
-            .into_iter()
-            .map(|c| run_streams(&trace, c))
-            .collect(),
+        stats: replay_streams(&trace, &configs()),
     });
     Baselines { rows }
 }
 
-impl fmt::Display for Baselines {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "Prefetcher lineage: hit rate % (EB %) from OBL to the paper's full system"
-        )?;
-        let mut headers: Vec<String> = vec!["bench".into()];
-        headers.extend(CONFIGS.iter().map(|c| (*c).to_owned()));
-        let mut t = TextTable::new(headers);
+impl Artifact for Baselines {
+    fn artifact(&self) -> &'static str {
+        "baselines"
+    }
+
+    fn emit(&self, sink: &mut dyn ArtifactSink) {
+        let keys = [
+            "obl_hit_pct",
+            "one_stream_hit_pct",
+            "ten_streams_hit_pct",
+            "filtered_hit_pct",
+            "strided_hit_pct",
+        ];
+        let mut columns = vec![col("bench", "bench")];
+        columns.extend(
+            CONFIGS
+                .iter()
+                .zip(keys)
+                .map(|(header, key)| col(*header, key)),
+        );
+        sink.begin_table(
+            self.artifact(),
+            "lineage",
+            "Prefetcher lineage: hit rate % (EB %) from OBL to the paper's full system",
+            &columns,
+        );
         for r in &self.rows {
-            let mut cells = vec![r.name.clone()];
+            let mut cells = vec![Cell::text(r.name.clone())];
             cells.extend(r.stats.iter().map(|s| {
-                format!(
-                    "{:.0} ({:.0})",
+                Cell::num(
                     s.hit_rate() * 100.0,
-                    s.extra_bandwidth() * 100.0
+                    format!(
+                        "{:.0} ({:.0})",
+                        s.hit_rate() * 100.0,
+                        s.extra_bandwidth() * 100.0
+                    ),
                 )
             }));
-            t.row(cells);
+            sink.row(&cells);
         }
-        t.fmt(f)?;
-        writeln!(
-            f,
+        sink.note(
             "multi-way buys interleaved loops; the filter buys bandwidth; czone\n\
-             strides buy the FFT-style codes"
-        )
+             strides buy the FFT-style codes",
+        );
+    }
+}
+
+impl fmt::Display for Baselines {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::render_text(self))
     }
 }
 

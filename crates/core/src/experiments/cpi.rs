@@ -28,8 +28,8 @@ use streamsim_streams::{StreamConfig, StreamStats};
 use streamsim_trace::BlockSize;
 
 use crate::experiments::{workload_set, ExperimentOptions};
-use crate::report::TextTable;
-use crate::{parallel_map, record_miss_trace, run_streams, MissTrace};
+use crate::sink::{col, Artifact, ArtifactSink, Cell};
+use crate::{parallel_map, run_streams, MissTrace};
 
 /// The assumed memory-system timing, in processor cycles.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -161,43 +161,54 @@ pub fn run(options: &ExperimentOptions) -> Cpi {
 /// Runs the estimation with explicit timing assumptions.
 pub fn run_with_timing(options: &ExperimentOptions, timing: Timing) -> Cpi {
     let record = options.record_options();
-    let opts = *options;
+    let opts = options.clone();
     let rows = parallel_map(workload_set(options.scale), move |w| {
-        let trace = record_miss_trace(w.as_ref(), &record).expect("valid L1");
+        let trace = opts.store.record(w.as_ref(), &record).expect("valid L1");
         measure(w.name().to_owned(), &trace, w.as_ref(), &opts, timing)
     });
     Cpi { rows, timing }
 }
 
-impl fmt::Display for Cpi {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "Estimated memory CPI (stall cycles/ref; memory {} cyc, buffer {}, L2 {})",
-            self.timing.memory_latency, self.timing.buffer_latency, self.timing.l2_latency
-        )?;
-        let mut t = TextTable::new(vec![
-            "bench",
-            "bare",
-            "streams",
-            "1 MB L2",
-            "stream speedup",
-        ]);
+impl Artifact for Cpi {
+    fn artifact(&self) -> &'static str {
+        "cpi"
+    }
+
+    fn emit(&self, sink: &mut dyn ArtifactSink) {
+        sink.begin_table(
+            self.artifact(),
+            "memory_cpi",
+            &format!(
+                "Estimated memory CPI (stall cycles/ref; memory {} cyc, buffer {}, L2 {})",
+                self.timing.memory_latency, self.timing.buffer_latency, self.timing.l2_latency
+            ),
+            &[
+                col("bench", "bench"),
+                col("bare", "bare_cpi"),
+                col("streams", "streams_cpi"),
+                col("1 MB L2", "l2_cpi"),
+                col("stream speedup", "stream_speedup"),
+            ],
+        );
         for r in &self.rows {
-            t.row(vec![
-                r.name.clone(),
-                format!("{:.2}", r.memory_cpi[0]),
-                format!("{:.2}", r.memory_cpi[1]),
-                format!("{:.2}", r.memory_cpi[2]),
-                format!("{:.2}x", r.stream_speedup()),
+            sink.row(&[
+                Cell::text(r.name.clone()),
+                Cell::num(r.memory_cpi[0], format!("{:.2}", r.memory_cpi[0])),
+                Cell::num(r.memory_cpi[1], format!("{:.2}", r.memory_cpi[1])),
+                Cell::num(r.memory_cpi[2], format!("{:.2}", r.memory_cpi[2])),
+                Cell::num(r.stream_speedup(), format!("{:.2}x", r.stream_speedup())),
             ]);
         }
-        t.fmt(f)?;
-        writeln!(
-            f,
+        sink.note(
             "streams recover most of the hit-rate benefit whenever their lead times\n\
-             cover the memory latency (see the latency experiment for the breakdown)"
-        )
+             cover the memory latency (see the latency experiment for the breakdown)",
+        );
+    }
+}
+
+impl fmt::Display for Cpi {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::render_text(self))
     }
 }
 

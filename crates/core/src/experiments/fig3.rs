@@ -11,8 +11,8 @@ use std::fmt;
 use streamsim_streams::StreamConfig;
 
 use crate::experiments::{miss_traces, ExperimentOptions};
-use crate::report::TextTable;
-use crate::{paper, run_streams};
+use crate::sink::{col, Artifact, ArtifactSink, Cell};
+use crate::{paper, replay_streams};
 
 /// The stream counts swept, as in the figure's x-axis.
 pub const STREAM_COUNTS: [usize; 10] = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10];
@@ -50,45 +50,55 @@ impl Fig3 {
     }
 }
 
-/// Runs the experiment.
+/// Runs the experiment. The ten stream-count configurations replay over
+/// each benchmark's trace in a single pass.
 pub fn run(options: &ExperimentOptions) -> Fig3 {
+    let configs: Vec<StreamConfig> = STREAM_COUNTS
+        .iter()
+        .map(|&n| StreamConfig::paper_basic(n).expect("stream counts are positive"))
+        .collect();
     let traces = miss_traces(options);
-    let rows = crate::parallel_map(traces, |(name, trace)| {
-        let hit_rates = STREAM_COUNTS
+    let rows = crate::parallel_map(traces, move |(name, trace)| {
+        let hit_rates = replay_streams(&trace, &configs)
             .iter()
-            .map(|&n| {
-                run_streams(
-                    &trace,
-                    StreamConfig::paper_basic(n).expect("stream counts are positive"),
-                )
-                .hit_rate()
-            })
+            .map(|s| s.hit_rate())
             .collect();
         Row { name, hit_rates }
     });
     Fig3 { rows }
 }
 
-impl fmt::Display for Fig3 {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "Figure 3: stream hit rate (%) vs number of streams (unified, depth 2, no filter)"
-        )?;
-        let mut headers: Vec<String> = vec!["bench".into()];
-        headers.extend(STREAM_COUNTS.iter().map(|n| n.to_string()));
-        headers.push("paper@10".into());
-        let mut t = TextTable::new(headers);
+impl Artifact for Fig3 {
+    fn artifact(&self) -> &'static str {
+        "fig3"
+    }
+
+    fn emit(&self, sink: &mut dyn ArtifactSink) {
+        let mut columns = vec![col("bench", "bench")];
+        columns.extend(
+            STREAM_COUNTS
+                .iter()
+                .map(|n| col(n.to_string(), format!("hit_pct_{n}"))),
+        );
+        columns.push(col("paper@10", "paper_hit_pct_10"));
+        sink.begin_table(
+            self.artifact(),
+            "hit_rate",
+            "Figure 3: stream hit rate (%) vs number of streams (unified, depth 2, no filter)",
+            &columns,
+        );
         for r in &self.rows {
-            let mut cells = vec![r.name.clone()];
-            cells.extend(r.hit_rates.iter().map(|h| format!("{:.0}", h * 100.0)));
-            cells.push(
-                paper::benchmark(&r.name)
-                    .map_or(String::new(), |p| format!("~{:.0}", p.hit_basic_pct)),
+            let mut cells = vec![Cell::text(r.name.clone())];
+            cells.extend(
+                r.hit_rates
+                    .iter()
+                    .map(|h| Cell::num(h * 100.0, format!("{:.0}", h * 100.0))),
             );
-            t.row(cells);
+            cells.push(paper::benchmark(&r.name).map_or(Cell::text(""), |p| {
+                Cell::num(p.hit_basic_pct, format!("~{:.0}", p.hit_basic_pct))
+            }));
+            sink.row(&cells);
         }
-        t.fmt(f)?;
         // A sketch of the figure for four representative curves.
         let mut chart =
             crate::chart::AsciiChart::new(STREAM_COUNTS.iter().map(|n| n.to_string()).collect());
@@ -97,7 +107,13 @@ impl fmt::Display for Fig3 {
                 chart.series(name, r.hit_rates.clone());
             }
         }
-        write!(f, "{chart}")
+        sink.note(chart.to_string().trim_end());
+    }
+}
+
+impl fmt::Display for Fig3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::render_text(self))
     }
 }
 
@@ -127,10 +143,7 @@ mod tests {
 
     #[test]
     fn stream_friendly_benchmarks_beat_irregular_ones() {
-        let result = run(&ExperimentOptions {
-            scale: Scale::Quick,
-            sampling: None,
-        });
+        let result = run(&ExperimentOptions::at_scale(Scale::Quick));
         let embar = result.row("embar").unwrap().hit_at(10).unwrap();
         let adm = result.row("adm").unwrap().hit_at(10).unwrap();
         assert!(

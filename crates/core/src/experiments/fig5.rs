@@ -12,8 +12,8 @@ use std::fmt;
 use streamsim_streams::{StreamConfig, StreamStats};
 
 use crate::experiments::{miss_traces, ExperimentOptions};
-use crate::report::TextTable;
-use crate::{paper, run_streams};
+use crate::sink::{col, Artifact, ArtifactSink, Cell};
+use crate::{paper, replay_streams};
 
 /// One benchmark's with/without-filter comparison.
 #[derive(Clone, Debug)]
@@ -40,51 +40,81 @@ impl Fig5 {
     }
 }
 
-/// Runs the experiment.
+/// Runs the experiment. Both configurations share one replay pass per
+/// benchmark.
 pub fn run(options: &ExperimentOptions) -> Fig5 {
+    let configs = [
+        StreamConfig::paper_basic(10).expect("valid"),
+        StreamConfig::paper_filtered(10).expect("valid"),
+    ];
     let rows = miss_traces(options)
         .into_iter()
-        .map(|(name, trace)| Row {
-            name,
-            unfiltered: run_streams(&trace, StreamConfig::paper_basic(10).expect("valid")),
-            filtered: run_streams(&trace, StreamConfig::paper_filtered(10).expect("valid")),
+        .map(|(name, trace)| {
+            let mut stats = replay_streams(&trace, &configs).into_iter();
+            Row {
+                name,
+                unfiltered: stats.next().expect("two configs"),
+                filtered: stats.next().expect("two configs"),
+            }
         })
         .collect();
     Fig5 { rows }
 }
 
-impl fmt::Display for Fig5 {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "Figure 5: effect of the unit-stride filter (10 streams, 16-entry filter)"
-        )?;
-        let mut t = TextTable::new(vec![
-            "bench",
-            "hit w/o",
-            "hit w/",
-            "paper w/o",
-            "paper w/",
-            "EB w/o",
-            "EB w/",
-            "paper w/o",
-            "paper w/",
-        ]);
+impl Artifact for Fig5 {
+    fn artifact(&self) -> &'static str {
+        "fig5"
+    }
+
+    fn emit(&self, sink: &mut dyn ArtifactSink) {
+        sink.begin_table(
+            self.artifact(),
+            "filter_effect",
+            "Figure 5: effect of the unit-stride filter (10 streams, 16-entry filter)",
+            &[
+                col("bench", "bench"),
+                col("hit w/o", "hit_unfiltered_pct"),
+                col("hit w/", "hit_filtered_pct"),
+                col("paper w/o", "paper_hit_unfiltered_pct"),
+                col("paper w/", "paper_hit_filtered_pct"),
+                col("EB w/o", "eb_unfiltered_pct"),
+                col("EB w/", "eb_filtered_pct"),
+                col("paper w/o", "paper_eb_unfiltered_pct"),
+                col("paper w/", "paper_eb_filtered_pct"),
+            ],
+        );
         for r in &self.rows {
             let p = paper::benchmark(&r.name);
-            t.row(vec![
-                r.name.clone(),
-                format!("{:.0}", r.unfiltered.hit_rate() * 100.0),
-                format!("{:.0}", r.filtered.hit_rate() * 100.0),
-                p.map_or(String::new(), |p| format!("~{:.0}", p.hit_basic_pct)),
-                p.map_or(String::new(), |p| format!("~{:.0}", p.hit_filtered_pct)),
-                format!("{:.0}", r.unfiltered.extra_bandwidth() * 100.0),
-                format!("{:.0}", r.filtered.extra_bandwidth() * 100.0),
-                p.map_or(String::new(), |p| format!("{:.0}", p.eb_basic_pct)),
-                p.map_or(String::new(), |p| format!("{:.0}", p.eb_filtered_pct)),
+            let hit_wo = r.unfiltered.hit_rate() * 100.0;
+            let hit_w = r.filtered.hit_rate() * 100.0;
+            let eb_wo = r.unfiltered.extra_bandwidth() * 100.0;
+            let eb_w = r.filtered.extra_bandwidth() * 100.0;
+            sink.row(&[
+                Cell::text(r.name.clone()),
+                Cell::num(hit_wo, format!("{hit_wo:.0}")),
+                Cell::num(hit_w, format!("{hit_w:.0}")),
+                p.map_or(Cell::text(""), |p| {
+                    Cell::num(p.hit_basic_pct, format!("~{:.0}", p.hit_basic_pct))
+                }),
+                p.map_or(Cell::text(""), |p| {
+                    Cell::num(p.hit_filtered_pct, format!("~{:.0}", p.hit_filtered_pct))
+                }),
+                Cell::num(eb_wo, format!("{eb_wo:.0}")),
+                Cell::num(eb_w, format!("{eb_w:.0}")),
+                p.map_or(Cell::text(""), |p| {
+                    Cell::num(p.eb_basic_pct, format!("{:.0}", p.eb_basic_pct))
+                }),
+                p.map_or(Cell::text(""), |p| {
+                    Cell::num(p.eb_filtered_pct, format!("{:.0}", p.eb_filtered_pct))
+                }),
             ]);
         }
-        t.fmt(f)
+    }
+}
+
+impl fmt::Display for Fig5 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::render_text(self))
     }
 }
 

@@ -11,8 +11,8 @@ use std::fmt;
 use streamsim_streams::{StreamConfig, StreamStats};
 
 use crate::experiments::{miss_traces, ExperimentOptions};
-use crate::report::TextTable;
-use crate::{paper, run_streams};
+use crate::sink::{col, Artifact, ArtifactSink, Cell};
+use crate::{paper, replay_streams};
 
 /// Czone size (bits of the word address) used when a benchmark has no
 /// tuned value: large enough for plane-sized strides, small enough to
@@ -51,47 +51,70 @@ pub fn run(options: &ExperimentOptions) -> Fig8 {
     run_with_czone(options, DEFAULT_CZONE_BITS)
 }
 
-/// Runs the experiment with an explicit czone size.
+/// Runs the experiment with an explicit czone size. Both configurations
+/// share one replay pass per benchmark.
 pub fn run_with_czone(options: &ExperimentOptions, czone_bits: u32) -> Fig8 {
+    let configs = [
+        StreamConfig::paper_filtered(10).expect("valid"),
+        StreamConfig::paper_strided(10, czone_bits).expect("valid"),
+    ];
     let rows = miss_traces(options)
         .into_iter()
-        .map(|(name, trace)| Row {
-            name,
-            unit_only: run_streams(&trace, StreamConfig::paper_filtered(10).expect("valid")),
-            strided: run_streams(
-                &trace,
-                StreamConfig::paper_strided(10, czone_bits).expect("valid"),
-            ),
+        .map(|(name, trace)| {
+            let mut stats = replay_streams(&trace, &configs).into_iter();
+            Row {
+                name,
+                unit_only: stats.next().expect("two configs"),
+                strided: stats.next().expect("two configs"),
+            }
         })
         .collect();
     Fig8 { rows, czone_bits }
 }
 
-impl fmt::Display for Fig8 {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "Figure 8: non-unit-stride detection (10 streams, 16-entry filters, czone {} bits)",
-            self.czone_bits
-        )?;
-        let mut t = TextTable::new(vec![
-            "bench",
-            "unit-only %",
-            "w/ strides %",
-            "paper unit %",
-            "paper strided %",
-        ]);
+impl Artifact for Fig8 {
+    fn artifact(&self) -> &'static str {
+        "fig8"
+    }
+
+    fn emit(&self, sink: &mut dyn ArtifactSink) {
+        sink.begin_table(
+            self.artifact(),
+            "stride_detection",
+            &format!(
+                "Figure 8: non-unit-stride detection (10 streams, 16-entry filters, czone {} bits)",
+                self.czone_bits
+            ),
+            &[
+                col("bench", "bench"),
+                col("unit-only %", "unit_only_pct"),
+                col("w/ strides %", "strided_pct"),
+                col("paper unit %", "paper_unit_only_pct"),
+                col("paper strided %", "paper_strided_pct"),
+            ],
+        );
         for r in &self.rows {
             let p = paper::benchmark(&r.name);
-            t.row(vec![
-                r.name.clone(),
-                format!("{:.0}", r.unit_only.hit_rate() * 100.0),
-                format!("{:.0}", r.strided.hit_rate() * 100.0),
-                p.map_or(String::new(), |p| format!("~{:.0}", p.hit_filtered_pct)),
-                p.map_or(String::new(), |p| format!("~{:.0}", p.hit_strided_pct)),
+            let unit = r.unit_only.hit_rate() * 100.0;
+            let strided = r.strided.hit_rate() * 100.0;
+            sink.row(&[
+                Cell::text(r.name.clone()),
+                Cell::num(unit, format!("{unit:.0}")),
+                Cell::num(strided, format!("{strided:.0}")),
+                p.map_or(Cell::text(""), |p| {
+                    Cell::num(p.hit_filtered_pct, format!("~{:.0}", p.hit_filtered_pct))
+                }),
+                p.map_or(Cell::text(""), |p| {
+                    Cell::num(p.hit_strided_pct, format!("~{:.0}", p.hit_strided_pct))
+                }),
             ]);
         }
-        t.fmt(f)
+    }
+}
+
+impl fmt::Display for Fig8 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::render_text(self))
     }
 }
 

@@ -12,8 +12,8 @@ use std::fmt;
 use streamsim_streams::StreamConfig;
 
 use crate::experiments::{miss_traces, ExperimentOptions};
-use crate::report::TextTable;
-use crate::run_streams;
+use crate::replay_streams;
+use crate::sink::{col, Artifact, ArtifactSink, Cell};
 
 /// The czone sizes swept (bits of the word address), as in the figure.
 pub const CZONE_BITS: [u32; 9] = [10, 12, 14, 16, 18, 20, 22, 24, 26];
@@ -54,64 +54,78 @@ impl Fig9 {
     }
 }
 
-/// Runs the experiment.
+/// Runs the experiment. The nine czone sizes replay over each
+/// benchmark's trace in a single pass.
 pub fn run(options: &ExperimentOptions) -> Fig9 {
+    let configs: Vec<StreamConfig> = CZONE_BITS
+        .iter()
+        .map(|&bits| StreamConfig::paper_strided(10, bits).expect("valid czone"))
+        .collect();
     let traces: Vec<_> = miss_traces(options)
         .into_iter()
         .filter(|(name, _)| FIG9_BENCHMARKS.contains(&name.as_str()))
         .collect();
-    let rows = crate::parallel_map(traces, |(name, trace)| {
-        let hit_rates = CZONE_BITS
+    let rows = crate::parallel_map(traces, move |(name, trace)| {
+        let hit_rates = replay_streams(&trace, &configs)
             .iter()
-            .map(|&bits| {
-                run_streams(
-                    &trace,
-                    StreamConfig::paper_strided(10, bits).expect("valid czone"),
-                )
-                .hit_rate()
-            })
+            .map(|s| s.hit_rate())
             .collect();
         Row { name, hit_rates }
     });
     Fig9 { rows }
 }
 
-impl fmt::Display for Fig9 {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "Figure 9: hit rate (%) vs czone size (10 streams, unit + czone filters)"
-        )?;
-        let mut headers: Vec<String> = vec!["bench".into()];
-        headers.extend(CZONE_BITS.iter().map(|b| format!("{b}b")));
-        let mut t = TextTable::new(headers);
+impl Artifact for Fig9 {
+    fn artifact(&self) -> &'static str {
+        "fig9"
+    }
+
+    fn emit(&self, sink: &mut dyn ArtifactSink) {
+        let mut columns = vec![col("bench", "bench")];
+        columns.extend(
+            CZONE_BITS
+                .iter()
+                .map(|b| col(format!("{b}b"), format!("hit_pct_{b}b"))),
+        );
+        sink.begin_table(
+            self.artifact(),
+            "czone_sensitivity",
+            "Figure 9: hit rate (%) vs czone size (10 streams, unit + czone filters)",
+            &columns,
+        );
         for r in &self.rows {
-            let mut cells = vec![r.name.clone()];
-            cells.extend(r.hit_rates.iter().map(|h| format!("{:.0}", h * 100.0)));
-            t.row(cells);
+            let mut cells = vec![Cell::text(r.name.clone())];
+            cells.extend(
+                r.hit_rates
+                    .iter()
+                    .map(|h| Cell::num(h * 100.0, format!("{:.0}", h * 100.0))),
+            );
+            sink.row(&cells);
         }
-        t.fmt(f)?;
         let mut chart =
             crate::chart::AsciiChart::new(CZONE_BITS.iter().map(|b| format!("{b}")).collect());
         for r in &self.rows {
             chart.series(r.name.clone(), r.hit_rates.clone());
         }
-        writeln!(f, "{chart}")?;
+        sink.note(chart.to_string().trim_end());
         for anchor in &crate::paper::FIG9 {
             match anchor.degrades_after_bits {
-                Some(hi) => writeln!(
-                    f,
+                Some(hi) => sink.note(&format!(
                     "paper {}: effective from ~{} to ~{hi} bits, peak ~{:.0}%",
                     anchor.name, anchor.works_from_bits, anchor.peak_hit_pct
-                )?,
-                None => writeln!(
-                    f,
+                )),
+                None => sink.note(&format!(
                     "paper {}: plateaus from ~{} bits at ~{:.0}%",
                     anchor.name, anchor.works_from_bits, anchor.peak_hit_pct
-                )?,
+                )),
             }
         }
-        Ok(())
+    }
+}
+
+impl fmt::Display for Fig9 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::render_text(self))
     }
 }
 

@@ -23,8 +23,8 @@ use std::fmt;
 use streamsim_streams::{Allocation, StreamConfig, StreamStats};
 
 use crate::experiments::{miss_traces, ExperimentOptions};
-use crate::report::TextTable;
-use crate::run_streams;
+use crate::replay_streams;
+use crate::sink::{col, Artifact, ArtifactSink, Cell};
 
 /// Memory latencies swept, in units of the mean inter-miss interval.
 pub const LATENCY_RATIOS: [u64; 4] = [1, 2, 4, 8];
@@ -63,57 +63,69 @@ impl Latency {
     }
 }
 
-/// Runs the experiment.
+/// Runs the experiment. Both depths share one replay pass per benchmark.
 pub fn run(options: &ExperimentOptions) -> Latency {
+    let configs = [
+        StreamConfig::new(10, 2, Allocation::OnMiss).expect("valid"),
+        StreamConfig::new(10, 8, Allocation::OnMiss).expect("valid"),
+    ];
     let rows = miss_traces(options)
         .into_iter()
-        .map(|(name, trace)| Row {
-            name,
-            depth2: run_streams(
-                &trace,
-                StreamConfig::new(10, 2, Allocation::OnMiss).expect("valid"),
-            ),
-            depth8: run_streams(
-                &trace,
-                StreamConfig::new(10, 8, Allocation::OnMiss).expect("valid"),
-            ),
+        .map(|(name, trace)| {
+            let mut stats = replay_streams(&trace, &configs).into_iter();
+            Row {
+                name,
+                depth2: stats.next().expect("two configs"),
+                depth8: stats.next().expect("two configs"),
+            }
         })
         .collect();
     Latency { rows }
 }
 
+impl Artifact for Latency {
+    fn artifact(&self) -> &'static str {
+        "latency"
+    }
+
+    fn emit(&self, sink: &mut dyn ArtifactSink) {
+        let mut columns = vec![col("bench", "bench"), col("raw hit", "raw_hit_pct")];
+        columns.extend(
+            LATENCY_RATIOS
+                .iter()
+                .map(|r| col(format!("R={r} (d=2)"), format!("covered_pct_r{r}_d2"))),
+        );
+        columns.push(col("R=8 (d=8)", "covered_pct_r8_d8"));
+        sink.begin_table(
+            self.artifact(),
+            "covered_hit_rate",
+            "Timing extension (§8): covered hit rate (%) vs memory latency R (in inter-miss intervals)",
+            &columns,
+        );
+        for r in &self.rows {
+            let raw = r.depth2.hit_rate() * 100.0;
+            let mut cells = vec![
+                Cell::text(r.name.clone()),
+                Cell::num(raw, format!("{raw:.0}")),
+            ];
+            cells.extend(LATENCY_RATIOS.iter().map(|&ratio| {
+                let covered = r.covered_hit_rate(ratio) * 100.0;
+                Cell::num(covered, format!("{covered:.0}"))
+            }));
+            let deep = r.depth8.hit_rate() * r.depth8.leads.coverage(8) * 100.0;
+            cells.push(Cell::num(deep, format!("{deep:.0}")));
+            sink.row(&cells);
+        }
+        sink.note(
+            "depth 2 covers short latencies (the paper's assumption); depth 8 restores\n\
+             coverage when memory latency spans many inter-miss intervals",
+        );
+    }
+}
+
 impl fmt::Display for Latency {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "Timing extension (§8): covered hit rate (%) vs memory latency R (in inter-miss intervals)"
-        )?;
-        let mut headers: Vec<String> = vec!["bench".into(), "raw hit".into()];
-        headers.extend(LATENCY_RATIOS.iter().map(|r| format!("R={r} (d=2)")));
-        headers.push("R=8 (d=8)".into());
-        let mut t = TextTable::new(headers);
-        for r in &self.rows {
-            let mut cells = vec![
-                r.name.clone(),
-                format!("{:.0}", r.depth2.hit_rate() * 100.0),
-            ];
-            cells.extend(
-                LATENCY_RATIOS
-                    .iter()
-                    .map(|&ratio| format!("{:.0}", r.covered_hit_rate(ratio) * 100.0)),
-            );
-            cells.push(format!(
-                "{:.0}",
-                r.depth8.hit_rate() * r.depth8.leads.coverage(8) * 100.0
-            ));
-            t.row(cells);
-        }
-        t.fmt(f)?;
-        writeln!(
-            f,
-            "depth 2 covers short latencies (the paper's assumption); depth 8 restores\n\
-             coverage when memory latency spans many inter-miss intervals"
-        )
+        f.write_str(&crate::render_text(self))
     }
 }
 

@@ -42,9 +42,62 @@ pub mod table4;
 pub mod topology;
 pub mod traffic;
 
+use std::sync::Arc;
+
 use streamsim_workloads::{all_benchmarks, kernels, Workload};
 
-use crate::{parallel_map, record_miss_trace, MissTrace, RecordOptions};
+use crate::sink::Artifact;
+use crate::{parallel_map, MissTrace, RecordOptions, TraceStore};
+
+/// Every experiment driver's artifact name, in report order.
+pub const ARTIFACT_NAMES: [&str; 16] = [
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "fig3",
+    "fig5",
+    "fig8",
+    "fig9",
+    "ablations",
+    "baselines",
+    "latency",
+    "traffic",
+    "multiprogramming",
+    "scorecard",
+    "cpi",
+    "topology",
+];
+
+/// Runs one experiment driver by artifact name, returning its result as
+/// a sink-ready [`Artifact`]. Returns `None` for unknown names (see
+/// [`ARTIFACT_NAMES`]).
+///
+/// All drivers run against the options' shared [`TraceStore`], so a
+/// sequence of `run_artifact` calls with one options value simulates
+/// each L1 configuration exactly once.
+pub fn run_artifact(name: &str, options: &ExperimentOptions) -> Option<Box<dyn Artifact>> {
+    let artifact: Box<dyn Artifact> = match name {
+        "table1" => Box::new(table1::run(options)),
+        "table2" => Box::new(table2::run(options)),
+        "table3" => Box::new(table3::run(options)),
+        "table4" => Box::new(table4::run(options)),
+        "fig3" => Box::new(fig3::run(options)),
+        "fig5" => Box::new(fig5::run(options)),
+        "fig8" => Box::new(fig8::run(options)),
+        "fig9" => Box::new(fig9::run(options)),
+        "ablations" => Box::new(ablations::run(options)),
+        "baselines" => Box::new(baselines::run(options)),
+        "latency" => Box::new(latency::run(options)),
+        "traffic" => Box::new(traffic::run(options)),
+        "multiprogramming" => Box::new(multiprogramming::run(options)),
+        "scorecard" => Box::new(scorecard::run(options)),
+        "cpi" => Box::new(cpi::run(options)),
+        "topology" => Box::new(topology::run(options)),
+        _ => return None,
+    };
+    Some(artifact)
+}
 
 /// Input-size scale for an experiment run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -57,13 +110,20 @@ pub enum Scale {
 }
 
 /// Options shared by all experiment drivers.
-#[derive(Clone, Copy, Debug, Default)]
+///
+/// Cloning is cheap and *shares* the [`TraceStore`]: drivers run with
+/// clones of one options value reuse each other's recorded miss traces,
+/// which is what makes a full multi-driver sweep simulate each L1
+/// exactly once.
+#[derive(Clone, Debug, Default)]
 pub struct ExperimentOptions {
     /// Input-size scale.
     pub scale: Scale,
     /// Optional time sampling `(on, off)` applied while recording miss
     /// traces (the paper's configuration is `(10_000, 90_000)`).
     pub sampling: Option<(u64, u64)>,
+    /// The shared store of recorded miss traces.
+    pub store: TraceStore,
 }
 
 impl ExperimentOptions {
@@ -71,11 +131,23 @@ impl ExperimentOptions {
     pub fn quick() -> Self {
         ExperimentOptions {
             scale: Scale::Quick,
-            sampling: None,
+            ..ExperimentOptions::default()
         }
     }
 
-    pub(crate) fn record_options(&self) -> RecordOptions {
+    /// Options at the given scale (fresh store, no sampling).
+    pub fn at_scale(scale: Scale) -> Self {
+        ExperimentOptions {
+            scale,
+            ..ExperimentOptions::default()
+        }
+    }
+
+    /// The [`RecordOptions`] (L1 geometry + sampling) these experiment
+    /// options record miss traces with. Quick-scale runs shrink the L1
+    /// along with the inputs so the miss-stream structure matches the
+    /// paper-scale runs.
+    pub fn record_options(&self) -> RecordOptions {
         match self.scale {
             Scale::Paper => RecordOptions {
                 sampling: self.sampling,
@@ -242,13 +314,20 @@ pub fn table4_pairs(scale: Scale) -> Vec<Table4Pair> {
     }
 }
 
-/// Records the miss trace of every benchmark at the requested scale, in
-/// parallel. Returns `(name, trace)` pairs in Table 1 order.
-pub fn miss_traces(options: &ExperimentOptions) -> Vec<(String, MissTrace)> {
+/// The miss trace of every benchmark at the requested scale, in Table 1
+/// order.
+///
+/// Traces come from the options' shared [`TraceStore`]: the first caller
+/// records them (in parallel), every later caller — any driver holding a
+/// clone of the same options — gets the stored `Arc`s back without
+/// re-simulating the L1.
+pub fn miss_traces(options: &ExperimentOptions) -> Vec<(String, Arc<MissTrace>)> {
     let record = options.record_options();
+    let store = options.store.clone();
     parallel_map(workload_set(options.scale), move |w| {
-        let trace =
-            record_miss_trace(w.as_ref(), &record).expect("paper L1 configuration is valid");
+        let trace = store
+            .record(w.as_ref(), &record)
+            .expect("paper L1 configuration is valid");
         (w.name().to_owned(), trace)
     })
 }

@@ -20,8 +20,8 @@ use streamsim_workloads::combinators::Interleaved;
 use streamsim_workloads::Workload;
 
 use crate::experiments::{workload_set, ExperimentOptions, Scale};
-use crate::report::TextTable;
-use crate::{record_miss_trace, run_streams};
+use crate::run_streams;
+use crate::sink::{col, Artifact, ArtifactSink, Cell};
 
 /// Reference quanta swept (references per time slice).
 pub const QUANTA: [usize; 3] = [1_000, 10_000, 100_000];
@@ -65,14 +65,17 @@ fn find(scale: Scale, name: &str) -> Box<dyn Workload> {
 /// Runs the experiment.
 pub fn run(options: &ExperimentOptions) -> Multiprogramming {
     let record = options.record_options();
+    let store = options.store.clone();
+    let scale = options.scale;
     let config = StreamConfig::paper_filtered(10).expect("valid");
     let rows = crate::parallel_map(PAIRS.to_vec(), move |(a, b)| {
-        let wa = find(options.scale, a);
-        let wb = find(options.scale, b);
+        let wa = find(scale, a);
+        let wb = find(scale, b);
 
-        // Solo hit rates, miss-weighted.
-        let ta = record_miss_trace(wa.as_ref(), &record).expect("valid L1");
-        let tb = record_miss_trace(wb.as_ref(), &record).expect("valid L1");
+        // Solo hit rates, miss-weighted. The solo traces come from the
+        // shared store, so other drivers' recordings are reused.
+        let ta = store.record(wa.as_ref(), &record).expect("valid L1");
+        let tb = store.record(wb.as_ref(), &record).expect("valid L1");
         let sa = run_streams(&ta, config);
         let sb = run_streams(&tb, config);
         let solo_hit = (sa.hits + sb.hits) as f64 / (sa.lookups + sb.lookups).max(1) as f64;
@@ -80,12 +83,9 @@ pub fn run(options: &ExperimentOptions) -> Multiprogramming {
         let interleaved_hit = QUANTA
             .iter()
             .map(|&q| {
-                let mix = Interleaved::new(
-                    format!("{a}+{b}"),
-                    vec![find(options.scale, a), find(options.scale, b)],
-                    q,
-                );
-                let trace = record_miss_trace(&mix, &record).expect("valid L1");
+                let mix =
+                    Interleaved::new(format!("{a}+{b}"), vec![find(scale, a), find(scale, b)], q);
+                let trace = store.record(&mix, &record).expect("valid L1");
                 run_streams(&trace, config).hit_rate()
             })
             .collect();
@@ -99,33 +99,46 @@ pub fn run(options: &ExperimentOptions) -> Multiprogramming {
     Multiprogramming { rows }
 }
 
-impl fmt::Display for Multiprogramming {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "Multiprogramming extension: stream hit rate (%) when two programs time-slice"
-        )?;
-        let mut headers: Vec<String> = vec!["pair".into(), "solo".into()];
-        headers.extend(QUANTA.iter().map(|q| format!("q={q}")));
-        let mut t = TextTable::new(headers);
+impl Artifact for Multiprogramming {
+    fn artifact(&self) -> &'static str {
+        "multiprogramming"
+    }
+
+    fn emit(&self, sink: &mut dyn ArtifactSink) {
+        let mut columns = vec![col("pair", "pair"), col("solo", "solo_hit_pct")];
+        columns.extend(
+            QUANTA
+                .iter()
+                .map(|q| col(format!("q={q}"), format!("hit_pct_q{q}"))),
+        );
+        sink.begin_table(
+            self.artifact(),
+            "quantum_sweep",
+            "Multiprogramming extension: stream hit rate (%) when two programs time-slice",
+            &columns,
+        );
         for r in &self.rows {
             let mut cells = vec![
-                format!("{}+{}", r.pair.0, r.pair.1),
-                format!("{:.0}", r.solo_hit * 100.0),
+                Cell::text(format!("{}+{}", r.pair.0, r.pair.1)),
+                Cell::num(r.solo_hit * 100.0, format!("{:.0}", r.solo_hit * 100.0)),
             ];
             cells.extend(
                 r.interleaved_hit
                     .iter()
-                    .map(|h| format!("{:.0}", h * 100.0)),
+                    .map(|h| Cell::num(h * 100.0, format!("{:.0}", h * 100.0))),
             );
-            t.row(cells);
+            sink.row(&cells);
         }
-        t.fmt(f)?;
-        writeln!(
-            f,
+        sink.note(
             "the gap to 'solo' is the context-switch penalty; it shrinks with the\n\
-             quantum because streams re-lock within a few misses of each switch"
-        )
+             quantum because streams re-lock within a few misses of each switch",
+        );
+    }
+}
+
+impl fmt::Display for Multiprogramming {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::render_text(self))
     }
 }
 

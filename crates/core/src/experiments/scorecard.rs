@@ -19,8 +19,9 @@ use std::fmt;
 use streamsim_streams::StreamConfig;
 
 use crate::experiments::{fig9, miss_traces, table4, ExperimentOptions};
-use crate::report::TextTable;
-use crate::{paper, run_streams};
+use crate::paper;
+use crate::replay_streams;
+use crate::sink::{col, Artifact, ArtifactSink, Cell as SinkCell};
 
 /// Tolerance for hit-rate comparisons, in percentage points.
 pub const HIT_TOLERANCE: f64 = 10.0;
@@ -116,15 +117,27 @@ impl Scorecard {
 }
 
 /// Runs the scorecard: four metrics per benchmark against the paper.
+///
+/// The three stream configurations share one replay pass per benchmark,
+/// and the nested Figure 9 / Table 4 runs reuse the same [`TraceStore`]
+/// as this driver (via the shared options), so no L1 is simulated twice.
+///
+/// [`TraceStore`]: crate::TraceStore
 pub fn run(options: &ExperimentOptions) -> Scorecard {
+    let configs = [
+        StreamConfig::paper_basic(10).expect("valid"),
+        StreamConfig::paper_filtered(10).expect("valid"),
+        StreamConfig::paper_strided(10, 16).expect("valid"),
+    ];
     let mut cells = Vec::new();
     for (name, trace) in miss_traces(options) {
         let Some(p) = paper::benchmark(&name) else {
             continue;
         };
-        let basic = run_streams(&trace, StreamConfig::paper_basic(10).expect("valid"));
-        let filtered = run_streams(&trace, StreamConfig::paper_filtered(10).expect("valid"));
-        let strided = run_streams(&trace, StreamConfig::paper_strided(10, 16).expect("valid"));
+        let mut stats = replay_streams(&trace, &configs).into_iter();
+        let basic = stats.next().expect("three configs");
+        let filtered = stats.next().expect("three configs");
+        let strided = stats.next().expect("three configs");
 
         let mut grade = |metric, measured: f64, reported: f64, tol| {
             cells.push(Cell {
@@ -203,38 +216,58 @@ pub fn run(options: &ExperimentOptions) -> Scorecard {
     Scorecard { cells, claims }
 }
 
-impl fmt::Display for Scorecard {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "Reproduction scorecard (hit ±{HIT_TOLERANCE} pts = match, EB ±{EB_TOLERANCE} pts)"
-        )?;
-        let mut t = TextTable::new(vec!["bench", "metric", "measured", "paper", "verdict"]);
+impl Artifact for Scorecard {
+    fn artifact(&self) -> &'static str {
+        "scorecard"
+    }
+
+    fn emit(&self, sink: &mut dyn ArtifactSink) {
+        sink.begin_table(
+            self.artifact(),
+            "verdicts",
+            &format!(
+                "Reproduction scorecard (hit ±{HIT_TOLERANCE} pts = match, EB ±{EB_TOLERANCE} pts)"
+            ),
+            &[
+                col("bench", "bench"),
+                col("metric", "metric"),
+                col("measured", "measured"),
+                col("paper", "reported"),
+                col("verdict", "verdict"),
+            ],
+        );
         for c in &self.cells {
-            t.row(vec![
-                c.bench.clone(),
-                c.metric.to_owned(),
-                format!("{:.0}", c.measured),
-                format!("{:.0}", c.reported),
-                c.verdict.to_string(),
+            sink.row(&[
+                SinkCell::text(c.bench.clone()),
+                SinkCell::text(c.metric),
+                SinkCell::num(c.measured, format!("{:.0}", c.measured)),
+                SinkCell::num(c.reported, format!("{:.0}", c.reported)),
+                SinkCell::text(c.verdict.to_string()),
             ]);
         }
-        t.fmt(f)?;
-        writeln!(f, "structural claims:")?;
+        sink.begin_table(
+            self.artifact(),
+            "claims",
+            "structural claims:",
+            &[col("verdict", "holds"), col("claim", "claim")],
+        );
         for c in &self.claims {
-            writeln!(
-                f,
-                "  [{}] {}",
-                if c.holds { "HOLDS" } else { "FAILS" },
-                c.claim
-            )?;
+            sink.row(&[
+                SinkCell::text(if c.holds { "[HOLDS]" } else { "[FAILS]" }),
+                SinkCell::text(c.claim),
+            ]);
         }
         let (m, close, off) = self.tally();
-        writeln!(
-            f,
+        sink.note(&format!(
             "tally: {m} match, {close} close, {off} off ({:.0}% agreement)",
             self.agreement() * 100.0
-        )
+        ));
+    }
+}
+
+impl fmt::Display for Scorecard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::render_text(self))
     }
 }
 

@@ -8,8 +8,8 @@
 use std::fmt;
 
 use crate::experiments::{workload_set, ExperimentOptions};
-use crate::report::TextTable;
-use crate::{paper, parallel_map, record_miss_trace, L1Summary};
+use crate::sink::{col, Artifact, ArtifactSink, Cell};
+use crate::{paper, parallel_map, L1Summary};
 
 /// One benchmark's measured characteristics.
 #[derive(Clone, Debug)]
@@ -34,9 +34,11 @@ pub struct Table1 {
 /// Runs the experiment.
 pub fn run(options: &ExperimentOptions) -> Table1 {
     let record = options.record_options();
+    let store = options.store.clone();
     let rows = parallel_map(workload_set(options.scale), move |w| {
-        let trace =
-            record_miss_trace(w.as_ref(), &record).expect("paper L1 configuration is valid");
+        let trace = store
+            .record(w.as_ref(), &record)
+            .expect("paper L1 configuration is valid");
         Row {
             name: w.name().to_owned(),
             suite: w.suite().to_string(),
@@ -47,29 +49,55 @@ pub fn run(options: &ExperimentOptions) -> Table1 {
     Table1 { rows }
 }
 
-impl fmt::Display for Table1 {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "Table 1: benchmark characteristics (64K I + 64K D, 4-way, random repl.)"
-        )?;
-        let mut t = TextTable::new(vec![
-            "bench", "suite", "size MB", "paper MB", "miss %", "paper %", "MPI %", "paper %",
-        ]);
+impl Artifact for Table1 {
+    fn artifact(&self) -> &'static str {
+        "table1"
+    }
+
+    fn emit(&self, sink: &mut dyn ArtifactSink) {
+        sink.begin_table(
+            self.artifact(),
+            "characteristics",
+            "Table 1: benchmark characteristics (64K I + 64K D, 4-way, random repl.)",
+            &[
+                col("bench", "bench"),
+                col("suite", "suite"),
+                col("size MB", "size_mb"),
+                col("paper MB", "paper_size_mb"),
+                col("miss %", "miss_pct"),
+                col("paper %", "paper_miss_pct"),
+                col("MPI %", "mpi_pct"),
+                col("paper %", "paper_mpi_pct"),
+            ],
+        );
         for r in &self.rows {
             let p = paper::benchmark(&r.name);
-            t.row(vec![
-                r.name.clone(),
-                r.suite.clone(),
-                format!("{:.1}", r.data_set_bytes as f64 / (1 << 20) as f64),
-                p.map_or(String::new(), |p| format!("{:.1}", p.data_set_mb)),
-                format!("{:.2}", r.l1.data_miss_rate() * 100.0),
-                p.map_or(String::new(), |p| format!("{:.2}", p.data_miss_rate_pct)),
-                format!("{:.2}", r.l1.mpi() * 100.0),
-                p.map_or(String::new(), |p| format!("{:.2}", p.mpi_pct)),
+            let size_mb = r.data_set_bytes as f64 / (1 << 20) as f64;
+            let miss = r.l1.data_miss_rate() * 100.0;
+            let mpi = r.l1.mpi() * 100.0;
+            sink.row(&[
+                Cell::text(r.name.clone()),
+                Cell::text(r.suite.clone()),
+                Cell::num(size_mb, format!("{size_mb:.1}")),
+                p.map_or(Cell::text(""), |p| {
+                    Cell::num(p.data_set_mb, format!("{:.1}", p.data_set_mb))
+                }),
+                Cell::num(miss, format!("{miss:.2}")),
+                p.map_or(Cell::text(""), |p| {
+                    Cell::num(p.data_miss_rate_pct, format!("{:.2}", p.data_miss_rate_pct))
+                }),
+                Cell::num(mpi, format!("{mpi:.2}")),
+                p.map_or(Cell::text(""), |p| {
+                    Cell::num(p.mpi_pct, format!("{:.2}", p.mpi_pct))
+                }),
             ]);
         }
-        t.fmt(f)
+    }
+}
+
+impl fmt::Display for Table1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::render_text(self))
     }
 }
 

@@ -11,7 +11,7 @@ use std::fmt;
 use streamsim_streams::{StreamConfig, StreamStats};
 
 use crate::experiments::{miss_traces, ExperimentOptions};
-use crate::report::TextTable;
+use crate::sink::{col, Artifact, ArtifactSink, Cell};
 use crate::{paper, run_streams};
 
 /// One benchmark's bandwidth accounting.
@@ -59,24 +59,45 @@ pub fn run(options: &ExperimentOptions) -> Table2 {
     Table2 { rows }
 }
 
-impl fmt::Display for Table2 {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "Table 2: extra bandwidth of ordinary streams (10 streams, depth 2, no filter)"
-        )?;
-        let mut t = TextTable::new(vec!["bench", "EB %", "formula %", "paper %", "hit %"]);
+impl Artifact for Table2 {
+    fn artifact(&self) -> &'static str {
+        "table2"
+    }
+
+    fn emit(&self, sink: &mut dyn ArtifactSink) {
+        sink.begin_table(
+            self.artifact(),
+            "extra_bandwidth",
+            "Table 2: extra bandwidth of ordinary streams (10 streams, depth 2, no filter)",
+            &[
+                col("bench", "bench"),
+                col("EB %", "eb_pct"),
+                col("formula %", "formula_pct"),
+                col("paper %", "paper_eb_pct"),
+                col("hit %", "hit_pct"),
+            ],
+        );
         for r in &self.rows {
             let p = paper::benchmark(&r.name);
-            t.row(vec![
-                r.name.clone(),
-                format!("{:.0}", r.eb() * 100.0),
-                format!("{:.0}", r.stats.extra_bandwidth_paper_formula(2) * 100.0),
-                p.map_or(String::new(), |p| format!("{:.0}", p.eb_basic_pct)),
-                format!("{:.0}", r.stats.hit_rate() * 100.0),
+            let eb = r.eb() * 100.0;
+            let formula = r.stats.extra_bandwidth_paper_formula(2) * 100.0;
+            let hit = r.stats.hit_rate() * 100.0;
+            sink.row(&[
+                Cell::text(r.name.clone()),
+                Cell::num(eb, format!("{eb:.0}")),
+                Cell::num(formula, format!("{formula:.0}")),
+                p.map_or(Cell::text(""), |p| {
+                    Cell::num(p.eb_basic_pct, format!("{:.0}", p.eb_basic_pct))
+                }),
+                Cell::num(hit, format!("{hit:.0}")),
             ]);
         }
-        t.fmt(f)
+    }
+}
+
+impl fmt::Display for Table2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::render_text(self))
     }
 }
 

@@ -12,7 +12,7 @@ use std::fmt;
 use streamsim_streams::{LengthBucket, LengthHistogram, StreamConfig};
 
 use crate::experiments::{miss_traces, ExperimentOptions};
-use crate::report::TextTable;
+use crate::sink::{col, Artifact, ArtifactSink, Cell};
 use crate::{paper, run_streams};
 
 /// One benchmark's length distribution.
@@ -50,27 +50,52 @@ pub fn run(options: &ExperimentOptions) -> Table3 {
     Table3 { rows }
 }
 
-impl fmt::Display for Table3 {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "Table 3: stream-length distribution, % of hits per bucket (10 streams)"
-        )?;
-        let mut headers: Vec<String> = vec!["bench".into()];
-        headers.extend(LengthBucket::ALL.iter().map(|b| b.to_string()));
-        headers.push("paper 1-5".into());
-        headers.push("paper >20".into());
-        let mut t = TextTable::new(headers);
+impl Artifact for Table3 {
+    fn artifact(&self) -> &'static str {
+        "table3"
+    }
+
+    fn emit(&self, sink: &mut dyn ArtifactSink) {
+        let mut columns = vec![col("bench", "bench")];
+        columns.extend(LengthBucket::ALL.iter().map(|b| {
+            let label = b.to_string();
+            let key = format!(
+                "len_{}_pct",
+                label.replace('-', "_").replace('>', "over_").to_lowercase()
+            );
+            col(label, key)
+        }));
+        columns.push(col("paper 1-5", "paper_len_1_5_pct"));
+        columns.push(col("paper >20", "paper_len_over_20_pct"));
+        sink.begin_table(
+            self.artifact(),
+            "length_distribution",
+            "Table 3: stream-length distribution, % of hits per bucket (10 streams)",
+            &columns,
+        );
         for r in &self.rows {
             let p = paper::benchmark(&r.name);
             let fractions = r.lengths.hit_fractions();
-            let mut cells = vec![r.name.clone()];
-            cells.extend(fractions.iter().map(|x| format!("{:.0}", x * 100.0)));
-            cells.push(p.map_or(String::new(), |p| format!("{:.0}", p.len_1_5_pct)));
-            cells.push(p.map_or(String::new(), |p| format!("{:.0}", p.len_over_20_pct)));
-            t.row(cells);
+            let mut cells = vec![Cell::text(r.name.clone())];
+            cells.extend(
+                fractions
+                    .iter()
+                    .map(|x| Cell::num(x * 100.0, format!("{:.0}", x * 100.0))),
+            );
+            cells.push(p.map_or(Cell::text(""), |p| {
+                Cell::num(p.len_1_5_pct, format!("{:.0}", p.len_1_5_pct))
+            }));
+            cells.push(p.map_or(Cell::text(""), |p| {
+                Cell::num(p.len_over_20_pct, format!("{:.0}", p.len_over_20_pct))
+            }));
+            sink.row(&cells);
         }
-        t.fmt(f)
+    }
+}
+
+impl fmt::Display for Table3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::render_text(self))
     }
 }
 

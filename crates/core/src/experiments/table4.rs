@@ -21,8 +21,9 @@ use streamsim_cache::CacheConfig;
 use streamsim_streams::StreamConfig;
 
 use crate::experiments::{table4_pairs, ExperimentOptions};
-use crate::report::{size, TextTable};
-use crate::{paper, parallel_map, record_miss_trace, run_l2, run_streams, MissTrace};
+use crate::report::size;
+use crate::sink::{col, Artifact, ArtifactSink, Cell};
+use crate::{paper, parallel_map, replay, L2Observer, MissObserver, StreamObserver};
 
 /// The L2 capacities swept, smallest to largest.
 pub const L2_SIZES: [u64; 7] = [
@@ -73,41 +74,49 @@ impl Table4 {
     }
 }
 
-/// Best local hit rate over the paper's associativities at a fixed
-/// capacity, with the block size pinned to the L1's (see module docs).
-fn best_l2_hit(trace: &MissTrace, size_bytes: u64) -> f64 {
-    let mut best: f64 = 0.0;
-    for assoc in [1u32, 2, 4] {
-        let block = trace.l1_block();
-        let Ok(cfg) = CacheConfig::secondary(size_bytes, assoc, block) else {
-            continue;
-        };
-        if let Ok(stats) = run_l2(trace, cfg, None) {
-            best = best.max(stats.hit_rate());
-        }
-    }
-    best
-}
-
 fn measure(
     name: &str,
     large: bool,
     workload: &dyn streamsim_workloads::Workload,
     options: &ExperimentOptions,
 ) -> Row {
-    let trace = record_miss_trace(workload, &options.record_options())
+    let trace = options
+        .store
+        .record(workload, &options.record_options())
         .expect("paper L1 configuration is valid");
-    let stream_hit = run_streams(
-        &trace,
-        StreamConfig::paper_strided(10, CZONE_BITS).expect("valid"),
-    )
-    .hit_rate();
+    let block = trace.l1_block();
+
+    // The stream system and the full capacity × associativity L2 grid
+    // observe the trace in one pass; the minimum-capacity scan then runs
+    // over the collected hit rates.
+    let mut streams = StreamObserver::new(
+        StreamConfig::paper_strided(10, CZONE_BITS).expect("paper stream configuration is valid"),
+    );
+    let mut grid: Vec<(u64, L2Observer)> = L2_SIZES
+        .iter()
+        .flat_map(|&cap| [1u32, 2, 4].map(|assoc| (cap, assoc)))
+        .filter_map(|(cap, assoc)| {
+            let cfg = CacheConfig::secondary(cap, assoc, block).ok()?;
+            Some((cap, L2Observer::new(cfg, None).ok()?))
+        })
+        .collect();
+    {
+        let mut observers: Vec<&mut dyn MissObserver> = vec![&mut streams];
+        observers.extend(grid.iter_mut().map(|(_, o)| o as &mut dyn MissObserver));
+        replay(&trace, &mut observers);
+    }
+
+    let stream_hit = streams.stats().hit_rate();
     let mut min_l2_bytes = None;
     let mut l2_hit = 0.0;
     for &cap in &L2_SIZES {
-        let hit = best_l2_hit(&trace, cap);
-        l2_hit = hit;
-        if hit >= stream_hit {
+        let best = grid
+            .iter()
+            .filter(|(c, _)| *c == cap)
+            .map(|(_, o)| o.stats().hit_rate())
+            .fold(0.0f64, f64::max);
+        l2_hit = best;
+        if best >= stream_hit {
             min_l2_bytes = Some(cap);
             break;
         }
@@ -129,43 +138,63 @@ pub fn run(options: &ExperimentOptions) -> Table4 {
         cells.push((name, false, small));
         cells.push((name, true, large));
     }
-    let opts = *options;
+    let opts = options.clone();
     let rows = parallel_map(cells, move |(name, large, workload)| {
         measure(name, large, workload.as_ref(), &opts)
     });
     Table4 { rows }
 }
 
-impl fmt::Display for Table4 {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "Table 4: streams vs minimum secondary cache for equal local hit rate"
-        )?;
-        let mut t = TextTable::new(vec![
-            "bench",
-            "input",
-            "stream hit %",
-            "paper %",
-            "min L2",
-            "paper L2",
-            "L2 hit %",
-        ]);
+impl Artifact for Table4 {
+    fn artifact(&self) -> &'static str {
+        "table4"
+    }
+
+    fn emit(&self, sink: &mut dyn ArtifactSink) {
+        sink.begin_table(
+            self.artifact(),
+            "scaling",
+            "Table 4: streams vs minimum secondary cache for equal local hit rate",
+            &[
+                col("bench", "bench"),
+                col("input", "input_mb"),
+                col("stream hit %", "stream_hit_pct"),
+                col("paper %", "paper_stream_hit_pct"),
+                col("min L2", "min_l2_bytes"),
+                col("paper L2", "paper_min_l2_bytes"),
+                col("L2 hit %", "l2_hit_pct"),
+            ],
+        );
         for r in &self.rows {
             let p = paper::TABLE4
                 .iter()
                 .find(|p| p.name == r.name && p.large == r.large);
-            t.row(vec![
-                r.name.clone(),
-                format!("{:.1} MB", r.data_set_bytes as f64 / (1 << 20) as f64),
-                format!("{:.0}", r.stream_hit * 100.0),
-                p.map_or(String::new(), |p| format!("{}", p.stream_hit_pct)),
-                r.min_l2_bytes.map_or(">4 MB".into(), size),
-                p.map_or(String::new(), |p| size(p.min_l2_bytes)),
-                format!("{:.0}", r.l2_hit * 100.0),
+            let input_mb = r.data_set_bytes as f64 / (1 << 20) as f64;
+            let stream_hit = r.stream_hit * 100.0;
+            let l2_hit = r.l2_hit * 100.0;
+            sink.row(&[
+                Cell::text(r.name.clone()),
+                Cell::num(input_mb, format!("{input_mb:.1} MB")),
+                Cell::num(stream_hit, format!("{stream_hit:.0}")),
+                p.map_or(Cell::text(""), |p| {
+                    Cell::num(f64::from(p.stream_hit_pct), format!("{}", p.stream_hit_pct))
+                }),
+                match r.min_l2_bytes {
+                    Some(bytes) => Cell::int(bytes as i64, size(bytes)),
+                    None => Cell::text(">4 MB"),
+                },
+                p.map_or(Cell::text(""), |p| {
+                    Cell::int(p.min_l2_bytes as i64, size(p.min_l2_bytes))
+                }),
+                Cell::num(l2_hit, format!("{l2_hit:.0}")),
             ]);
         }
-        t.fmt(f)
+    }
+}
+
+impl fmt::Display for Table4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::render_text(self))
     }
 }
 

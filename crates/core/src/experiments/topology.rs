@@ -25,10 +25,12 @@ use streamsim_cache::{CacheConfig, SetAssocCache};
 use streamsim_streams::{StreamConfig, StreamSystem};
 use streamsim_trace::{AccessKind, BlockSize};
 
+use streamsim_trace::Addr;
+
 use crate::experiments::cpi::Timing;
 use crate::experiments::{miss_traces, ExperimentOptions};
-use crate::report::TextTable;
-use crate::{MissEvent, MissTrace};
+use crate::sink::{col, Artifact, ArtifactSink, Cell};
+use crate::{replay, L2Observer, MissObserver, MissTrace};
 
 /// One benchmark's topology comparison (memory CPI per system).
 #[derive(Clone, Debug)]
@@ -62,37 +64,49 @@ impl Topology {
     }
 }
 
+/// The Jouppi topology as one observer: an L2 that sees only the misses
+/// the streams in front of it could not cover.
+struct JouppiChain {
+    streams: StreamSystem,
+    residual_l2: SetAssocCache,
+}
+
+impl MissObserver for JouppiChain {
+    fn on_fetch(&mut self, addr: Addr, kind: AccessKind) {
+        if !self.streams.on_l1_miss(addr).is_hit() {
+            self.residual_l2.access(addr, kind);
+        }
+    }
+
+    fn on_writeback(&mut self, base: Addr) {
+        self.streams
+            .on_writeback(base.block(self.streams.config().block()));
+        self.residual_l2.access(base, AccessKind::Store);
+    }
+
+    fn finish(&mut self) {
+        self.streams.finalize();
+    }
+}
+
 fn measure(name: String, trace: &MissTrace, timing: Timing) -> Row {
     let config = StreamConfig::paper_filtered(10).expect("valid");
     let l2_cfg = CacheConfig::new(1 << 20, 2, BlockSize::default()).expect("valid");
 
-    // One replay drives the streams and two L2 instances: one seeing the
-    // stream-miss residual (Jouppi), one seeing every miss (conventional).
-    let mut streams = StreamSystem::new(config);
-    let mut residual_l2 = SetAssocCache::new(l2_cfg).expect("valid");
-    let mut full_l2 = SetAssocCache::new(l2_cfg).expect("valid");
-    for event in trace.events() {
-        match *event {
-            MissEvent::Fetch { addr, kind } => {
-                if !streams.on_l1_miss(addr).is_hit() {
-                    residual_l2.access(addr, kind);
-                }
-                full_l2.access(addr, kind);
-            }
-            MissEvent::Writeback { base } => {
-                streams.on_writeback(base.block(config.block()));
-                residual_l2.access(base, AccessKind::Store);
-                full_l2.access(base, AccessKind::Store);
-            }
-        }
-    }
-    streams.finalize();
-    let stats = streams.stats();
+    // One replay drives the Jouppi chain (streams + residual L2) and the
+    // conventional L2 (seeing every miss) side by side.
+    let mut jouppi = JouppiChain {
+        streams: StreamSystem::new(config),
+        residual_l2: SetAssocCache::new(l2_cfg).expect("valid"),
+    };
+    let mut full_l2 = L2Observer::new(l2_cfg, None).expect("valid");
+    replay(trace, &mut [&mut jouppi, &mut full_l2]);
+    let stats = jouppi.streams.stats();
 
     let refs = trace.l1().refs() as f64;
     let misses = trace.l1().misses() as f64;
     let hit = stats.hit_rate();
-    let residual_hit = residual_l2.stats().hit_rate();
+    let residual_hit = jouppi.residual_l2.stats().hit_rate();
     let l2_hit = full_l2.stats().hit_rate();
 
     let lm = timing.memory_latency as f64;
@@ -128,39 +142,53 @@ pub fn run(options: &ExperimentOptions) -> Topology {
     Topology { rows, timing }
 }
 
-impl fmt::Display for Topology {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "Stream placement (§3): estimated memory CPI per topology (memory {} cyc, L2 {}, buffer {})",
-            self.timing.memory_latency, self.timing.l2_latency, self.timing.buffer_latency
-        )?;
-        let mut t = TextTable::new(vec![
-            "bench",
-            "streams+mem (paper)",
-            "streams+L2 (Jouppi)",
-            "L2 only",
-            "stream hit %",
-            "residual L2 %",
-        ]);
+impl Artifact for Topology {
+    fn artifact(&self) -> &'static str {
+        "topology"
+    }
+
+    fn emit(&self, sink: &mut dyn ArtifactSink) {
+        sink.begin_table(
+            self.artifact(),
+            "placement",
+            &format!(
+                "Stream placement (§3): estimated memory CPI per topology (memory {} cyc, L2 {}, buffer {})",
+                self.timing.memory_latency, self.timing.l2_latency, self.timing.buffer_latency
+            ),
+            &[
+                col("bench", "bench"),
+                col("streams+mem (paper)", "paper_cpi"),
+                col("streams+L2 (Jouppi)", "jouppi_cpi"),
+                col("L2 only", "l2_cpi"),
+                col("stream hit %", "stream_hit_pct"),
+                col("residual L2 %", "residual_l2_hit_pct"),
+            ],
+        );
         for r in &self.rows {
-            t.row(vec![
-                r.name.clone(),
-                format!("{:.2}", r.memory_cpi[0]),
-                format!("{:.2}", r.memory_cpi[1]),
-                format!("{:.2}", r.memory_cpi[2]),
-                format!("{:.0}", r.stream_hit * 100.0),
-                format!("{:.0}", r.residual_l2_hit * 100.0),
+            sink.row(&[
+                Cell::text(r.name.clone()),
+                Cell::num(r.memory_cpi[0], format!("{:.2}", r.memory_cpi[0])),
+                Cell::num(r.memory_cpi[1], format!("{:.2}", r.memory_cpi[1])),
+                Cell::num(r.memory_cpi[2], format!("{:.2}", r.memory_cpi[2])),
+                Cell::num(r.stream_hit * 100.0, format!("{:.0}", r.stream_hit * 100.0)),
+                Cell::num(
+                    r.residual_l2_hit * 100.0,
+                    format!("{:.0}", r.residual_l2_hit * 100.0),
+                ),
             ]);
         }
-        t.fmt(f)?;
-        writeln!(
-            f,
+        sink.note(
             "the Jouppi column buys little over the paper's topology wherever streams\n\
              already hit — the megabytes of SRAM mostly duplicate what the buffers\n\
              provide, which is the paper's §9 cost argument (prefetch fills are\n\
-             charged at the residual L2 rate: an approximation stated in the docs)"
-        )
+             charged at the residual L2 rate: an approximation stated in the docs)",
+        );
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::render_text(self))
     }
 }
 

@@ -25,8 +25,8 @@ use streamsim_streams::{StreamConfig, StreamStats};
 use streamsim_trace::BlockSize;
 
 use crate::experiments::{workload_set, ExperimentOptions};
-use crate::report::TextTable;
-use crate::{parallel_map, record_miss_trace, run_streams, MissTrace};
+use crate::sink::{col, Artifact, ArtifactSink, Cell};
+use crate::{parallel_map, run_streams, MissTrace};
 
 /// The conventional system's L2 capacity.
 pub const L2_BYTES: u64 = 1 << 20;
@@ -79,10 +79,16 @@ fn baseline_bytes(trace: &MissTrace) -> u64 {
 }
 
 /// Runs the experiment.
+///
+/// The stream side replays the stored miss trace; the conventional
+/// two-level system inherently needs the *full* reference stream (its L1
+/// is part of the simulated hierarchy), so it re-generates the workload
+/// rather than replaying the trace.
 pub fn run(options: &ExperimentOptions) -> Traffic {
     let record = options.record_options();
+    let store = options.store.clone();
     let rows = parallel_map(workload_set(options.scale), move |w| {
-        let trace = record_miss_trace(w.as_ref(), &record).expect("valid L1");
+        let trace = store.record(w.as_ref(), &record).expect("valid L1");
         let streams = run_streams(&trace, StreamConfig::paper_filtered(10).expect("valid"));
         let baseline = baseline_bytes(&trace);
         let streams_bytes = baseline + streams.useless_prefetches() * trace.l1_block().bytes();
@@ -115,36 +121,48 @@ pub fn run(options: &ExperimentOptions) -> Traffic {
     Traffic { rows }
 }
 
-impl fmt::Display for Traffic {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "Memory traffic vs the L1-only demand baseline (10 filtered streams vs a 1 MB L2)"
-        )?;
-        let mut t = TextTable::new(vec![
-            "bench",
-            "baseline MB",
-            "streams x",
-            "L2 x",
-            "stream hit %",
-            "L2 local hit %",
-        ]);
+impl Artifact for Traffic {
+    fn artifact(&self) -> &'static str {
+        "traffic"
+    }
+
+    fn emit(&self, sink: &mut dyn ArtifactSink) {
+        sink.begin_table(
+            self.artifact(),
+            "memory_traffic",
+            "Memory traffic vs the L1-only demand baseline (10 filtered streams vs a 1 MB L2)",
+            &[
+                col("bench", "bench"),
+                col("baseline MB", "baseline_mb"),
+                col("streams x", "streams_ratio"),
+                col("L2 x", "l2_ratio"),
+                col("stream hit %", "stream_hit_pct"),
+                col("L2 local hit %", "l2_local_hit_pct"),
+            ],
+        );
         for r in &self.rows {
-            t.row(vec![
-                r.name.clone(),
-                format!("{:.1}", r.baseline_bytes as f64 / (1 << 20) as f64),
-                format!("{:.2}", r.streams_ratio()),
-                format!("{:.2}", r.l2_ratio()),
-                format!("{:.0}", r.streams.hit_rate() * 100.0),
-                format!("{:.0}", r.l2_local_hit * 100.0),
+            let baseline_mb = r.baseline_bytes as f64 / (1 << 20) as f64;
+            let stream_hit = r.streams.hit_rate() * 100.0;
+            let l2_hit = r.l2_local_hit * 100.0;
+            sink.row(&[
+                Cell::text(r.name.clone()),
+                Cell::num(baseline_mb, format!("{baseline_mb:.1}")),
+                Cell::num(r.streams_ratio(), format!("{:.2}", r.streams_ratio())),
+                Cell::num(r.l2_ratio(), format!("{:.2}", r.l2_ratio())),
+                Cell::num(stream_hit, format!("{stream_hit:.0}")),
+                Cell::num(l2_hit, format!("{l2_hit:.0}")),
             ]);
         }
-        t.fmt(f)?;
-        writeln!(
-            f,
+        sink.note(
             "streams trade bounded extra bandwidth (the filtered EB) for megabytes of\n\
-             SRAM; the L2 saves bandwidth only where the working set fits it"
-        )
+             SRAM; the L2 saves bandwidth only where the working set fits it",
+        );
+    }
+}
+
+impl fmt::Display for Traffic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::render_text(self))
     }
 }
 

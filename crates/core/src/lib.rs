@@ -9,14 +9,25 @@
 //!   the L1 miss stream does not depend on what sits behind the L1, so it
 //!   is recorded once per workload ([`record_miss_trace`]) and replayed
 //!   against any number of stream-buffer or secondary-cache
-//!   configurations ([`run_streams`], [`run_l2`]) at a tiny fraction of
-//!   the full simulation cost.
+//!   configurations at a tiny fraction of the full simulation cost.
+//! * [`TraceStore`] — memoizes recorded traces per (workload, L1
+//!   geometry, sampling) key; drivers sharing a store via
+//!   [`experiments::ExperimentOptions`] simulate each L1 exactly once.
+//! * [`replay`] — drives any number of [`MissObserver`]s
+//!   ([`StreamObserver`], [`L2Observer`], or custom) over one recorded
+//!   trace in a single pass ([`replay_streams`], [`replay_l2`];
+//!   [`run_streams`] and [`run_l2`] are the one-observer wrappers).
 //! * [`experiments`] — one driver per table and figure in the paper's
 //!   evaluation (Tables 1–4, Figures 3, 5, 8, 9) plus the ablation suite,
 //!   each printing measured results next to the paper's reported values.
 //! * [`paper`] — the paper's reported numbers, transcribed.
-//! * [`report::TextTable`] — plain-text table rendering for all of the
-//!   above.
+//! * [`sink`] — structured result emission: every driver implements
+//!   [`Artifact`] and renders through an [`ArtifactSink`] as aligned
+//!   text tables ([`TextSink`]) or one flat JSON object per row
+//!   ([`JsonLinesSink`]), which is what `streamsim-report --json` and
+//!   `--diff` build on.
+//! * [`report::TextTable`] — plain-text table rendering underneath the
+//!   text sink.
 //!
 //! # Example
 //!
@@ -39,13 +50,22 @@ pub mod chart;
 pub mod experiments;
 mod miss_trace;
 pub mod paper;
+pub mod replay;
 pub mod report;
 mod runner;
+pub mod sink;
 mod system;
+mod trace_store;
 
 pub use miss_trace::{record_miss_trace, run_l2, run_streams, MissEvent, MissTrace, RecordOptions};
+pub use replay::{replay, replay_l2, replay_streams, L2Observer, MissObserver, StreamObserver};
 pub use runner::parallel_map;
+pub use sink::{
+    parse_flat_json_line, render_json_lines, render_text, Artifact, ArtifactSink, Cell,
+    JsonLinesSink, JsonValue, MultiSink, TextSink,
+};
 pub use system::{L1Summary, MemorySystem, MemorySystemBuilder, SimReport, StreamTopology};
+pub use trace_store::TraceStore;
 
 // Re-export the workspace's key types so downstream users need only this
 // crate (plus the facade) for common tasks.

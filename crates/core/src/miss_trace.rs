@@ -9,10 +9,8 @@
 //! smaller, which is what makes the paper's parameter sweeps (ten stream
 //! counts × fifteen benchmarks, dozens of L2 geometries) cheap.
 
-use streamsim_cache::{
-    AccessOutcome, CacheConfig, CacheConfigError, SetAssocCache, SetSampling, SplitL1,
-};
-use streamsim_streams::{StreamConfig, StreamStats, StreamSystem};
+use streamsim_cache::{AccessOutcome, CacheConfig, CacheConfigError, SetSampling, SplitL1};
+use streamsim_streams::{StreamConfig, StreamStats};
 use streamsim_trace::{sampling_sink, Access, AccessKind, Addr, BlockSize};
 use streamsim_workloads::Workload;
 
@@ -73,7 +71,7 @@ impl RecordOptions {
 
 /// A recorded primary-cache miss stream plus the L1 statistics that
 /// produced it.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MissTrace {
     events: Vec<MissEvent>,
     summary: L1Summary,
@@ -153,20 +151,14 @@ pub fn record_miss_trace(
 
 /// Replays a miss trace against a stream-buffer configuration and returns
 /// the finalized statistics.
+///
+/// A one-observer convenience over [`crate::replay`]; use
+/// [`crate::replay_streams`] to sweep several configurations in a single
+/// pass over the trace.
 pub fn run_streams(trace: &MissTrace, config: StreamConfig) -> StreamStats {
-    let mut sys = StreamSystem::new(config);
-    for event in trace.events() {
-        match *event {
-            MissEvent::Fetch { addr, .. } => {
-                sys.on_l1_miss(addr);
-            }
-            MissEvent::Writeback { base } => {
-                sys.on_writeback(base.block(config.block()));
-            }
-        }
-    }
-    sys.finalize();
-    sys.stats()
+    let mut observer = crate::replay::StreamObserver::new(config);
+    crate::replay(trace, &mut [&mut observer]);
+    observer.stats()
 }
 
 /// Replays a miss trace against a secondary cache (optionally
@@ -182,22 +174,9 @@ pub fn run_l2(
     config: CacheConfig,
     sampling: Option<SetSampling>,
 ) -> Result<streamsim_cache::CacheStats, CacheConfigError> {
-    let mut l2 = match sampling {
-        Some(s) => SetAssocCache::with_sampling(config, s)?,
-        None => SetAssocCache::new(config)?,
-    };
-    for event in trace.events() {
-        match *event {
-            MissEvent::Fetch { addr, kind } => {
-                l2.access(addr, kind);
-            }
-            // A write-back from L1 is a store access at the L2.
-            MissEvent::Writeback { base } => {
-                l2.access(base, AccessKind::Store);
-            }
-        }
-    }
-    Ok(*l2.stats())
+    let mut observer = crate::replay::L2Observer::new(config, sampling)?;
+    crate::replay(trace, &mut [&mut observer]);
+    Ok(observer.stats())
 }
 
 #[cfg(test)]

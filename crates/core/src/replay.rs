@@ -1,0 +1,262 @@
+//! Single-pass replay of a miss trace into many observers.
+//!
+//! The paper sweeps configurations, not workloads: ten stream counts,
+//! dozens of secondary-cache geometries, all judged against the *same*
+//! recorded miss stream. Replaying that stream once per configuration
+//! walks the event vector N times; [`replay`] instead walks it once and
+//! fans each event out to N [`MissObserver`]s. Observers are independent
+//! (a stream system cannot see an L2's state), so the fan-out is
+//! behaviour-preserving by construction — the property tests in
+//! `tests/replay_properties.rs` pin this down.
+//!
+//! Two observers cover the common cases: [`StreamObserver`] wraps a
+//! [`StreamSystem`], [`L2Observer`] wraps a [`SetAssocCache`]. Drivers
+//! with bespoke plumbing (e.g. the Jouppi topology, where a secondary
+//! cache sees only the stream-miss residual) implement [`MissObserver`]
+//! themselves and join the same pass.
+
+use streamsim_cache::{CacheConfig, CacheConfigError, CacheStats, SetAssocCache, SetSampling};
+use streamsim_streams::{StreamConfig, StreamStats, StreamSystem};
+use streamsim_trace::{AccessKind, Addr};
+
+use crate::{MissEvent, MissTrace};
+
+/// Anything that consumes a primary-cache miss stream.
+///
+/// [`replay`] delivers every event of a [`MissTrace`] to each observer in
+/// program order, then calls [`finish`](MissObserver::finish) once.
+pub trait MissObserver {
+    /// A demand fetch (primary-cache miss) of the block containing
+    /// `addr`; `kind` is the missing reference's access kind.
+    fn on_fetch(&mut self, addr: Addr, kind: AccessKind);
+
+    /// A dirty block written back from the primary cache; `base` is the
+    /// block's base byte address.
+    fn on_writeback(&mut self, base: Addr);
+
+    /// Called once after the last event (e.g. to flush in-flight state).
+    fn finish(&mut self) {}
+}
+
+/// Replays `trace` into every observer in a single pass over the events.
+pub fn replay(trace: &MissTrace, observers: &mut [&mut dyn MissObserver]) {
+    for event in trace.events() {
+        match *event {
+            MissEvent::Fetch { addr, kind } => {
+                for o in observers.iter_mut() {
+                    o.on_fetch(addr, kind);
+                }
+            }
+            MissEvent::Writeback { base } => {
+                for o in observers.iter_mut() {
+                    o.on_writeback(base);
+                }
+            }
+        }
+    }
+    for o in observers.iter_mut() {
+        o.finish();
+    }
+}
+
+/// A stream-buffer system as a replay observer.
+#[derive(Debug)]
+pub struct StreamObserver {
+    sys: StreamSystem,
+}
+
+impl StreamObserver {
+    /// Wraps a fresh [`StreamSystem`] of the given configuration.
+    pub fn new(config: StreamConfig) -> Self {
+        StreamObserver {
+            sys: StreamSystem::new(config),
+        }
+    }
+
+    /// The finalized statistics (call after [`replay`]).
+    pub fn stats(&self) -> StreamStats {
+        self.sys.stats()
+    }
+}
+
+impl MissObserver for StreamObserver {
+    fn on_fetch(&mut self, addr: Addr, _kind: AccessKind) {
+        self.sys.on_l1_miss(addr);
+    }
+
+    fn on_writeback(&mut self, base: Addr) {
+        self.sys.on_writeback(base.block(self.sys.config().block()));
+    }
+
+    fn finish(&mut self) {
+        self.sys.finalize();
+    }
+}
+
+/// A secondary cache as a replay observer.
+///
+/// Fetches become demand accesses; a write-back from L1 is a store access
+/// at the L2.
+#[derive(Debug)]
+pub struct L2Observer {
+    cache: SetAssocCache,
+}
+
+impl L2Observer {
+    /// Wraps a fresh cache of the given geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheConfigError`] if the configuration or sampling is
+    /// invalid.
+    pub fn new(
+        config: CacheConfig,
+        sampling: Option<SetSampling>,
+    ) -> Result<Self, CacheConfigError> {
+        let cache = match sampling {
+            Some(s) => SetAssocCache::with_sampling(config, s)?,
+            None => SetAssocCache::new(config)?,
+        };
+        Ok(L2Observer { cache })
+    }
+
+    /// The cache statistics (call after [`replay`]).
+    pub fn stats(&self) -> CacheStats {
+        *self.cache.stats()
+    }
+}
+
+impl MissObserver for L2Observer {
+    fn on_fetch(&mut self, addr: Addr, kind: AccessKind) {
+        self.cache.access(addr, kind);
+    }
+
+    fn on_writeback(&mut self, base: Addr) {
+        self.cache.access(base, AccessKind::Store);
+    }
+}
+
+/// Replays `trace` against every stream configuration in one pass.
+///
+/// Equivalent to N calls of [`crate::run_streams`], but the event vector
+/// is walked once.
+pub fn replay_streams(trace: &MissTrace, configs: &[StreamConfig]) -> Vec<StreamStats> {
+    let mut observers: Vec<StreamObserver> =
+        configs.iter().map(|&c| StreamObserver::new(c)).collect();
+    {
+        let mut refs: Vec<&mut dyn MissObserver> = observers
+            .iter_mut()
+            .map(|o| o as &mut dyn MissObserver)
+            .collect();
+        replay(trace, &mut refs);
+    }
+    observers.iter().map(StreamObserver::stats).collect()
+}
+
+/// Replays `trace` against every secondary-cache cell in one pass.
+///
+/// Equivalent to N calls of [`crate::run_l2`], but the event vector is
+/// walked once.
+///
+/// # Errors
+///
+/// Returns [`CacheConfigError`] if any cell's configuration or sampling
+/// is invalid.
+pub fn replay_l2(
+    trace: &MissTrace,
+    cells: &[(CacheConfig, Option<SetSampling>)],
+) -> Result<Vec<CacheStats>, CacheConfigError> {
+    let mut observers = cells
+        .iter()
+        .map(|&(config, sampling)| L2Observer::new(config, sampling))
+        .collect::<Result<Vec<_>, _>>()?;
+    {
+        let mut refs: Vec<&mut dyn MissObserver> = observers
+            .iter_mut()
+            .map(|o| o as &mut dyn MissObserver)
+            .collect();
+        replay(trace, &mut refs);
+    }
+    Ok(observers.iter().map(L2Observer::stats).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{record_miss_trace, run_l2, run_streams, RecordOptions};
+    use streamsim_trace::BlockSize;
+    use streamsim_workloads::generators::{RandomGather, SequentialSweep};
+
+    fn trace() -> MissTrace {
+        let w = SequentialSweep {
+            arrays: 2,
+            bytes_per_array: 128 * 1024,
+            passes: 2,
+            elem: 8,
+        };
+        record_miss_trace(&w, &RecordOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn multi_stream_replay_matches_independent_passes() {
+        let trace = trace();
+        let configs = [
+            StreamConfig::paper_basic(1).unwrap(),
+            StreamConfig::paper_basic(4).unwrap(),
+            StreamConfig::paper_filtered(10).unwrap(),
+            StreamConfig::paper_strided(6, 16).unwrap(),
+        ];
+        let together = replay_streams(&trace, &configs);
+        for (config, joint) in configs.iter().zip(&together) {
+            assert_eq!(*joint, run_streams(&trace, *config));
+        }
+    }
+
+    #[test]
+    fn multi_l2_replay_matches_independent_passes() {
+        let trace = record_miss_trace(&RandomGather::default(), &RecordOptions::default()).unwrap();
+        let block = BlockSize::new(64).unwrap();
+        let cells = [
+            (CacheConfig::new(64 << 10, 1, block).unwrap(), None),
+            (CacheConfig::new(1 << 20, 2, block).unwrap(), None),
+            (
+                CacheConfig::new(4 << 20, 4, block).unwrap(),
+                Some(SetSampling::new(4, 1)),
+            ),
+        ];
+        let together = replay_l2(&trace, &cells).unwrap();
+        for (&(config, sampling), joint) in cells.iter().zip(&together) {
+            assert_eq!(*joint, run_l2(&trace, config, sampling).unwrap());
+        }
+    }
+
+    #[test]
+    fn mixed_observer_kinds_share_one_pass() {
+        let trace = trace();
+        let mut streams = StreamObserver::new(StreamConfig::paper_filtered(4).unwrap());
+        let mut l2 = L2Observer::new(
+            CacheConfig::new(1 << 20, 2, BlockSize::new(64).unwrap()).unwrap(),
+            None,
+        )
+        .unwrap();
+        replay(&trace, &mut [&mut streams, &mut l2]);
+        assert_eq!(
+            streams.stats(),
+            run_streams(&trace, StreamConfig::paper_filtered(4).unwrap())
+        );
+        assert_eq!(
+            l2.stats(),
+            run_l2(
+                &trace,
+                CacheConfig::new(1 << 20, 2, BlockSize::new(64).unwrap()).unwrap(),
+                None
+            )
+            .unwrap()
+        );
+    }
+
+    #[test]
+    fn empty_observer_list_is_fine() {
+        replay(&trace(), &mut []);
+    }
+}

@@ -6,7 +6,6 @@
 //! is deterministic regardless of scheduling.
 
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Applies `f` to every item, using up to `available_parallelism` worker
@@ -44,36 +43,35 @@ where
         return items.into_iter().map(f).collect();
     }
 
-    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let results: Vec<Mutex<Option<R>>> = work.iter().map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= work.len() {
-                    break;
-                }
-                let item = work[i]
-                    .lock()
-                    .expect("work slot not poisoned")
-                    .take()
-                    .expect("each slot taken once");
-                let r = f(item);
-                *results[i].lock().expect("result slot not poisoned") = Some(r);
-            });
-        }
+    // One shared queue of (index, item); each worker drains it into a
+    // private (index, result) list, and the lists are merged and sorted
+    // back into input order at the end.
+    let queue = Mutex::new(items.into_iter().enumerate());
+    let mut indexed: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut done = Vec::new();
+                    loop {
+                        let next = queue.lock().expect("queue not poisoned").next();
+                        match next {
+                            Some((i, item)) => done.push((i, f(item))),
+                            None => break done,
+                        }
+                    }
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .flat_map(|w| {
+                w.join()
+                    .unwrap_or_else(|panic| std::panic::resume_unwind(panic))
+            })
+            .collect()
     });
-
-    results
-        .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("result slot not poisoned")
-                .expect("every slot filled")
-        })
-        .collect()
+    indexed.sort_unstable_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, r)| r).collect()
 }
 
 #[cfg(test)]

@@ -8,7 +8,7 @@ use streamsim_trace::{Access, AccessKind, BlockSize};
 use streamsim_workloads::Workload;
 
 /// L1 statistics captured by a simulation.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct L1Summary {
     /// Instruction-cache counters.
     pub icache: CacheStats,

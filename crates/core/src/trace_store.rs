@@ -1,0 +1,204 @@
+//! A shared, memoizing store of recorded miss traces.
+//!
+//! The paper's methodology (§4) records the primary-cache miss stream
+//! once per benchmark and replays it against every configuration of
+//! interest. The experiment drivers, however, are independent programs:
+//! left to themselves each re-records the same (workload, L1) traces.
+//! [`TraceStore`] is the shared cache that restores the paper's
+//! record-once discipline across drivers — every [`MissTrace`] is keyed
+//! by the workload's [`fingerprint`](streamsim_workloads::Workload::fingerprint)
+//! plus the full [`RecordOptions`] (L1 geometry, replacement policy and
+//! time sampling), so a full sweep simulates each L1 exactly once no
+//! matter how many drivers ask for it.
+//!
+//! The store is a cheap clone-able handle (`Arc` inside); experiment
+//! workers on different threads share one underlying map. Recording
+//! happens outside the lock, so a miss never serialises the other
+//! workers behind a multi-second L1 simulation.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use streamsim_cache::CacheConfigError;
+use streamsim_workloads::Workload;
+
+use crate::{record_miss_trace, MissTrace, RecordOptions};
+
+/// A memoizing cache of [`MissTrace`]s shared across experiment drivers.
+///
+/// # Example
+///
+/// ```
+/// use streamsim_core::{RecordOptions, TraceStore};
+/// use streamsim_workloads::generators::SequentialSweep;
+///
+/// let store = TraceStore::new();
+/// let w = SequentialSweep::default();
+/// let first = store.record(&w, &RecordOptions::default())?;
+/// let second = store.record(&w, &RecordOptions::default())?;
+/// // The second request is served from the store: same allocation.
+/// assert!(std::sync::Arc::ptr_eq(&first, &second));
+/// assert_eq!(store.misses(), 1);
+/// assert_eq!(store.hits(), 1);
+/// # Ok::<(), streamsim_cache::CacheConfigError>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TraceStore {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    traces: Mutex<HashMap<String, Arc<MissTrace>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl TraceStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        TraceStore::default()
+    }
+
+    /// The memoisation key for a (workload, record options) cell.
+    fn key(workload: &dyn Workload, options: &RecordOptions) -> String {
+        format!("{}|{:?}", workload.fingerprint(), options)
+    }
+
+    /// Records `workload`'s miss trace under `options`, or returns the
+    /// stored trace if an identical recording already exists.
+    ///
+    /// Recording runs outside the store's lock; if two threads race on
+    /// the same cold key both simulate and one result wins, which is
+    /// harmless because recording is deterministic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheConfigError`] if either cache configuration in
+    /// `options` is invalid.
+    pub fn record(
+        &self,
+        workload: &dyn Workload,
+        options: &RecordOptions,
+    ) -> Result<Arc<MissTrace>, CacheConfigError> {
+        let key = Self::key(workload, options);
+        if let Some(trace) = self.inner.traces.lock().expect("store lock").get(&key) {
+            self.inner.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(trace));
+        }
+        self.inner.misses.fetch_add(1, Ordering::Relaxed);
+        let trace = Arc::new(record_miss_trace(workload, options)?);
+        let mut map = self.inner.traces.lock().expect("store lock");
+        Ok(Arc::clone(map.entry(key).or_insert(trace)))
+    }
+
+    /// Number of distinct traces currently stored.
+    pub fn len(&self) -> usize {
+        self.inner.traces.lock().expect("store lock").len()
+    }
+
+    /// Whether the store holds no traces.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// How many [`TraceStore::record`] calls were served from the store.
+    pub fn hits(&self) -> u64 {
+        self.inner.hits.load(Ordering::Relaxed)
+    }
+
+    /// How many [`TraceStore::record`] calls had to simulate an L1.
+    pub fn misses(&self) -> u64 {
+        self.inner.misses.load(Ordering::Relaxed)
+    }
+
+    /// Drops every stored trace (counters are kept).
+    pub fn clear(&self) {
+        self.inner.traces.lock().expect("store lock").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamsim_workloads::generators::{RandomGather, SequentialSweep};
+
+    #[test]
+    fn identical_requests_share_one_recording() {
+        let store = TraceStore::new();
+        let w = SequentialSweep::default();
+        let opts = RecordOptions::default();
+        let a = store.record(&w, &opts).unwrap();
+        let b = store.record(&w, &opts).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(store.len(), 1);
+        assert_eq!((store.misses(), store.hits()), (1, 1));
+    }
+
+    #[test]
+    fn cached_trace_equals_a_fresh_recording() {
+        let store = TraceStore::new();
+        let w = RandomGather {
+            footprint: 1 << 16,
+            count: 5_000,
+            seed: 7,
+        };
+        let opts = RecordOptions::default();
+        let cached = store.record(&w, &opts).unwrap();
+        let fresh = record_miss_trace(&w, &opts).unwrap();
+        assert_eq!(*cached, fresh);
+    }
+
+    #[test]
+    fn distinct_options_are_distinct_entries() {
+        let store = TraceStore::new();
+        let w = SequentialSweep::default();
+        let plain = RecordOptions::default();
+        let sampled = RecordOptions::default().with_paper_sampling();
+        let a = store.record(&w, &plain).unwrap();
+        let b = store.record(&w, &sampled).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_ne!(a.fetches(), b.fetches());
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn distinct_workload_parameters_are_distinct_entries() {
+        // Same name and footprint, different trace: the fingerprint must
+        // tell them apart.
+        let store = TraceStore::new();
+        // The array must exceed the 64 KB L1 so a second pass misses
+        // again instead of hitting the lines the first pass loaded.
+        let one_pass = SequentialSweep {
+            arrays: 1,
+            bytes_per_array: 256 * 1024,
+            passes: 1,
+            elem: 8,
+        };
+        let two_passes = SequentialSweep {
+            passes: 2,
+            ..one_pass
+        };
+        let opts = RecordOptions::default();
+        let a = store.record(&one_pass, &opts).unwrap();
+        let b = store.record(&two_passes, &opts).unwrap();
+        assert_eq!(store.len(), 2);
+        assert!(a.fetches() < b.fetches());
+    }
+
+    #[test]
+    fn clear_empties_the_store() {
+        let store = TraceStore::new();
+        store
+            .record(&SequentialSweep::default(), &RecordOptions::default())
+            .unwrap();
+        assert!(!store.is_empty());
+        store.clear();
+        assert!(store.is_empty());
+        store
+            .record(&SequentialSweep::default(), &RecordOptions::default())
+            .unwrap();
+        assert_eq!(store.misses(), 2, "cleared entries re-record");
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests for the record-once/replay-many engine: the
+//! shared [`TraceStore`] and the multi-observer [`replay`] pass, via the
+//! public API, on the in-tree `streamsim-quickcheck` harness.
+
+use streamsim_prng::quickcheck::{check_with, Gen};
+use streamsim_prng::Rng;
+
+use streamsim_cache::{CacheConfig, Replacement, SetSampling};
+use streamsim_core::{
+    record_miss_trace, replay, replay_l2, replay_streams, run_l2, run_streams, L2Observer,
+    RecordOptions, StreamObserver, TraceStore,
+};
+use streamsim_streams::StreamConfig;
+use streamsim_trace::{Access, AccessKind, Addr, BlockSize};
+use streamsim_workloads::combinators::RecordedTrace;
+
+fn tiny_l1() -> RecordOptions {
+    let cfg = CacheConfig::new(4 * 1024, 2, BlockSize::new(32).unwrap())
+        .unwrap()
+        .with_replacement(Replacement::Lru);
+    RecordOptions {
+        icache: cfg,
+        dcache: cfg,
+        sampling: None,
+    }
+}
+
+fn accesses(g: &mut Gen, max_len: usize) -> Vec<Access> {
+    g.vec(1..max_len, |g| {
+        let addr = g.gen_range(0u64..1 << 18);
+        let kind = g.pick_weighted(&[
+            (3, AccessKind::Load),
+            (1, AccessKind::Store),
+            (1, AccessKind::IFetch),
+        ]);
+        Access::new(Addr::new(addr), kind)
+    })
+}
+
+fn stream_configs(g: &mut Gen) -> Vec<StreamConfig> {
+    g.vec(1usize..5, |g| {
+        let buffers = g.gen_range(1usize..8);
+        let depth = g.gen_range(1usize..5);
+        match g.gen_range(0u32..3) {
+            0 => StreamConfig::paper_basic(buffers).unwrap(),
+            1 => StreamConfig::paper_filtered(buffers).unwrap(),
+            _ => StreamConfig::new(buffers, depth, streamsim_streams::Allocation::OnMiss).unwrap(),
+        }
+    })
+}
+
+/// A trace served from the store equals a fresh recording of the same
+/// workload — caching never changes results.
+#[test]
+fn cached_traces_equal_fresh_recordings() {
+    check_with("cached_traces_equal_fresh_recordings", 32, |g| {
+        let trace = accesses(g, 400);
+        let w = RecordedTrace::new("prop", trace);
+        let options = tiny_l1();
+        let store = TraceStore::default();
+        let warm = store.record(&w, &options).unwrap();
+        let cached = store.record(&w, &options).unwrap();
+        let fresh = record_miss_trace(&w, &options).unwrap();
+        assert_eq!(*warm, fresh);
+        assert_eq!(*cached, fresh);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.hits(), 1);
+    });
+}
+
+/// One replay pass over N stream configurations produces exactly the
+/// statistics of N independent single-config passes.
+#[test]
+fn multi_config_replay_equals_independent_passes() {
+    check_with("multi_config_replay_equals_independent_passes", 32, |g| {
+        let trace = accesses(g, 400);
+        let w = RecordedTrace::new("prop", trace);
+        let rec = record_miss_trace(&w, &tiny_l1()).unwrap();
+        let configs = stream_configs(g);
+
+        let shared = replay_streams(&rec, &configs);
+        let independent: Vec<_> = configs.iter().map(|&c| run_streams(&rec, c)).collect();
+        assert_eq!(shared, independent);
+    });
+}
+
+/// The same holds for L2 observers, with and without set sampling.
+#[test]
+fn multi_l2_replay_equals_independent_passes() {
+    check_with("multi_l2_replay_equals_independent_passes", 32, |g| {
+        let trace = accesses(g, 400);
+        let w = RecordedTrace::new("prop", trace);
+        let rec = record_miss_trace(&w, &tiny_l1()).unwrap();
+
+        let cells: Vec<(CacheConfig, Option<SetSampling>)> = g.vec(1usize..4, |g| {
+            let kib = 1u64 << g.gen_range(4u32..8);
+            let assoc = 1u32 << g.gen_range(0u32..3);
+            let cfg = CacheConfig::new(kib * 1024, assoc, BlockSize::new(32).unwrap()).unwrap();
+            let sampling = if g.gen_bool(0.5) {
+                Some(SetSampling::new(2, 1))
+            } else {
+                None
+            };
+            (cfg, sampling)
+        });
+
+        let shared = replay_l2(&rec, &cells).unwrap();
+        let independent: Vec<_> = cells
+            .iter()
+            .map(|&(cfg, sampling)| run_l2(&rec, cfg, sampling).unwrap())
+            .collect();
+        assert_eq!(shared, independent);
+    });
+}
+
+/// Mixing stream and L2 observers in one pass changes nothing either:
+/// observers are fully independent of each other.
+#[test]
+fn mixed_observers_do_not_interact() {
+    check_with("mixed_observers_do_not_interact", 32, |g| {
+        let trace = accesses(g, 400);
+        let w = RecordedTrace::new("prop", trace);
+        let rec = record_miss_trace(&w, &tiny_l1()).unwrap();
+
+        let scfg = StreamConfig::paper_filtered(4).unwrap();
+        let l2cfg = CacheConfig::new(64 * 1024, 2, BlockSize::new(32).unwrap()).unwrap();
+        let mut streams = StreamObserver::new(scfg);
+        let mut l2 = L2Observer::new(l2cfg, None).unwrap();
+        replay(&rec, &mut [&mut streams, &mut l2]);
+
+        assert_eq!(streams.stats(), run_streams(&rec, scfg));
+        assert_eq!(l2.stats(), run_l2(&rec, l2cfg, None).unwrap());
+    });
+}

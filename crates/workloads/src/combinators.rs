@@ -80,6 +80,27 @@ impl Workload for RecordedTrace {
             sink(a);
         }
     }
+
+    /// The derived `Debug` output would embed the entire trace, so the
+    /// fingerprint hashes it instead (FNV-1a over every reference).
+    fn fingerprint(&self) -> String {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for a in &self.trace {
+            mix(a.addr.raw());
+            mix(a.kind as u64);
+        }
+        format!(
+            "RecordedTrace({}, len={}, fnv={h:#018x})",
+            self.name,
+            self.trace.len()
+        )
+    }
 }
 
 /// Runs several workloads back to back (e.g. program phases).

@@ -69,8 +69,10 @@ impl fmt::Display for Suite {
 ///
 /// Implementations must be deterministic: two calls to
 /// [`Workload::generate`] emit identical traces. Workloads are `Send +
-/// Sync` so experiment sweeps can generate traces from worker threads.
-pub trait Workload: Send + Sync {
+/// Sync` so experiment sweeps can generate traces from worker threads,
+/// and `Debug` so every instance can describe its full parameterisation
+/// (the basis of the default [`Workload::fingerprint`]).
+pub trait Workload: Send + Sync + fmt::Debug {
     /// Short benchmark name as the paper spells it (e.g. `"fftpde"`).
     fn name(&self) -> &str;
 
@@ -86,11 +88,17 @@ pub trait Workload: Send + Sync {
 
     /// Pushes the complete reference trace into `sink`.
     fn generate(&self, sink: &mut dyn FnMut(Access));
-}
 
-impl fmt::Debug for dyn Workload + '_ {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Workload({})", self.name())
+    /// A string identifying this workload instance's reference stream,
+    /// used as a memoisation key by trace caches: two workloads with
+    /// equal fingerprints must generate identical traces.
+    ///
+    /// The default covers every kernel whose derived `Debug` output
+    /// spells out all trace-determining parameters (type name included).
+    /// Override it only when `Debug` is lossy or unboundedly large
+    /// (e.g. a recorded-trace wrapper).
+    fn fingerprint(&self) -> String {
+        format!("{self:?}")
     }
 }
 

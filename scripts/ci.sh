@@ -28,6 +28,12 @@ cargo fmt --check
 echo "==> cargo build --release --offline"
 cargo build --release --offline
 
+echo "==> cargo build --release --offline --examples"
+cargo build --release --offline --examples
+
+echo "==> cargo doc --no-deps --offline"
+RUSTDOCFLAGS="${RUSTDOCFLAGS:--D warnings}" cargo doc --no-deps --offline --quiet
+
 echo "==> cargo test -q --offline ${test_scope[*]:-}"
 cargo test -q --offline "${test_scope[@]}"
 

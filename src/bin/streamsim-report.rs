@@ -3,11 +3,14 @@
 //! ```text
 //! USAGE:
 //!   streamsim-report [OPTIONS] [EXPERIMENT...]
+//!   streamsim-report --diff <A.jsonl> <B.jsonl>
 //!
 //! OPTIONS:
 //!   --quick           run reduced inputs (smoke test)
 //!   --sampling        enable the paper's 10k-on/90k-off time sampling
-//!   --out <FILE>      write the report to FILE instead of stdout
+//!   --out <FILE>      write the text report to FILE instead of stdout
+//!   --json <FILE>     additionally write one JSON line per table row to FILE
+//!   --diff <A> <B>    compare two --json outputs; exit 1 on drift
 //!   --list            list experiment names and exit
 //!   -h, --help        show this help
 //!
@@ -16,58 +19,132 @@
 //!   ablations baselines latency traffic multiprogramming scorecard cpi
 //!   topology
 //! ```
+//!
+//! Every experiment runs against one shared trace store, so the full
+//! report simulates each (benchmark, L1 configuration) pair exactly
+//! once and replays the recorded miss trace for every driver that needs
+//! it.
+//!
+//! The `--json` file holds one flat JSON object per table row (see
+//! DESIGN.md for the schema); `--diff` re-reads two such files and
+//! reports rows whose numeric fields differ by more than `5e-5` or
+//! whose text fields differ at all — the regression gate for the golden
+//! scorecard.
 
 use std::io::Write;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use streamsim::experiments::{self, ExperimentOptions, Scale};
+use streamsim::experiments::{self, ExperimentOptions, Scale, ARTIFACT_NAMES};
+use streamsim::{parse_flat_json_line, JsonValue};
 
-const ALL: [&str; 16] = [
-    "table1",
-    "table2",
-    "table3",
-    "table4",
-    "fig3",
-    "fig5",
-    "fig8",
-    "fig9",
-    "ablations",
-    "baselines",
-    "latency",
-    "traffic",
-    "multiprogramming",
-    "scorecard",
-    "cpi",
-    "topology",
-];
+/// Numeric tolerance for `--diff`: golden values are pinned to four
+/// decimals, so anything past 5e-5 is real drift.
+const DIFF_EPS: f64 = 5e-5;
 
-fn run_one(name: &str, options: &ExperimentOptions) -> Option<String> {
-    let text = match name {
-        "table1" => experiments::table1::run(options).to_string(),
-        "table2" => experiments::table2::run(options).to_string(),
-        "table3" => experiments::table3::run(options).to_string(),
-        "table4" => experiments::table4::run(options).to_string(),
-        "fig3" => experiments::fig3::run(options).to_string(),
-        "fig5" => experiments::fig5::run(options).to_string(),
-        "fig8" => experiments::fig8::run(options).to_string(),
-        "fig9" => experiments::fig9::run(options).to_string(),
-        "ablations" => experiments::ablations::run(options).to_string(),
-        "baselines" => experiments::baselines::run(options).to_string(),
-        "latency" => experiments::latency::run(options).to_string(),
-        "traffic" => experiments::traffic::run(options).to_string(),
-        "multiprogramming" => experiments::multiprogramming::run(options).to_string(),
-        "scorecard" => experiments::scorecard::run(options).to_string(),
-        "cpi" => experiments::cpi::run(options).to_string(),
-        "topology" => experiments::topology::run(options).to_string(),
-        _ => return None,
+fn diff_values(key: &str, a: &JsonValue, b: &JsonValue) -> Option<String> {
+    match (a, b) {
+        (JsonValue::Num(x), JsonValue::Num(y)) => {
+            if (x - y).abs() > DIFF_EPS {
+                Some(format!("{key}: {x} != {y} (|Δ| = {:.3e})", (x - y).abs()))
+            } else {
+                None
+            }
+        }
+        _ if a == b => None,
+        _ => Some(format!("{key}: {a:?} != {b:?}")),
+    }
+}
+
+/// Compares two JSONL report files row by row. Rows are matched by
+/// position within their (artifact, table) group, so reordering whole
+/// experiments between runs does not produce spurious diffs.
+fn diff_reports(path_a: &str, path_b: &str) -> Result<Vec<String>, String> {
+    let read = |path: &str| -> Result<Vec<(String, Vec<(String, JsonValue)>)>, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let mut rows = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let fields =
+                parse_flat_json_line(line).map_err(|e| format!("{path}:{}: {e}", i + 1))?;
+            let group = ["artifact", "table"]
+                .iter()
+                .map(|k| {
+                    fields
+                        .iter()
+                        .find(|(key, _)| key == k)
+                        .map(|(_, v)| format!("{v:?}"))
+                        .unwrap_or_default()
+                })
+                .collect::<Vec<_>>()
+                .join("/");
+            rows.push((group, fields));
+        }
+        Ok(rows)
     };
-    Some(text)
+
+    let a = read(path_a)?;
+    let b = read(path_b)?;
+    let mut drift = Vec::new();
+
+    let groups: Vec<String> = {
+        let mut seen = Vec::new();
+        for (g, _) in a.iter().chain(b.iter()) {
+            if !seen.contains(g) {
+                seen.push(g.clone());
+            }
+        }
+        seen
+    };
+    for group in groups {
+        let rows_a: Vec<_> = a.iter().filter(|(g, _)| *g == group).collect();
+        let rows_b: Vec<_> = b.iter().filter(|(g, _)| *g == group).collect();
+        if rows_a.len() != rows_b.len() {
+            drift.push(format!(
+                "{group}: {} rows vs {} rows",
+                rows_a.len(),
+                rows_b.len()
+            ));
+            continue;
+        }
+        for (i, ((_, fa), (_, fb))) in rows_a.iter().zip(&rows_b).enumerate() {
+            for (key, va) in fa {
+                match fb.iter().find(|(k, _)| k == key) {
+                    Some((_, vb)) => {
+                        if let Some(msg) = diff_values(key, va, vb) {
+                            drift.push(format!("{group} row {i}: {msg}"));
+                        }
+                    }
+                    None => drift.push(format!("{group} row {i}: {key} missing in {path_b}")),
+                }
+            }
+            for (key, _) in fb {
+                if !fa.iter().any(|(k, _)| k == key) {
+                    drift.push(format!("{group} row {i}: {key} missing in {path_a}"));
+                }
+            }
+        }
+    }
+    Ok(drift)
+}
+
+fn write_file(path: &str, contents: &str) -> Result<(), ExitCode> {
+    let mut file = std::fs::File::create(path).map_err(|e| {
+        eprintln!("error: cannot create {path}: {e}");
+        ExitCode::FAILURE
+    })?;
+    file.write_all(contents.as_bytes()).map_err(|e| {
+        eprintln!("error: cannot write {path}: {e}");
+        ExitCode::FAILURE
+    })
 }
 
 fn main() -> ExitCode {
     let mut options = ExperimentOptions::default();
     let mut out: Option<String> = None;
+    let mut json_out: Option<String> = None;
     let mut selected: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -82,8 +159,38 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--json" => match args.next() {
+                Some(path) => json_out = Some(path),
+                None => {
+                    eprintln!("error: --json needs a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--diff" => {
+                let (Some(a), Some(b)) = (args.next(), args.next()) else {
+                    eprintln!("error: --diff needs two JSONL file paths");
+                    return ExitCode::FAILURE;
+                };
+                match diff_reports(&a, &b) {
+                    Ok(drift) if drift.is_empty() => {
+                        println!("no drift between {a} and {b}");
+                        return ExitCode::SUCCESS;
+                    }
+                    Ok(drift) => {
+                        for line in &drift {
+                            println!("{line}");
+                        }
+                        eprintln!("{} drifting row(s) between {a} and {b}", drift.len());
+                        return ExitCode::FAILURE;
+                    }
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--list" => {
-                for name in ALL {
+                for name in ARTIFACT_NAMES {
                     println!("{name}");
                 }
                 return ExitCode::SUCCESS;
@@ -92,12 +199,13 @@ fn main() -> ExitCode {
                 println!(
                     "streamsim-report: regenerate the evaluation of Palacharla & Kessler \
                      (ISCA 1994)\n\nUSAGE: streamsim-report [--quick] [--sampling] \
-                     [--out FILE] [--list] [EXPERIMENT...]\n\nEXPERIMENTS: {}",
-                    ALL.join(" ")
+                     [--out FILE] [--json FILE] [--list] [EXPERIMENT...]\n       \
+                     streamsim-report --diff A.jsonl B.jsonl\n\nEXPERIMENTS: {}",
+                    ARTIFACT_NAMES.join(" ")
                 );
                 return ExitCode::SUCCESS;
             }
-            name if ALL.contains(&name) => selected.push(name.to_owned()),
+            name if ARTIFACT_NAMES.contains(&name) => selected.push(name.to_owned()),
             other => {
                 eprintln!("error: unknown argument or experiment '{other}' (try --list)");
                 return ExitCode::FAILURE;
@@ -105,10 +213,11 @@ fn main() -> ExitCode {
         }
     }
     if selected.is_empty() {
-        selected = ALL.iter().map(|s| (*s).to_owned()).collect();
+        selected = ARTIFACT_NAMES.iter().map(|s| (*s).to_owned()).collect();
     }
 
     let mut report = String::new();
+    let mut json_lines: Vec<String> = Vec::new();
     report.push_str(&format!(
         "streamsim report — Palacharla & Kessler, ISCA 1994 (scale: {:?}, sampling: {})\n\n",
         options.scale,
@@ -120,24 +229,30 @@ fn main() -> ExitCode {
     ));
     for name in &selected {
         let start = Instant::now();
-        let text = run_one(name, &options).expect("validated above");
-        report.push_str(&format!("=== {name} ===\n{text}"));
+        let artifact = experiments::run_artifact(name, &options).expect("validated above");
+        report.push_str(&format!(
+            "=== {name} ===\n{}",
+            streamsim::render_text(artifact.as_ref())
+        ));
+        if json_out.is_some() {
+            json_lines.extend(streamsim::render_json_lines(artifact.as_ref()));
+        }
         report.push_str(&format!("[{name}: {:.2?}]\n\n", start.elapsed()));
         eprintln!("{name} done in {:.2?}", start.elapsed());
     }
 
+    if let Some(path) = json_out {
+        let mut contents = json_lines.join("\n");
+        contents.push('\n');
+        if let Err(code) = write_file(&path, &contents) {
+            return code;
+        }
+        eprintln!("{} JSON rows written to {path}", json_lines.len());
+    }
     match out {
         Some(path) => {
-            let mut file = match std::fs::File::create(&path) {
-                Ok(f) => f,
-                Err(e) => {
-                    eprintln!("error: cannot create {path}: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            if let Err(e) = file.write_all(report.as_bytes()) {
-                eprintln!("error: cannot write {path}: {e}");
-                return ExitCode::FAILURE;
+            if let Err(code) = write_file(&path, &report) {
+                return code;
             }
             eprintln!("report written to {path}");
         }

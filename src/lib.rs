@@ -43,8 +43,11 @@ pub use streamsim_cache::{
     SetSampling, SplitL1, VictimCache, WritePolicy,
 };
 pub use streamsim_core::{
-    experiments, paper, record_miss_trace, report, run_l2, run_streams, L1Summary, MemorySystem,
-    MemorySystemBuilder, MissEvent, MissTrace, RecordOptions, SimReport, StreamTopology,
+    experiments, paper, parse_flat_json_line, record_miss_trace, render_json_lines, render_text,
+    replay, replay_l2, replay_streams, report, run_l2, run_streams, Artifact, ArtifactSink, Cell,
+    JsonLinesSink, JsonValue, L1Summary, L2Observer, MemorySystem, MemorySystemBuilder, MissEvent,
+    MissObserver, MissTrace, MultiSink, RecordOptions, SimReport, StreamObserver, StreamTopology,
+    TextSink, TraceStore,
 };
 pub use streamsim_streams::{
     Allocation, CzoneFilter, LengthBucket, LengthHistogram, MatchPolicy, MinDeltaDetector,

@@ -74,3 +74,111 @@ fn out_flag_writes_a_file() {
     assert!(written.contains("czone"));
     std::fs::remove_file(&path).ok();
 }
+
+#[test]
+fn json_flag_writes_parseable_rows() {
+    let dir = std::env::temp_dir().join("streamsim-report-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("rows.jsonl");
+    let out = report()
+        .args([
+            "--quick",
+            "--out",
+            "/dev/null",
+            "--json",
+            path.to_str().unwrap(),
+            "table2",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let written = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = written.lines().filter(|l| !l.is_empty()).collect();
+    assert_eq!(lines.len(), 15, "one JSON row per benchmark: {written}");
+    for line in &lines {
+        let fields = streamsim::parse_flat_json_line(line).expect("valid JSON line");
+        assert!(fields.iter().any(|(k, _)| k == "artifact"), "{line}");
+        assert!(fields.iter().any(|(k, _)| k == "table"), "{line}");
+        assert!(fields.iter().any(|(k, _)| k == "eb_pct"), "{line}");
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn diff_detects_identity_and_drift() {
+    let dir = std::env::temp_dir().join("streamsim-report-diff-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let a = dir.join("a.jsonl");
+    let b = dir.join("b.jsonl");
+    let c = dir.join("c.jsonl");
+    std::fs::write(
+        &a,
+        "{\"artifact\":\"fig3\",\"table\":\"hit_rate\",\"bench\":\"mgrid\",\"hit_pct_10\":71.2345}\n",
+    )
+    .unwrap();
+    std::fs::write(
+        &b,
+        "{\"artifact\":\"fig3\",\"table\":\"hit_rate\",\"bench\":\"mgrid\",\"hit_pct_10\":71.2345}\n",
+    )
+    .unwrap();
+    std::fs::write(
+        &c,
+        "{\"artifact\":\"fig3\",\"table\":\"hit_rate\",\"bench\":\"mgrid\",\"hit_pct_10\":71.3345}\n",
+    )
+    .unwrap();
+
+    let same = report()
+        .args(["--diff", a.to_str().unwrap(), b.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(same.status.success(), "identical files must not drift");
+
+    let drift = report()
+        .args(["--diff", a.to_str().unwrap(), c.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(!drift.status.success(), "drift must exit nonzero");
+    let text = String::from_utf8(drift.stdout).unwrap();
+    assert!(text.contains("hit_pct_10"), "{text}");
+
+    for p in [&a, &b, &c] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
+fn golden_scorecard_round_trips_through_diff() {
+    // The regression gate from the README: two --json runs of the same
+    // quick-scale scorecard must diff clean.
+    let dir = std::env::temp_dir().join("streamsim-report-golden-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let a = dir.join("run-a.jsonl");
+    let b = dir.join("run-b.jsonl");
+    for path in [&a, &b] {
+        let out = report()
+            .args([
+                "--quick",
+                "--out",
+                "/dev/null",
+                "--json",
+                path.to_str().unwrap(),
+                "table2",
+                "fig3",
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success());
+    }
+    let diff = report()
+        .args(["--diff", a.to_str().unwrap(), b.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(
+        diff.status.success(),
+        "repeated runs drifted: {}",
+        String::from_utf8_lossy(&diff.stdout)
+    );
+    for p in [&a, &b] {
+        std::fs::remove_file(p).ok();
+    }
+}
