@@ -1,0 +1,313 @@
+//! Timing: the recording hot loop (chunked generation + SoA L1) against
+//! the pre-PR implementation.
+//!
+//! Recording is the part of every experiment that touches each
+//! reference — everything downstream works on the ~100× smaller miss
+//! trace — so it is the loop worth keeping hardware-fast. This bench
+//! pits the current [`record_miss_trace`] (chunk-batched emission into
+//! the structure-of-arrays `SetAssocCache`) against a faithful
+//! reconstruction of the pre-PR path: per-reference closure dispatch
+//! into [`ReferenceCache`], the verbatim array-of-structs model kept in
+//! `streamsim_cache::reference`. Both paths are run over the quick
+//! scorecard workload set and must produce identical miss events, which
+//! the bench asserts before timing anything.
+//!
+//! Output: one human + JSON line per (workload, path) pair in the usual
+//! harness shape, plus a summary. With `STREAMSIM_BENCH_WRITE=1` the
+//! summary is written to `BENCH_recording.json` at the repo root — the
+//! tracked artifact EXPERIMENTS.md describes. With
+//! `STREAMSIM_BENCH_ENFORCE=<min>` the run exits non-zero unless the
+//! aggregate speedup reaches `<min>` (the CI perf smoke uses this).
+//!
+//! Knobs: `STREAMSIM_BENCH_SAMPLES` (default 5 here) and
+//! `STREAMSIM_BENCH_WARMUP` (default 1 here) — recording a full
+//! workload per sample is expensive, so the defaults are smaller than
+//! the micro-bench harness's.
+
+use std::time::Instant;
+
+use streamsim_cache::reference::ReferenceCache;
+use streamsim_cache::AccessOutcome;
+use streamsim_core::experiments::{workload_set, ExperimentOptions, Scale};
+use streamsim_core::{record_miss_trace, MissEvent, RecordOptions};
+use streamsim_trace::{Access, AccessKind};
+use streamsim_workloads::Workload;
+
+fn env_u32(key: &str, default: u32) -> u32 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+/// The pre-PR recording loop: closure-based generation into the
+/// array-of-structs reference cache, one virtual call per reference.
+fn reference_record(w: &dyn Workload, record: &RecordOptions) -> Vec<MissEvent> {
+    let mut icache = ReferenceCache::new(record.icache).expect("valid L1");
+    let mut dcache = ReferenceCache::new(record.dcache).expect("valid L1");
+    let block = record.dcache.block();
+    let mut events = Vec::new();
+    w.generate(&mut |access: Access| {
+        let outcome = match access.kind {
+            AccessKind::IFetch => icache.access(access.addr, access.kind),
+            AccessKind::Load | AccessKind::Store => dcache.access(access.addr, access.kind),
+        };
+        match outcome {
+            AccessOutcome::Hit | AccessOutcome::Bypassed => {}
+            AccessOutcome::Miss { writeback } => {
+                events.push(MissEvent::Fetch {
+                    addr: access.addr,
+                    kind: access.kind,
+                });
+                if let Some(victim) = writeback {
+                    events.push(MissEvent::Writeback {
+                        base: victim.base_addr(block),
+                    });
+                }
+            }
+        }
+    });
+    events
+}
+
+/// Median wall time of `f` over the configured samples, in nanoseconds.
+fn median_ns<R>(samples: u32, warmup: u32, mut f: impl FnMut() -> R) -> u128 {
+    for _ in 0..warmup {
+        std::hint::black_box(f());
+    }
+    let mut ns: Vec<u128> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed().as_nanos()
+        })
+        .collect();
+    ns.sort_unstable();
+    ns[ns.len() / 2]
+}
+
+fn report_line(name: &str, path: &str, ns: u128, refs: u64) {
+    let refs_per_sec = refs as f64 * 1e9 / ns as f64;
+    println!(
+        "bench recording/{name}/{path:<9} median {:>12.2} ms  ({refs} refs, {:.1} Mref/s)",
+        ns as f64 / 1e6,
+        refs_per_sec / 1e6
+    );
+    println!(
+        "{{\"benchmark\":\"recording/{name}/{path}\",\"median_ns\":{ns},\
+         \"refs\":{refs},\"refs_per_sec\":{refs_per_sec:.1}}}"
+    );
+}
+
+fn main() {
+    let samples = env_u32("STREAMSIM_BENCH_SAMPLES", 5);
+    let warmup = env_u32("STREAMSIM_BENCH_WARMUP", 1);
+    let record = ExperimentOptions::quick().record_options();
+    let workloads = workload_set(Scale::Quick);
+
+    // Diagnostic: split generation cost from simulation cost so hot-loop
+    // work targets the right side.
+    if std::env::var("STREAMSIM_BENCH_BREAKDOWN").as_deref() == Ok("1") {
+        for w in &workloads {
+            let gen_ns = median_ns(samples, warmup, || {
+                let mut refs = 0u64;
+                let mut batch = Vec::new();
+                w.generate_chunks(&mut batch, &mut |chunk: &[Access]| {
+                    refs += chunk.len() as u64;
+                });
+                refs
+            });
+            let mut trace = Vec::new();
+            let mut batch = Vec::new();
+            w.generate_chunks(&mut batch, &mut |chunk: &[Access]| {
+                trace.extend_from_slice(chunk);
+            });
+            let sim_ns = median_ns(samples, warmup, || {
+                let mut l1 =
+                    streamsim_cache::SplitL1::new(record.icache, record.dcache).expect("valid L1");
+                let mut misses = 0u64;
+                for &a in &trace {
+                    if l1.access(a).is_miss() {
+                        misses += 1;
+                    }
+                }
+                misses
+            });
+            let total_ns = median_ns(samples, warmup, || {
+                record_miss_trace(w.as_ref(), &record).expect("valid L1")
+            });
+            let refs = trace.len() as u64;
+            let trace_rec = record_miss_trace(w.as_ref(), &record).expect("valid L1");
+            let misses = trace_rec.fetches();
+            println!(
+                "breakdown {:<8} gen {:>8.2} ms  sim {:>8.2} ms  record {:>8.2} ms  \
+                 {refs:>8} refs  {misses:>7} misses ({:.1}%)  sim {:>5.1} ns/ref",
+                w.name(),
+                gen_ns as f64 / 1e6,
+                sim_ns as f64 / 1e6,
+                total_ns as f64 / 1e6,
+                100.0 * misses as f64 / refs as f64,
+                sim_ns as f64 / refs as f64
+            );
+        }
+        // Sim + events push (the full record inner loop, minus generation).
+        {
+            let w = &workloads[0];
+            let mut trace = Vec::new();
+            let mut batch = Vec::new();
+            w.generate_chunks(&mut batch, &mut |chunk: &[Access]| {
+                trace.extend_from_slice(chunk);
+            });
+            let block = record.dcache.block();
+            let sim_ev_ns = median_ns(samples, warmup, || {
+                let mut l1 =
+                    streamsim_cache::SplitL1::new(record.icache, record.dcache).expect("valid L1");
+                let mut events = Vec::new();
+                for &a in &trace {
+                    match l1.access(a) {
+                        AccessOutcome::Hit | AccessOutcome::Bypassed => {}
+                        AccessOutcome::Miss { writeback } => {
+                            events.push(MissEvent::Fetch {
+                                addr: a.addr,
+                                kind: a.kind,
+                            });
+                            if let Some(victim) = writeback {
+                                events.push(MissEvent::Writeback {
+                                    base: victim.base_addr(block),
+                                });
+                            }
+                        }
+                    }
+                }
+                events
+            });
+            println!(
+                "breakdown sim+events ({}): {:.2} ms, {:.1} ns/ref",
+                w.name(),
+                sim_ev_ns as f64 / 1e6,
+                sim_ev_ns as f64 / trace.len() as f64
+            );
+        }
+        // Pure miss cost: stream new blocks so every access misses.
+        let miss_loop = {
+            let mut l1 =
+                streamsim_cache::SplitL1::new(record.icache, record.dcache).expect("valid L1");
+            median_ns(samples, warmup, || {
+                let mut misses = 0u64;
+                for i in 0..1_000_000u64 {
+                    let a = Access::load(streamsim_trace::Addr::new(i * 32));
+                    if l1.access(a).is_miss() {
+                        misses += 1;
+                    }
+                }
+                misses
+            })
+        };
+        println!(
+            "breakdown pure-miss loop: {:.2} ns/access",
+            miss_loop as f64 / 1e6
+        );
+        // Pure fast-path cost: one hot block, always an MRU hit.
+        let hot = {
+            let mut l1 =
+                streamsim_cache::SplitL1::new(record.icache, record.dcache).expect("valid L1");
+            let a = Access::load(streamsim_trace::Addr::new(0x1000_0000));
+            l1.access(a);
+            median_ns(samples, warmup, || {
+                let mut hits = 0u64;
+                for _ in 0..1_000_000u32 {
+                    if l1.access(a).is_hit() {
+                        hits += 1;
+                    }
+                }
+                hits
+            })
+        };
+        println!("breakdown pure-hit loop: {:.2} ns/access", hot as f64 / 1e6);
+        return;
+    }
+
+    let mut per_workload = Vec::new();
+    let (mut total_refs, mut total_ref_ns, mut total_cur_ns) = (0u64, 0u128, 0u128);
+    for w in &workloads {
+        let name = w.name().to_owned();
+
+        // Reference-count the stream and pin byte-identity between the
+        // two paths before timing either.
+        let mut refs = 0u64;
+        let mut batch = Vec::new();
+        w.generate_chunks(&mut batch, &mut |chunk: &[Access]| {
+            refs += chunk.len() as u64
+        });
+        let current = record_miss_trace(w.as_ref(), &record).expect("valid L1");
+        let reference = reference_record(w.as_ref(), &record);
+        assert_eq!(
+            current.events(),
+            &reference[..],
+            "{name}: SoA+chunked recording diverges from the reference path"
+        );
+
+        let cur_ns = median_ns(samples, warmup, || {
+            record_miss_trace(w.as_ref(), &record).expect("valid L1")
+        });
+        let ref_ns = median_ns(samples, warmup, || reference_record(w.as_ref(), &record));
+        report_line(&name, "reference", ref_ns, refs);
+        report_line(&name, "current", cur_ns, refs);
+
+        total_refs += refs;
+        total_ref_ns += ref_ns;
+        total_cur_ns += cur_ns;
+        per_workload.push((name, refs, ref_ns, cur_ns));
+    }
+
+    let speedup = total_ref_ns as f64 / total_cur_ns as f64;
+    let cur_rate = total_refs as f64 * 1e9 / total_cur_ns as f64;
+    let ref_rate = total_refs as f64 * 1e9 / total_ref_ns as f64;
+    println!(
+        "bench recording/total: {total_refs} refs — reference {:.1} Mref/s, \
+         current {:.1} Mref/s, speedup {speedup:.2}x",
+        ref_rate / 1e6,
+        cur_rate / 1e6
+    );
+
+    let rows: Vec<String> = per_workload
+        .iter()
+        .map(|(name, refs, ref_ns, cur_ns)| {
+            format!(
+                "    {{\"name\":\"{name}\",\"refs\":{refs},\"reference_ns\":{ref_ns},\
+                 \"current_ns\":{cur_ns},\"speedup\":{:.3}}}",
+                *ref_ns as f64 / *cur_ns as f64
+            )
+        })
+        .collect();
+    let summary = format!(
+        "{{\n  \"benchmark\": \"recording\",\n  \"scale\": \"quick\",\n  \
+         \"samples\": {samples},\n  \"total_refs\": {total_refs},\n  \
+         \"reference\": {{\"total_ns\": {total_ref_ns}, \"refs_per_sec\": {ref_rate:.1}, \
+         \"ns_per_ref\": {:.3}}},\n  \
+         \"current\": {{\"total_ns\": {total_cur_ns}, \"refs_per_sec\": {cur_rate:.1}, \
+         \"ns_per_ref\": {:.3}}},\n  \"speedup\": {speedup:.3},\n  \"per_workload\": [\n{}\n  ]\n}}\n",
+        total_ref_ns as f64 / total_refs as f64,
+        total_cur_ns as f64 / total_refs as f64,
+        rows.join(",\n")
+    );
+
+    if std::env::var("STREAMSIM_BENCH_WRITE").as_deref() == Ok("1") {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_recording.json");
+        std::fs::write(path, &summary).expect("write BENCH_recording.json");
+        println!("recording summary written to {path}");
+    }
+
+    if let Ok(min) = std::env::var("STREAMSIM_BENCH_ENFORCE") {
+        let min: f64 = min
+            .trim()
+            .parse()
+            .expect("STREAMSIM_BENCH_ENFORCE is a float");
+        if speedup < min {
+            eprintln!("recording speedup {speedup:.3}x below enforced minimum {min}x");
+            std::process::exit(1);
+        }
+        println!("recording speedup {speedup:.3}x meets enforced minimum {min}x");
+    }
+}

@@ -58,13 +58,53 @@ pub struct DetailedOutcome {
     pub evicted: Option<EvictedLine>,
 }
 
-#[derive(Clone, Copy, Debug, Default)]
-struct Line {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
-    /// LRU: last-touch time. FIFO: fill time. Unused for random.
-    stamp: u64,
+/// Sentinel stored in the tag array for invalid lines. A real tag is
+/// `block >> set_bits` where `block = addr >> block_log2`, so it always
+/// has at least one zero high bit for any practical geometry (block ≥ 2
+/// bytes or ≥ 2 sets) and can never equal `u64::MAX`; a `debug_assert`
+/// in `locate` guards the pathological remainder. Encoding validity in
+/// the tag itself keeps the probe to a single dependent load: no
+/// separate valid-bit lookup.
+const INVALID_TAG: u64 = u64::MAX;
+
+/// A packed bitmap, one bit per cache line — used for the dirty bits,
+/// which only the store/fill/evict paths touch.
+#[derive(Clone, Debug, Default)]
+struct BitVec {
+    words: Vec<u64>,
+}
+
+impl BitVec {
+    fn new(bits: usize) -> Self {
+        BitVec {
+            words: vec![0; bits.div_ceil(64)],
+        }
+    }
+
+    #[inline(always)]
+    fn get(&self, i: usize) -> bool {
+        (self.words[i >> 6] >> (i & 63)) & 1 != 0
+    }
+
+    #[inline(always)]
+    fn clear(&mut self, i: usize) {
+        self.words[i >> 6] &= !(1 << (i & 63));
+    }
+
+    /// Branchless `bit |= v` — the hot paths call this with a
+    /// data-dependent `v` (is the access a store?), and an unconditional
+    /// read-modify-write beats a mispredict-prone branch.
+    #[inline(always)]
+    fn or_assign(&mut self, i: usize, v: bool) {
+        self.words[i >> 6] |= (v as u64) << (i & 63);
+    }
+
+    /// Branchless `bit = v`.
+    #[inline(always)]
+    fn assign(&mut self, i: usize, v: bool) {
+        let w = &mut self.words[i >> 6];
+        *w = (*w & !(1 << (i & 63))) | ((v as u64) << (i & 63));
+    }
 }
 
 /// A set-associative cache simulating tags and dirty bits (no data).
@@ -72,6 +112,18 @@ struct Line {
 /// Supports LRU / FIFO / seeded-random replacement, write-back/write-
 /// allocate or write-through/no-allocate write handling, and optional
 /// [`SetSampling`] for cheap estimation of very large caches.
+///
+/// # Layout
+///
+/// Storage is structure-of-arrays, sized for the recording hot loop: a
+/// dense way-contiguous tag array probed with a precomputed shift/mask,
+/// packed valid/dirty bitmaps, and replacement stamps allocated (and
+/// touched) only for the policies that read them (LRU/FIFO). A per-set
+/// MRU way is probed first — it is a pure hint (replacement state is
+/// untouched), but it turns the ~95 % of references that hit the most
+/// recently used way into a single compare. Outcomes, statistics and
+/// PRNG consumption are bit-identical to the pre-SoA implementation
+/// ([`crate::reference::ReferenceCache`]), pinned by property tests.
 ///
 /// # Example
 ///
@@ -89,10 +141,37 @@ struct Line {
 pub struct SetAssocCache {
     config: CacheConfig,
     sampling: Option<SetSampling>,
-    lines: Vec<Line>,
+    /// Dense tag array, way-contiguous: line `row * assoc + way`.
+    /// [`INVALID_TAG`] marks an invalid line, so validity costs no
+    /// second load on the probe.
+    tags: Vec<u64>,
+    dirty: BitVec,
+    /// LRU: last-touch time. FIFO: fill time. Empty for random and
+    /// tree-PLRU, which never read stamps.
+    stamps: Vec<u64>,
+    /// Most recently *hit or filled* way per row — a probe hint only.
+    mru: Vec<u32>,
     rows: u64,
     set_mask: u64,
     set_bits: u32,
+    /// Branchless set-sampling test: a reference is simulated iff
+    /// `set & sample_mask == sample_match` (mask and match are 0 without
+    /// sampling, accepting everything), and its row is
+    /// `set >> row_shift`. Folding the `Option` away keeps `locate` to
+    /// straight-line shifts and masks.
+    sample_mask: u64,
+    sample_match: u64,
+    row_shift: u32,
+    /// `log2(block bytes)`: the probe's only address arithmetic.
+    block_log2: u32,
+    assoc: u32,
+    replacement: Replacement,
+    write_back: bool,
+    /// Policy flags precomputed from `replacement`, so the hit path
+    /// branches on a byte instead of matching the enum.
+    track_clock: bool,
+    lru_hit_stamp: bool,
+    plru_on: bool,
     clock: u64,
     rng: Option<Xoshiro256StarStar>,
     /// One word of tree bits per simulated set (tree-PLRU only).
@@ -116,6 +195,35 @@ fn plru_touch(bits: &mut u64, assoc: u32, way: u32) {
         }
         node = node * 2 + right as u32;
     }
+}
+
+/// Branchless way scan over a fixed-width tag slice: returns the hit way
+/// and the first invalid way (each `usize::MAX` when absent). The const
+/// width lets the compiler unroll the whole scan into straight-line
+/// compares and conditional moves — no data-dependent branch, no loop.
+#[inline(always)]
+fn scan_ways<const N: usize>(tags: &[u64; N], tag: u64) -> (usize, usize) {
+    let mut hit_way = usize::MAX;
+    let mut first_invalid = usize::MAX;
+    for (way, &t) in tags.iter().enumerate() {
+        hit_way = if t == tag { way } else { hit_way };
+        let invalid_first = t == INVALID_TAG && first_invalid == usize::MAX;
+        first_invalid = if invalid_first { way } else { first_invalid };
+    }
+    (hit_way, first_invalid)
+}
+
+/// [`scan_ways`] for associativities without a const specialization.
+#[inline(always)]
+fn scan_ways_dyn(tags: &[u64], tag: u64) -> (usize, usize) {
+    let mut hit_way = usize::MAX;
+    let mut first_invalid = usize::MAX;
+    for (way, &t) in tags.iter().enumerate() {
+        hit_way = if t == tag { way } else { hit_way };
+        let invalid_first = t == INVALID_TAG && first_invalid == usize::MAX;
+        first_invalid = if invalid_first { way } else { first_invalid };
+    }
+    (hit_way, first_invalid)
 }
 
 fn plru_victim(bits: u64, assoc: u32) -> u32 {
@@ -189,13 +297,33 @@ impl SetAssocCache {
         } else {
             Vec::new()
         };
+        let lines = (rows * config.assoc() as u64) as usize;
+        let track_clock = matches!(config.replacement(), Replacement::Lru | Replacement::Fifo);
+        let stamps = if track_clock {
+            vec![0u64; lines]
+        } else {
+            Vec::new()
+        };
         Ok(SetAssocCache {
             config,
             sampling,
-            lines: vec![Line::default(); (rows * config.assoc() as u64) as usize],
+            tags: vec![INVALID_TAG; lines],
+            dirty: BitVec::new(lines),
+            stamps,
+            mru: vec![0; rows as usize],
             rows,
             set_mask: sets - 1,
             set_bits: config.set_index_bits(),
+            sample_mask: sampling.map_or(0, |s| (1u64 << s.log2_fraction()) - 1),
+            sample_match: sampling.map_or(0, |s| s.matcher()),
+            row_shift: sampling.map_or(0, |s| s.log2_fraction()),
+            block_log2: config.block().log2(),
+            assoc: config.assoc(),
+            replacement: config.replacement(),
+            write_back: config.write_policy() == WritePolicy::WriteBackAllocate,
+            track_clock,
+            lru_hit_stamp: config.replacement() == Replacement::Lru,
+            plru_on: config.replacement() == Replacement::TreePlru,
             clock: 0,
             rng,
             plru,
@@ -224,30 +352,25 @@ impl SetAssocCache {
         self.stats = CacheStats::new();
     }
 
-    fn locate(&self, addr: Addr) -> Option<(u64, u64)> {
-        let block = addr.block(self.config.block()).index();
+    /// `(row, tag, full set index)` for `addr` — shift/mask/compare
+    /// only. The full set index (not the sampled row) reconstructs
+    /// eviction addresses.
+    #[inline(always)]
+    fn locate(&self, addr: Addr) -> Option<(u64, u64, u64)> {
+        let block = addr.raw() >> self.block_log2;
         let set = block & self.set_mask;
+        if set & self.sample_mask != self.sample_match {
+            return None; // unsampled set (never taken without sampling)
+        }
         let tag = block >> self.set_bits;
-        let row = match self.sampling {
-            Some(s) => {
-                if !s.selects(set) {
-                    return None;
-                }
-                s.row(set)
-            }
-            None => set,
-        };
+        let row = set >> self.row_shift;
         debug_assert!(row < self.rows);
-        Some((row, tag))
-    }
-
-    fn set_range(&self, row: u64) -> std::ops::Range<usize> {
-        let assoc = self.config.assoc() as usize;
-        let start = row as usize * assoc;
-        start..start + assoc
+        debug_assert!(tag != INVALID_TAG, "tag collides with the invalid sentinel");
+        Some((row, tag, set))
     }
 
     /// Presents one reference; fills on miss per the write policy.
+    #[inline(always)]
     pub fn access(&mut self, addr: Addr, kind: AccessKind) -> AccessOutcome {
         match self.detailed(addr, kind) {
             None => AccessOutcome::Bypassed,
@@ -268,125 +391,158 @@ impl SetAssocCache {
         self.detailed(addr, kind)
     }
 
-    fn detailed(&mut self, addr: Addr, kind: AccessKind) -> Option<DetailedOutcome> {
-        let (row, tag) = self.locate(addr)?;
-        let write_back = self.config.write_policy() == WritePolicy::WriteBackAllocate;
-        let replacement = self.config.replacement();
-        let range = self.set_range(row);
-        self.clock += 1;
-        let clock = self.clock;
+    /// Hit bookkeeping shared by the MRU fast path and the full way
+    /// scan. `idx` is the line index (`row * assoc + way`).
+    #[inline(always)]
+    fn register_hit(&mut self, row: u64, way: u32, idx: usize, kind: AccessKind) {
+        if self.lru_hit_stamp {
+            self.stamps[idx] = self.clock;
+        } else if self.plru_on {
+            plru_touch(&mut self.plru[row as usize], self.assoc, way);
+        }
+        self.dirty
+            .or_assign(idx, kind.is_store() && self.write_back);
+        self.mru[row as usize] = way;
+        self.stats.record_hit(kind);
+    }
 
-        // Hit?
-        for (way, line) in self.lines[range.clone()].iter_mut().enumerate() {
-            if line.valid && line.tag == tag {
-                if replacement == Replacement::Lru {
-                    line.stamp = clock;
-                }
-                if replacement == Replacement::TreePlru {
-                    plru_touch(
-                        &mut self.plru[row as usize],
-                        self.config.assoc(),
-                        way as u32,
-                    );
-                }
-                if kind.is_store() && write_back {
-                    line.dirty = true;
-                }
-                self.stats.record(kind, true);
-                return Some(DetailedOutcome {
-                    hit: true,
-                    evicted: None,
-                });
-            }
+    #[inline(always)]
+    fn detailed(&mut self, addr: Addr, kind: AccessKind) -> Option<DetailedOutcome> {
+        let (row, tag, set) = self.locate(addr)?;
+        let base = row as usize * self.assoc as usize;
+        // The clock only feeds LRU/FIFO stamps; skip the counter when no
+        // stamp will ever read it.
+        if self.track_clock {
+            self.clock += 1;
         }
 
-        self.stats.record(kind, false);
-
-        // Write-through / no-allocate: store misses do not fill.
-        if kind.is_store() && !write_back {
+        // Fast path: most references hit the most recently used way, and
+        // the sentinel encoding makes the probe one load + compare. The
+        // hint never changes replacement state, so probing it first is
+        // outcome-identical to the scan (a tag lives in at most one
+        // valid way per set).
+        let hint = self.mru[row as usize];
+        let idx = base + hint as usize;
+        if self.tags[idx] == tag {
+            self.register_hit(row, hint, idx, kind);
             return Some(DetailedOutcome {
-                hit: false,
+                hit: true,
                 evicted: None,
             });
         }
+        Some(self.scan_or_fill(row, tag, set, kind))
+    }
 
-        // Choose a victim: first invalid line, otherwise per policy.
-        let victim_index = {
-            let set = &self.lines[range.clone()];
-            match set.iter().position(|l| !l.valid) {
-                Some(i) => i,
-                None => match replacement {
-                    Replacement::Lru | Replacement::Fifo => set
-                        .iter()
-                        .enumerate()
-                        .min_by_key(|(_, l)| l.stamp)
-                        .map(|(i, _)| i)
-                        .expect("associativity >= 1"),
-                    Replacement::Random { .. } => self
-                        .rng
-                        .as_mut()
-                        .expect("random replacement has an rng")
-                        .gen_range(0..range.len()),
-                    Replacement::TreePlru => {
-                        plru_victim(self.plru[row as usize], self.config.assoc()) as usize
-                    }
-                },
+    /// The slow half of [`SetAssocCache::detailed`]: full way scan, then
+    /// the miss/fill path.
+    #[inline]
+    fn scan_or_fill(&mut self, row: u64, tag: u64, set: u64, kind: AccessKind) -> DetailedOutcome {
+        let assoc = self.assoc as usize;
+        let base = row as usize * assoc;
+
+        // One branchless pass over the dense tag slice: a hit lives in at
+        // most one valid way, and the first invalid way is the fill's
+        // preferred victim. Conditional moves keep the scan free of
+        // data-dependent branches — which way matches is unpredictable,
+        // and an early-exit compare per way costs a mispredict each. The
+        // 4-way case (every L1 in the paper) gets a fixed-length scan the
+        // compiler fully unrolls; other associativities take the dynamic
+        // loop.
+        let (hit_way, first_invalid) = if assoc == 4 {
+            scan_ways::<4>(self.tags[base..base + 4].try_into().expect("len 4"), tag)
+        } else {
+            scan_ways_dyn(&self.tags[base..base + assoc], tag)
+        };
+        if hit_way != usize::MAX {
+            self.register_hit(row, hit_way as u32, base + hit_way, kind);
+            return DetailedOutcome {
+                hit: true,
+                evicted: None,
+            };
+        }
+
+        self.stats.record_miss(kind);
+
+        // Write-through / no-allocate: store misses do not fill.
+        if kind.is_store() && !self.write_back {
+            return DetailedOutcome {
+                hit: false,
+                evicted: None,
+            };
+        }
+
+        // Choose a victim: first invalid way, otherwise per policy.
+        let victim = if first_invalid != usize::MAX {
+            first_invalid
+        } else {
+            match self.replacement {
+                // min_by_key returns the FIRST minimum — ties break to
+                // the lowest way, as before.
+                Replacement::Lru | Replacement::Fifo => self.stamps[base..base + assoc]
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(_, s)| s)
+                    .map(|(w, _)| w)
+                    .expect("associativity >= 1"),
+                // Exactly one PRNG draw per full-set eviction, over the
+                // same range as the pre-SoA implementation.
+                Replacement::Random { .. } => self
+                    .rng
+                    .as_mut()
+                    .expect("random replacement has an rng")
+                    .gen_range(0..assoc),
+                Replacement::TreePlru => plru_victim(self.plru[row as usize], self.assoc) as usize,
             }
         };
 
-        let set_index = (addr.block(self.config.block()).index()) & self.set_mask;
-        let line = &mut self.lines[range.start + victim_index];
-        let evicted = if line.valid {
-            if line.dirty {
+        let vidx = base + victim;
+        let evicted = if self.tags[vidx] != INVALID_TAG {
+            let dirty = self.dirty.get(vidx);
+            if dirty {
                 self.stats.writebacks += 1;
             }
             Some(EvictedLine {
-                block: BlockAddr::from_index((line.tag << self.set_bits) | set_index),
-                dirty: line.dirty,
+                block: BlockAddr::from_index((self.tags[vidx] << self.set_bits) | set),
+                dirty,
             })
         } else {
             None
         };
-        *line = Line {
-            tag,
-            valid: true,
-            dirty: kind.is_store() && write_back,
-            stamp: clock,
-        };
-        if replacement == Replacement::TreePlru {
-            plru_touch(
-                &mut self.plru[row as usize],
-                self.config.assoc(),
-                victim_index as u32,
-            );
+        self.tags[vidx] = tag;
+        self.dirty.assign(vidx, kind.is_store() && self.write_back);
+        if self.track_clock {
+            self.stamps[vidx] = self.clock;
+        } else if self.plru_on {
+            plru_touch(&mut self.plru[row as usize], self.assoc, victim as u32);
         }
-        Some(DetailedOutcome {
+        self.mru[row as usize] = victim as u32;
+        DetailedOutcome {
             hit: false,
             evicted,
-        })
+        }
     }
 
     /// Whether the block containing `addr` is present (no state change,
     /// no statistics). Returns `false` for unsampled sets.
     pub fn probe(&self, addr: Addr) -> bool {
-        let Some((row, tag)) = self.locate(addr) else {
+        let Some((row, tag, _)) = self.locate(addr) else {
             return false;
         };
-        self.lines[self.set_range(row)]
-            .iter()
-            .any(|l| l.valid && l.tag == tag)
+        let base = row as usize * self.assoc as usize;
+        (0..self.assoc as usize).any(|w| self.tags[base + w] == tag)
     }
 
     /// Invalidates the block containing `addr` if present; returns whether
     /// a line was invalidated and whether it was dirty.
     pub fn invalidate(&mut self, addr: Addr) -> Option<bool> {
-        let (row, tag) = self.locate(addr)?;
-        let range = self.set_range(row);
-        for line in &mut self.lines[range] {
-            if line.valid && line.tag == tag {
-                line.valid = false;
-                let dirty = line.dirty;
-                line.dirty = false;
+        let (row, tag, _) = self.locate(addr)?;
+        let base = row as usize * self.assoc as usize;
+        for way in 0..self.assoc as usize {
+            let idx = base + way;
+            if self.tags[idx] == tag {
+                self.tags[idx] = INVALID_TAG;
+                let dirty = self.dirty.get(idx);
+                self.dirty.clear(idx);
                 self.stats.invalidations += 1;
                 return Some(dirty);
             }
@@ -396,7 +552,7 @@ impl SetAssocCache {
 
     /// Number of valid lines currently held (sampled sets only).
     pub fn resident_blocks(&self) -> u64 {
-        self.lines.iter().filter(|l| l.valid).count() as u64
+        self.tags.iter().filter(|&&t| t != INVALID_TAG).count() as u64
     }
 }
 

@@ -43,6 +43,7 @@
 mod cache;
 mod config;
 mod hierarchy;
+pub mod reference;
 mod sampling;
 mod split;
 mod stats;

@@ -1,0 +1,335 @@
+//! The pre-SoA reference cache model.
+//!
+//! [`ReferenceCache`] is the array-of-structs implementation
+//! [`SetAssocCache`](crate::SetAssocCache) used before its storage was
+//! restructured into structure-of-arrays. It is kept verbatim for two
+//! jobs:
+//!
+//! * **equivalence oracle** — the SoA cache must match it outcome for
+//!   outcome (stats, hits, eviction sequence) under every policy and
+//!   geometry, which the `soa_equivalence` property tests check against
+//!   randomized traces;
+//! * **benchmark baseline** — the `recording` bench measures the SoA +
+//!   chunked hot loop against this model driving the closure-based
+//!   generation path, so the tracked speedup is against the real pre-PR
+//!   implementation, not a strawman.
+//!
+//! It is deliberately *not* optimised; do not use it in drivers.
+
+use streamsim_prng::{Rng, Xoshiro256StarStar};
+
+use streamsim_trace::{AccessKind, Addr, BlockAddr};
+
+use crate::{
+    AccessOutcome, CacheConfig, CacheStats, DetailedOutcome, EvictedLine, Replacement, SetSampling,
+    WritePolicy,
+};
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// LRU: last-touch time. FIFO: fill time. Unused for random.
+    stamp: u64,
+}
+
+/// Tree-PLRU helpers, identical to the original implementation.
+fn plru_touch(bits: &mut u64, assoc: u32, way: u32) {
+    let mut node = 1u32;
+    let mut span = assoc;
+    while span > 1 {
+        span /= 2;
+        let right = way & span != 0;
+        if right {
+            *bits &= !(1 << node);
+        } else {
+            *bits |= 1 << node;
+        }
+        node = node * 2 + right as u32;
+    }
+}
+
+fn plru_victim(bits: u64, assoc: u32) -> u32 {
+    let mut node = 1u32;
+    let mut span = assoc;
+    let mut way = 0u32;
+    while span > 1 {
+        span /= 2;
+        let bit = (bits >> node) & 1;
+        if bit == 1 {
+            way += span;
+        }
+        node = node * 2 + bit as u32;
+    }
+    way
+}
+
+/// The array-of-structs set-associative cache, exactly as it was before
+/// the SoA restructuring. Same outcomes, same statistics, same PRNG
+/// consumption — only slower.
+#[derive(Clone, Debug)]
+pub struct ReferenceCache {
+    config: CacheConfig,
+    sampling: Option<SetSampling>,
+    lines: Vec<Line>,
+    rows: u64,
+    set_mask: u64,
+    set_bits: u32,
+    clock: u64,
+    rng: Option<Xoshiro256StarStar>,
+    plru: Vec<u64>,
+    stats: CacheStats,
+}
+
+impl ReferenceCache {
+    /// Creates a cache simulating every set of `config`.
+    ///
+    /// # Errors
+    ///
+    /// Infallible for any valid `config`; kept fallible for uniformity
+    /// with [`ReferenceCache::with_sampling`].
+    pub fn new(config: CacheConfig) -> Result<Self, crate::CacheConfigError> {
+        Self::build(config, None)
+    }
+
+    /// Creates a cache that simulates only the sets selected by
+    /// `sampling`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the sampling is finer than the number of sets.
+    pub fn with_sampling(
+        config: CacheConfig,
+        sampling: SetSampling,
+    ) -> Result<Self, crate::CacheConfigError> {
+        Self::build(config, Some(sampling))
+    }
+
+    fn build(
+        config: CacheConfig,
+        sampling: Option<SetSampling>,
+    ) -> Result<Self, crate::CacheConfigError> {
+        let sets = config.num_sets();
+        let rows = match sampling {
+            Some(s) => {
+                let rows = sets >> s.log2_fraction();
+                if rows == 0 {
+                    return Err(crate::CacheConfigError::SetsNotPowerOfTwo { sets });
+                }
+                rows
+            }
+            None => sets,
+        };
+        let rng = match config.replacement() {
+            Replacement::Random { seed } => Some(Xoshiro256StarStar::seed_from_u64(seed)),
+            _ => None,
+        };
+        let plru = if config.replacement() == Replacement::TreePlru {
+            if !config.assoc().is_power_of_two() || config.assoc() > 64 {
+                return Err(crate::CacheConfigError::PlruNeedsPowerOfTwoAssoc {
+                    assoc: config.assoc(),
+                });
+            }
+            vec![0u64; rows as usize]
+        } else {
+            Vec::new()
+        };
+        Ok(ReferenceCache {
+            config,
+            sampling,
+            lines: vec![Line::default(); (rows * config.assoc() as u64) as usize],
+            rows,
+            set_mask: sets - 1,
+            set_bits: config.set_index_bits(),
+            clock: 0,
+            rng,
+            plru,
+            stats: CacheStats::new(),
+        })
+    }
+
+    /// The configuration this cache was built from.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn locate(&self, addr: Addr) -> Option<(u64, u64)> {
+        let block = addr.block(self.config.block()).index();
+        let set = block & self.set_mask;
+        let tag = block >> self.set_bits;
+        let row = match self.sampling {
+            Some(s) => {
+                if !s.selects(set) {
+                    return None;
+                }
+                s.row(set)
+            }
+            None => set,
+        };
+        debug_assert!(row < self.rows);
+        Some((row, tag))
+    }
+
+    fn set_range(&self, row: u64) -> std::ops::Range<usize> {
+        let assoc = self.config.assoc() as usize;
+        let start = row as usize * assoc;
+        start..start + assoc
+    }
+
+    /// Presents one reference; fills on miss per the write policy.
+    pub fn access(&mut self, addr: Addr, kind: AccessKind) -> AccessOutcome {
+        match self.detailed(addr, kind) {
+            None => AccessOutcome::Bypassed,
+            Some(DetailedOutcome { hit: true, .. }) => AccessOutcome::Hit,
+            Some(DetailedOutcome {
+                hit: false,
+                evicted,
+            }) => AccessOutcome::Miss {
+                writeback: evicted.filter(|e| e.dirty).map(|e| e.block),
+            },
+        }
+    }
+
+    /// Like [`ReferenceCache::access`] but reports the evicted line even
+    /// when clean.
+    pub fn access_detailed(&mut self, addr: Addr, kind: AccessKind) -> Option<DetailedOutcome> {
+        self.detailed(addr, kind)
+    }
+
+    fn detailed(&mut self, addr: Addr, kind: AccessKind) -> Option<DetailedOutcome> {
+        let (row, tag) = self.locate(addr)?;
+        let write_back = self.config.write_policy() == WritePolicy::WriteBackAllocate;
+        let replacement = self.config.replacement();
+        let range = self.set_range(row);
+        self.clock += 1;
+        let clock = self.clock;
+
+        // Hit?
+        for (way, line) in self.lines[range.clone()].iter_mut().enumerate() {
+            if line.valid && line.tag == tag {
+                if replacement == Replacement::Lru {
+                    line.stamp = clock;
+                }
+                if replacement == Replacement::TreePlru {
+                    plru_touch(
+                        &mut self.plru[row as usize],
+                        self.config.assoc(),
+                        way as u32,
+                    );
+                }
+                if kind.is_store() && write_back {
+                    line.dirty = true;
+                }
+                self.stats.record(kind, true);
+                return Some(DetailedOutcome {
+                    hit: true,
+                    evicted: None,
+                });
+            }
+        }
+
+        self.stats.record(kind, false);
+
+        // Write-through / no-allocate: store misses do not fill.
+        if kind.is_store() && !write_back {
+            return Some(DetailedOutcome {
+                hit: false,
+                evicted: None,
+            });
+        }
+
+        // Choose a victim: first invalid line, otherwise per policy.
+        let victim_index = {
+            let set = &self.lines[range.clone()];
+            match set.iter().position(|l| !l.valid) {
+                Some(i) => i,
+                None => match replacement {
+                    Replacement::Lru | Replacement::Fifo => set
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, l)| l.stamp)
+                        .map(|(i, _)| i)
+                        .expect("associativity >= 1"),
+                    Replacement::Random { .. } => self
+                        .rng
+                        .as_mut()
+                        .expect("random replacement has an rng")
+                        .gen_range(0..range.len()),
+                    Replacement::TreePlru => {
+                        plru_victim(self.plru[row as usize], self.config.assoc()) as usize
+                    }
+                },
+            }
+        };
+
+        let set_index = (addr.block(self.config.block()).index()) & self.set_mask;
+        let line = &mut self.lines[range.start + victim_index];
+        let evicted = if line.valid {
+            if line.dirty {
+                self.stats.writebacks += 1;
+            }
+            Some(EvictedLine {
+                block: BlockAddr::from_index((line.tag << self.set_bits) | set_index),
+                dirty: line.dirty,
+            })
+        } else {
+            None
+        };
+        *line = Line {
+            tag,
+            valid: true,
+            dirty: kind.is_store() && write_back,
+            stamp: clock,
+        };
+        if replacement == Replacement::TreePlru {
+            plru_touch(
+                &mut self.plru[row as usize],
+                self.config.assoc(),
+                victim_index as u32,
+            );
+        }
+        Some(DetailedOutcome {
+            hit: false,
+            evicted,
+        })
+    }
+
+    /// Whether the block containing `addr` is present (no state change,
+    /// no statistics). Returns `false` for unsampled sets.
+    pub fn probe(&self, addr: Addr) -> bool {
+        let Some((row, tag)) = self.locate(addr) else {
+            return false;
+        };
+        self.lines[self.set_range(row)]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Invalidates the block containing `addr` if present; returns
+    /// whether it was dirty.
+    pub fn invalidate(&mut self, addr: Addr) -> Option<bool> {
+        let (row, tag) = self.locate(addr)?;
+        let range = self.set_range(row);
+        for line in &mut self.lines[range] {
+            if line.valid && line.tag == tag {
+                line.valid = false;
+                let dirty = line.dirty;
+                line.dirty = false;
+                self.stats.invalidations += 1;
+                return Some(dirty);
+            }
+        }
+        None
+    }
+
+    /// Number of valid lines currently held (sampled sets only).
+    pub fn resident_blocks(&self) -> u64 {
+        self.lines.iter().filter(|l| l.valid).count() as u64
+    }
+}

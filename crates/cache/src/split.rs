@@ -55,6 +55,7 @@ impl SplitL1 {
     }
 
     /// Routes one reference to the appropriate side.
+    #[inline(always)]
     pub fn access(&mut self, access: Access) -> AccessOutcome {
         match access.kind {
             AccessKind::IFetch => self.icache.access(access.addr, access.kind),

@@ -26,7 +26,9 @@ use streamsim_trace::AccessKind;
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     accesses: [u64; 3],
-    hits: [u64; 3],
+    /// Misses, not hits: the hit path is the hot one, and counting the
+    /// rare outcome keeps [`CacheStats::record_hit`] to one increment.
+    misses: [u64; 3],
     /// Dirty blocks written back to the next level.
     pub writebacks: u64,
     /// Lines invalidated externally.
@@ -40,12 +42,28 @@ impl CacheStats {
     }
 
     /// Records an access of `kind` which either hit or missed.
+    #[inline]
     pub fn record(&mut self, kind: AccessKind, hit: bool) {
+        if hit {
+            self.record_hit(kind);
+        } else {
+            self.record_miss(kind);
+        }
+    }
+
+    /// Records a hit of `kind` — one counter touch, for call sites that
+    /// already know the outcome.
+    #[inline(always)]
+    pub fn record_hit(&mut self, kind: AccessKind) {
+        self.accesses[kind.as_index()] += 1;
+    }
+
+    /// Records a miss of `kind`.
+    #[inline(always)]
+    pub fn record_miss(&mut self, kind: AccessKind) {
         let i = kind.as_index();
         self.accesses[i] += 1;
-        if hit {
-            self.hits[i] += 1;
-        }
+        self.misses[i] += 1;
     }
 
     /// Accesses of one kind.
@@ -55,12 +73,12 @@ impl CacheStats {
 
     /// Hits of one kind.
     pub fn hits_of(&self, kind: AccessKind) -> u64 {
-        self.hits[kind.as_index()]
+        self.accesses_of(kind) - self.misses_of(kind)
     }
 
     /// Misses of one kind.
     pub fn misses_of(&self, kind: AccessKind) -> u64 {
-        self.accesses_of(kind) - self.hits_of(kind)
+        self.misses[kind.as_index()]
     }
 
     /// Total accesses, all kinds.
@@ -70,12 +88,12 @@ impl CacheStats {
 
     /// Total hits, all kinds.
     pub fn hits(&self) -> u64 {
-        self.hits.iter().sum()
+        self.accesses() - self.misses()
     }
 
     /// Total misses, all kinds.
     pub fn misses(&self) -> u64 {
-        self.accesses() - self.hits()
+        self.misses.iter().sum()
     }
 
     /// Hits / accesses over all kinds (0.0 when empty).
@@ -116,7 +134,7 @@ impl AddAssign for CacheStats {
     fn add_assign(&mut self, rhs: Self) {
         for i in 0..3 {
             self.accesses[i] += rhs.accesses[i];
-            self.hits[i] += rhs.hits[i];
+            self.misses[i] += rhs.misses[i];
         }
         self.writebacks += rhs.writebacks;
         self.invalidations += rhs.invalidations;

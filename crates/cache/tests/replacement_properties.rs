@@ -1,7 +1,7 @@
 //! Property-based tests for the cache replacement policies, on the
 //! in-tree `streamsim-quickcheck` harness.
 
-use streamsim_prng::quickcheck::{check, check_with, Gen};
+use streamsim_prng::quickcheck::{check, check_with};
 use streamsim_prng::Rng;
 
 use streamsim_cache::{CacheConfig, Replacement, SetAssocCache};

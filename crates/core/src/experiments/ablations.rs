@@ -104,9 +104,13 @@ impl MissObserver for PartitionedObserver {
     }
 
     fn on_writeback(&mut self, base: Addr) {
-        let block = base.block(BlockSize::default());
-        self.isys.on_writeback(block);
-        self.dsys.on_writeback(block);
+        // Broadcast to both partitions at each system's own block
+        // granularity — mirrors MemorySystem's one-pass Partitioned
+        // branch exactly (see system.rs), which a regression test pins.
+        self.isys
+            .on_writeback(base.block(self.isys.config().block()));
+        self.dsys
+            .on_writeback(base.block(self.dsys.config().block()));
     }
 
     fn finish(&mut self) {
@@ -499,6 +503,48 @@ mod tests {
                 "{name}: LRU {lru} vs random {random}"
             );
         }
+    }
+
+    #[test]
+    fn partitioned_observer_matches_the_one_pass_system() {
+        // The replay-path PartitionedObserver and MemorySystem's
+        // Partitioned branch must agree on writeback handling: both
+        // broadcast every writeback to BOTH partitions at each system's
+        // own block size. A store-heavy workload with a write-back L1
+        // exercises the writeback path.
+        let opts = ExperimentOptions::quick();
+        let w = streamsim_workloads::kernels::Cgm {
+            rows: 400,
+            nnz: 12_000,
+            bandwidth: Some(60),
+            iters: 3,
+            seed: 0xc6,
+        };
+        let record = opts.record_options();
+        let (icfg, dcfg) = (
+            StreamConfig::paper_basic(2).expect("valid"),
+            StreamConfig::paper_basic(8).expect("valid"),
+        );
+
+        let mut system = crate::MemorySystemBuilder::with_l1(record.icache, record.dcache)
+            .partitioned_streams(icfg, dcfg)
+            .build()
+            .expect("valid L1");
+        system.run(&w);
+        let report = system.finish();
+        let trace = crate::record_miss_trace(&w, &record).expect("valid L1");
+        assert!(trace.writebacks() > 0, "need a writeback-heavy workload");
+
+        let mut part = PartitionedObserver {
+            isys: StreamSystem::new(icfg),
+            dsys: StreamSystem::new(dcfg),
+        };
+        replay(&trace, &mut [&mut part]);
+        assert_eq!(
+            report.instruction_streams.expect("partitioned"),
+            part.isys.stats()
+        );
+        assert_eq!(report.data_streams.expect("partitioned"), part.dsys.stats());
     }
 
     #[test]

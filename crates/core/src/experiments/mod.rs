@@ -47,7 +47,7 @@ use std::sync::Arc;
 use streamsim_workloads::{all_benchmarks, kernels, Workload};
 
 use crate::sink::Artifact;
-use crate::{parallel_map, MissTrace, RecordOptions, TraceStore};
+use crate::{MissTrace, RecordOptions, TraceStore};
 
 /// Every experiment driver's artifact name, in report order.
 pub const ARTIFACT_NAMES: [&str; 16] = [
@@ -322,14 +322,16 @@ pub fn table4_pairs(scale: Scale) -> Vec<Table4Pair> {
 /// clone of the same options — gets the stored `Arc`s back without
 /// re-simulating the L1.
 pub fn miss_traces(options: &ExperimentOptions) -> Vec<(String, Arc<MissTrace>)> {
-    let record = options.record_options();
-    let store = options.store.clone();
-    parallel_map(workload_set(options.scale), move |w| {
-        let trace = store
-            .record(w.as_ref(), &record)
-            .expect("paper L1 configuration is valid");
-        (w.name().to_owned(), trace)
-    })
+    let workloads = workload_set(options.scale);
+    let traces = options
+        .store
+        .prefill(&workloads, &options.record_options())
+        .expect("paper L1 configuration is valid");
+    workloads
+        .iter()
+        .map(|w| w.name().to_owned())
+        .zip(traces)
+        .collect()
 }
 
 #[cfg(test)]

@@ -11,7 +11,7 @@
 
 use streamsim_cache::{AccessOutcome, CacheConfig, CacheConfigError, SetSampling, SplitL1};
 use streamsim_streams::{StreamConfig, StreamStats};
-use streamsim_trace::{sampling_sink, Access, AccessKind, Addr, BlockSize};
+use streamsim_trace::{Access, AccessKind, Addr, BlockSize, ChunkSampler};
 use streamsim_workloads::Workload;
 
 use crate::L1Summary;
@@ -119,26 +119,43 @@ pub fn record_miss_trace(
 ) -> Result<MissTrace, CacheConfigError> {
     let mut l1 = SplitL1::new(options.icache, options.dcache)?;
     let block = options.dcache.block();
-    let mut events = Vec::new();
+    // Miss traces run 10^4-10^5 events at quick scale; starting with a
+    // real allocation skips the long tail of doubling reallocations the
+    // hot loop would otherwise absorb.
+    let mut events = Vec::with_capacity(1 << 15);
+    let mut batch = Vec::new();
 
+    // Workloads emit chunks (one indirect call per ~4096 refs); the L1
+    // pass runs over contiguous slices.
     {
-        let mut consume = |access: Access| match l1.access(access) {
-            AccessOutcome::Hit | AccessOutcome::Bypassed => {}
-            AccessOutcome::Miss { writeback } => {
-                events.push(MissEvent::Fetch {
-                    addr: access.addr,
-                    kind: access.kind,
-                });
-                if let Some(victim) = writeback {
-                    events.push(MissEvent::Writeback {
-                        base: victim.base_addr(block),
-                    });
+        let mut consume = |chunk: &[Access]| {
+            for &access in chunk {
+                match l1.access(access) {
+                    AccessOutcome::Hit | AccessOutcome::Bypassed => {}
+                    AccessOutcome::Miss { writeback } => {
+                        events.push(MissEvent::Fetch {
+                            addr: access.addr,
+                            kind: access.kind,
+                        });
+                        if let Some(victim) = writeback {
+                            events.push(MissEvent::Writeback {
+                                base: victim.base_addr(block),
+                            });
+                        }
+                    }
                 }
             }
         };
         match options.sampling {
-            Some((on, off)) => workload.generate(&mut sampling_sink(on, off, consume)),
-            None => workload.generate(&mut consume),
+            Some((on, off)) => {
+                // Time sampling splits each chunk into kept sub-slices
+                // by range arithmetic instead of a per-ref branch.
+                let mut sampler = ChunkSampler::new(on, off);
+                workload.generate_chunks(&mut batch, &mut |chunk| {
+                    sampler.sample(chunk, &mut consume);
+                });
+            }
+            None => workload.generate_chunks(&mut batch, &mut consume),
         }
     }
 

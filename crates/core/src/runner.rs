@@ -129,9 +129,9 @@ mod tests {
             (rec.fetches(), rec.writebacks(), streams)
         };
         let seeds: Vec<u64> = (0..12).collect();
-        let reference = parallel_map_with_threads(seeds.clone(), 1, |s| cell(s));
+        let reference = parallel_map_with_threads(seeds.clone(), 1, cell);
         for threads in [2, 3, 7] {
-            let got = parallel_map_with_threads(seeds.clone(), threads, |s| cell(s));
+            let got = parallel_map_with_threads(seeds.clone(), threads, cell);
             assert_eq!(got, reference, "diverged at {threads} threads");
         }
     }

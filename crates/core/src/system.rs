@@ -219,6 +219,13 @@ impl MemorySystem {
                             sys.on_writeback(base.block(sys.config().block()));
                         }
                         StreamsImpl::Partitioned { instruction, data } => {
+                            // Writebacks are broadcast to BOTH partitions:
+                            // stream buffers snoop the bus by address and a
+                            // dirty block's address says nothing about which
+                            // partition may have prefetched it. Each system
+                            // snoops at its own block granularity. The replay
+                            // path (ablations::PartitionedObserver) must match
+                            // this exactly.
                             instruction.on_writeback(base.block(instruction.config().block()));
                             data.on_writeback(base.block(data.config().block()));
                         }
@@ -231,9 +238,15 @@ impl MemorySystem {
         }
     }
 
-    /// Runs an entire workload through the system.
+    /// Runs an entire workload through the system via the chunked
+    /// emission path (one indirect call per batch of references).
     pub fn run(&mut self, workload: &dyn Workload) {
-        workload.generate(&mut |a| self.access(a));
+        let mut batch = Vec::new();
+        workload.generate_chunks(&mut batch, &mut |chunk| {
+            for &a in chunk {
+                self.access(a);
+            }
+        });
     }
 
     /// Finalizes the streams and returns the report.

@@ -2,7 +2,7 @@
 //! system's allocation policies, on the in-tree `streamsim-quickcheck`
 //! harness.
 
-use streamsim_prng::quickcheck::{check_with, Gen};
+use streamsim_prng::quickcheck::check_with;
 use streamsim_prng::Rng;
 
 use streamsim_streams::{Allocation, CzoneFilter, MinDeltaDetector, StreamConfig, StreamSystem};

@@ -41,5 +41,5 @@ mod stats;
 
 pub use access::{Access, AccessKind};
 pub use addr::{Addr, BlockAddr, BlockSize, GranularityError, WordAddr, WordSize};
-pub use sample::{sampling_sink, TimeSampler};
+pub use sample::{sampling_sink, ChunkSampler, TimeSampler};
 pub use stats::{StrideClass, StrideHistogram, TraceStats};

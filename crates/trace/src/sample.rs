@@ -118,6 +118,75 @@ pub fn sampling_sink<F: FnMut(Access)>(on: u64, off: u64, mut inner: F) -> impl 
     }
 }
 
+/// On/off time-sampling over *chunks* of references.
+///
+/// The chunked recording path hands whole slices to the consumer, so
+/// per-reference windowing would re-introduce a branch per reference.
+/// `ChunkSampler` instead splits each incoming chunk into kept and
+/// skipped sub-slices by range arithmetic — the kept sub-slices are
+/// exactly the references [`sampling_sink`] with the same `(on, off)`
+/// would have passed through (pinned by a property test).
+///
+/// # Example
+///
+/// ```
+/// use streamsim_trace::{Access, Addr, ChunkSampler};
+///
+/// let refs: Vec<Access> = (0..10u64).map(|i| Access::load(Addr::new(i))).collect();
+/// let mut kept = Vec::new();
+/// let mut s = ChunkSampler::new(2, 3);
+/// s.sample(&refs, &mut |keep| kept.extend(keep.iter().map(|a| a.addr.raw())));
+/// assert_eq!(kept, [0, 1, 5, 6]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ChunkSampler {
+    on: u64,
+    period: u64,
+    /// Position within the current on+off period (0 ≤ phase < period).
+    phase: u64,
+}
+
+impl ChunkSampler {
+    /// Creates a sampler that keeps `on` references then skips `off`,
+    /// repeating — the same windowing as [`sampling_sink`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `on == 0` (the sampler would keep nothing forever).
+    pub fn new(on: u64, off: u64) -> Self {
+        assert!(on > 0, "sampling window must keep at least one reference");
+        ChunkSampler {
+            on,
+            period: on + off,
+            phase: 0,
+        }
+    }
+
+    /// Feeds one chunk through the sampling window, handing every kept
+    /// sub-slice to `keep` in order. The window position persists across
+    /// chunks, so chunk boundaries never affect which references survive.
+    pub fn sample(&mut self, chunk: &[Access], keep: &mut dyn FnMut(&[Access])) {
+        let mut pos = 0usize;
+        let len = chunk.len();
+        while pos < len {
+            let remaining = (len - pos) as u64;
+            if self.phase < self.on {
+                let take = (self.on - self.phase).min(remaining) as usize;
+                keep(&chunk[pos..pos + take]);
+                pos += take;
+                self.phase += take as u64;
+            } else {
+                let skip = (self.period - self.phase).min(remaining) as usize;
+                pos += skip;
+                self.phase += skip as u64;
+            }
+            if self.phase == self.period {
+                self.phase = 0;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,6 +244,44 @@ mod tests {
             }
             assert_eq!(via_iter, via_sink, "on={on} off={off}");
         }
+    }
+
+    #[test]
+    fn chunk_sampler_matches_sink_across_chunk_boundaries() {
+        for (on, off) in [(1u64, 1u64), (3, 2), (10, 90), (4, 0), (7, 13)] {
+            let refs: Vec<Access> = seq(500).collect();
+            let mut via_sink = Vec::new();
+            {
+                let mut sink = sampling_sink(on, off, |a: Access| via_sink.push(a.addr.raw()));
+                for &a in &refs {
+                    sink(a);
+                }
+            }
+            for chunk_size in [1usize, 3, 7, 64, 500, 1000] {
+                let mut via_chunks = Vec::new();
+                let mut s = ChunkSampler::new(on, off);
+                for chunk in refs.chunks(chunk_size) {
+                    s.sample(chunk, &mut |keep| {
+                        via_chunks.extend(keep.iter().map(|a| a.addr.raw()))
+                    });
+                }
+                assert_eq!(via_sink, via_chunks, "on={on} off={off} chunk={chunk_size}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_sampler_ignores_empty_chunks() {
+        let mut s = ChunkSampler::new(2, 2);
+        let mut calls = 0;
+        s.sample(&[], &mut |_| calls += 1);
+        assert_eq!(calls, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one reference")]
+    fn chunk_sampler_zero_on_panics() {
+        let _ = ChunkSampler::new(0, 5);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use streamsim_trace::Access;
 
-use crate::{Suite, Workload};
+use crate::{Suite, Workload, DEFAULT_CHUNK};
 
 /// A workload that replays a pre-recorded reference trace.
 ///
@@ -81,6 +81,18 @@ impl Workload for RecordedTrace {
         }
     }
 
+    /// A stored trace is already contiguous, so chunks are emitted as
+    /// zero-copy slices; `batch` only supplies the chunk size.
+    fn generate_chunks(&self, batch: &mut Vec<Access>, emit: &mut dyn FnMut(&[Access])) {
+        let cap = match batch.capacity() {
+            0 => DEFAULT_CHUNK,
+            c => c,
+        };
+        for chunk in self.trace.chunks(cap) {
+            emit(chunk);
+        }
+    }
+
     /// The derived `Debug` output would embed the entire trace, so the
     /// fingerprint hashes it instead (FNV-1a over every reference).
     fn fingerprint(&self) -> String {
@@ -140,6 +152,13 @@ impl Workload for Concat {
     fn generate(&self, sink: &mut dyn FnMut(Access)) {
         for p in &self.parts {
             p.generate(sink);
+        }
+    }
+
+    /// Each part emits through its own (possibly native) chunked path.
+    fn generate_chunks(&self, batch: &mut Vec<Access>, emit: &mut dyn FnMut(&[Access])) {
+        for p in &self.parts {
+            p.generate_chunks(batch, emit);
         }
     }
 }
@@ -214,6 +233,31 @@ impl Workload for Interleaved {
                     sink(a);
                 }
                 emitted |= end > *cursor;
+                *cursor = end;
+            }
+            if !emitted {
+                return;
+            }
+        }
+    }
+
+    /// The materialised quanta are contiguous slices already, so they
+    /// are emitted directly (one chunk per quantum, no re-buffering).
+    fn generate_chunks(&self, _batch: &mut Vec<Access>, emit: &mut dyn FnMut(&[Access])) {
+        let traces: Vec<Vec<Access>> = self
+            .parts
+            .iter()
+            .map(|p| crate::collect_trace(p.as_ref()))
+            .collect();
+        let mut cursors = vec![0usize; traces.len()];
+        loop {
+            let mut emitted = false;
+            for (trace, cursor) in traces.iter().zip(cursors.iter_mut()) {
+                let end = (*cursor + self.quantum).min(trace.len());
+                if end > *cursor {
+                    emit(&trace[*cursor..end]);
+                    emitted = true;
+                }
                 *cursor = end;
             }
             if !emitted {

@@ -10,7 +10,7 @@ use streamsim_prng::{Rng, Xoshiro256StarStar};
 
 use streamsim_trace::{Access, Addr};
 
-use crate::{AddressSpace, Suite, Tracer, Workload};
+use crate::{AddressSpace, ChunkSink, RefSink, Suite, Tracer, Workload};
 
 /// Sequential sweeps over one or more arrays, one after another.
 ///
@@ -39,6 +39,25 @@ impl Default for SequentialSweep {
     }
 }
 
+impl SequentialSweep {
+    // One body serves both emission paths, so closure and chunked
+    // streams are identical by construction.
+    fn trace<S: RefSink + ?Sized>(&self, sink: &mut S) {
+        let mut mem = AddressSpace::new();
+        let arrays: Vec<_> = (0..self.arrays)
+            .map(|_| mem.array1(self.bytes_per_array / self.elem, self.elem))
+            .collect();
+        let mut t = Tracer::new(sink, 2048, Tracer::DEFAULT_IFETCH_INTERVAL);
+        for _ in 0..self.passes {
+            for a in &arrays {
+                for i in 0..a.len() {
+                    t.load(a.at(i));
+                }
+            }
+        }
+    }
+}
+
 impl Workload for SequentialSweep {
     fn name(&self) -> &str {
         "seq-sweep"
@@ -57,18 +76,13 @@ impl Workload for SequentialSweep {
     }
 
     fn generate(&self, sink: &mut dyn FnMut(Access)) {
-        let mut mem = AddressSpace::new();
-        let arrays: Vec<_> = (0..self.arrays)
-            .map(|_| mem.array1(self.bytes_per_array / self.elem, self.elem))
-            .collect();
-        let mut t = Tracer::new(sink, 2048, Tracer::DEFAULT_IFETCH_INTERVAL);
-        for _ in 0..self.passes {
-            for a in &arrays {
-                for i in 0..a.len() {
-                    t.load(a.at(i));
-                }
-            }
-        }
+        self.trace(sink);
+    }
+
+    fn generate_chunks(&self, batch: &mut Vec<Access>, emit: &mut dyn FnMut(&[Access])) {
+        let mut sink = ChunkSink::new(batch, emit);
+        self.trace(&mut sink);
+        sink.flush();
     }
 }
 
@@ -95,6 +109,21 @@ impl Default for InterleavedStreams {
     }
 }
 
+impl InterleavedStreams {
+    fn trace<S: RefSink + ?Sized>(&self, sink: &mut S) {
+        let mut mem = AddressSpace::new();
+        let arrays: Vec<_> = (0..self.num_streams)
+            .map(|_| mem.array1(self.elements, self.elem))
+            .collect();
+        let mut t = Tracer::new(sink, 1024, Tracer::DEFAULT_IFETCH_INTERVAL);
+        for i in 0..self.elements {
+            for a in &arrays {
+                t.load(a.at(i));
+            }
+        }
+    }
+}
+
 impl Workload for InterleavedStreams {
     fn name(&self) -> &str {
         "interleaved"
@@ -113,16 +142,13 @@ impl Workload for InterleavedStreams {
     }
 
     fn generate(&self, sink: &mut dyn FnMut(Access)) {
-        let mut mem = AddressSpace::new();
-        let arrays: Vec<_> = (0..self.num_streams)
-            .map(|_| mem.array1(self.elements, self.elem))
-            .collect();
-        let mut t = Tracer::new(sink, 1024, Tracer::DEFAULT_IFETCH_INTERVAL);
-        for i in 0..self.elements {
-            for a in &arrays {
-                t.load(a.at(i));
-            }
-        }
+        self.trace(sink);
+    }
+
+    fn generate_chunks(&self, batch: &mut Vec<Access>, emit: &mut dyn FnMut(&[Access])) {
+        let mut sink = ChunkSink::new(batch, emit);
+        self.trace(&mut sink);
+        sink.flush();
     }
 }
 
@@ -148,6 +174,19 @@ impl Default for StridedSweep {
     }
 }
 
+impl StridedSweep {
+    fn trace<S: RefSink + ?Sized>(&self, sink: &mut S) {
+        let mut mem = AddressSpace::new();
+        let base = mem.alloc(self.stride_bytes * self.count + 8, 64);
+        let mut t = Tracer::new(sink, 1024, Tracer::DEFAULT_IFETCH_INTERVAL);
+        for _ in 0..self.repeats {
+            for i in 0..self.count {
+                t.load(Addr::new(base.raw() + i * self.stride_bytes));
+            }
+        }
+    }
+}
+
 impl Workload for StridedSweep {
     fn name(&self) -> &str {
         "strided"
@@ -166,14 +205,13 @@ impl Workload for StridedSweep {
     }
 
     fn generate(&self, sink: &mut dyn FnMut(Access)) {
-        let mut mem = AddressSpace::new();
-        let base = mem.alloc(self.stride_bytes * self.count + 8, 64);
-        let mut t = Tracer::new(sink, 1024, Tracer::DEFAULT_IFETCH_INTERVAL);
-        for _ in 0..self.repeats {
-            for i in 0..self.count {
-                t.load(Addr::new(base.raw() + i * self.stride_bytes));
-            }
-        }
+        self.trace(sink);
+    }
+
+    fn generate_chunks(&self, batch: &mut Vec<Access>, emit: &mut dyn FnMut(&[Access])) {
+        let mut sink = ChunkSink::new(batch, emit);
+        self.trace(&mut sink);
+        sink.flush();
     }
 }
 
@@ -199,6 +237,19 @@ impl Default for RandomGather {
     }
 }
 
+impl RandomGather {
+    fn trace<S: RefSink + ?Sized>(&self, sink: &mut S) {
+        let mut mem = AddressSpace::new();
+        let words = self.footprint / 8;
+        let a = mem.array1(words, 8);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(self.seed);
+        let mut t = Tracer::new(sink, 1024, Tracer::DEFAULT_IFETCH_INTERVAL);
+        for _ in 0..self.count {
+            t.load(a.at(rng.gen_range(0..words)));
+        }
+    }
+}
+
 impl Workload for RandomGather {
     fn name(&self) -> &str {
         "random-gather"
@@ -217,14 +268,13 @@ impl Workload for RandomGather {
     }
 
     fn generate(&self, sink: &mut dyn FnMut(Access)) {
-        let mut mem = AddressSpace::new();
-        let words = self.footprint / 8;
-        let a = mem.array1(words, 8);
-        let mut rng = Xoshiro256StarStar::seed_from_u64(self.seed);
-        let mut t = Tracer::new(sink, 1024, Tracer::DEFAULT_IFETCH_INTERVAL);
-        for _ in 0..self.count {
-            t.load(a.at(rng.gen_range(0..words)));
-        }
+        self.trace(sink);
+    }
+
+    fn generate_chunks(&self, batch: &mut Vec<Access>, emit: &mut dyn FnMut(&[Access])) {
+        let mut sink = ChunkSink::new(batch, emit);
+        self.trace(&mut sink);
+        sink.flush();
     }
 }
 
@@ -253,24 +303,8 @@ impl Default for PointerChase {
     }
 }
 
-impl Workload for PointerChase {
-    fn name(&self) -> &str {
-        "pointer-chase"
-    }
-
-    fn suite(&self) -> Suite {
-        Suite::Synthetic
-    }
-
-    fn description(&self) -> &str {
-        "dependent loads walking a randomly permuted linked list"
-    }
-
-    fn data_set_bytes(&self) -> u64 {
-        self.nodes * self.node_bytes
-    }
-
-    fn generate(&self, sink: &mut dyn FnMut(Access)) {
+impl PointerChase {
+    fn trace<S: RefSink + ?Sized>(&self, sink: &mut S) {
         let mut mem = AddressSpace::new();
         let a = mem.array1(self.nodes, self.node_bytes);
         // Build a random cyclic permutation (Sattolo's algorithm) so the
@@ -294,6 +328,34 @@ impl Workload for PointerChase {
             t.load(a.at(node));
             node = next[node as usize];
         }
+    }
+}
+
+impl Workload for PointerChase {
+    fn name(&self) -> &str {
+        "pointer-chase"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Synthetic
+    }
+
+    fn description(&self) -> &str {
+        "dependent loads walking a randomly permuted linked list"
+    }
+
+    fn data_set_bytes(&self) -> u64 {
+        self.nodes * self.node_bytes
+    }
+
+    fn generate(&self, sink: &mut dyn FnMut(Access)) {
+        self.trace(sink);
+    }
+
+    fn generate_chunks(&self, batch: &mut Vec<Access>, emit: &mut dyn FnMut(&[Access])) {
+        let mut sink = ChunkSink::new(batch, emit);
+        self.trace(&mut sink);
+        sink.flush();
     }
 }
 

@@ -13,7 +13,7 @@ use streamsim_prng::{Rng, Xoshiro256StarStar};
 
 use streamsim_trace::Access;
 
-use crate::{AddressSpace, Suite, Tracer, Workload};
+use crate::{AddressSpace, ChunkSink, RefSink, Suite, Tracer, Workload};
 
 /// The ADM kernel model.
 #[derive(Clone, Debug)]
@@ -40,25 +40,10 @@ impl Adm {
     }
 }
 
-impl Workload for Adm {
-    fn name(&self) -> &str {
-        "adm"
-    }
-
-    fn suite(&self) -> Suite {
-        Suite::Perfect
-    }
-
-    fn description(&self) -> &str {
-        "air-pollution transport: gather/scatter of concentrations through data-dependent index arrays"
-    }
-
-    fn data_set_bytes(&self) -> u64 {
-        // Two concentration fields, wind field, two index arrays.
-        self.cells * (8 + 8 + 8 + 4 + 4)
-    }
-
-    fn generate(&self, sink: &mut dyn FnMut(Access)) {
+impl Adm {
+    // One body serves both emission paths, so closure and chunked
+    // streams are identical by construction.
+    fn trace<S: RefSink + ?Sized>(&self, sink: &mut S) {
         let mut mem = AddressSpace::new();
         let conc = mem.array1(self.cells, 8);
         let conc2 = mem.array1(self.cells, 8);
@@ -93,6 +78,35 @@ impl Workload for Adm {
                 }
             }
         }
+    }
+}
+
+impl Workload for Adm {
+    fn name(&self) -> &str {
+        "adm"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Perfect
+    }
+
+    fn description(&self) -> &str {
+        "air-pollution transport: gather/scatter of concentrations through data-dependent index arrays"
+    }
+
+    fn data_set_bytes(&self) -> u64 {
+        // Two concentration fields, wind field, two index arrays.
+        self.cells * (8 + 8 + 8 + 4 + 4)
+    }
+
+    fn generate(&self, sink: &mut dyn FnMut(Access)) {
+        self.trace(sink);
+    }
+
+    fn generate_chunks(&self, batch: &mut Vec<Access>, emit: &mut dyn FnMut(&[Access])) {
+        let mut sink = ChunkSink::new(batch, emit);
+        self.trace(&mut sink);
+        sink.flush();
     }
 }
 

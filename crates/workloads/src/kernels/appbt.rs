@@ -14,7 +14,7 @@
 
 use streamsim_trace::Access;
 
-use crate::{AddressSpace, Array4, Suite, Tracer, Workload};
+use crate::{AddressSpace, Array4, ChunkSink, RefSink, Suite, Tracer, Workload};
 
 /// The BT kernel model.
 #[derive(Clone, Debug)]
@@ -45,8 +45,8 @@ impl Appbt {
     /// One grid point of a solve sweep: burst-read the fields, factor the
     /// 5×5 blocks in the (resident) line buffer, store the rhs.
     #[allow(clippy::too_many_arguments)]
-    fn point(
-        t: &mut Tracer<'_>,
+    fn point<S: RefSink + ?Sized>(
+        t: &mut Tracer<'_, S>,
         u: &Array4,
         rhs: &Array4,
         qs: &Array4,
@@ -73,27 +73,10 @@ impl Appbt {
     }
 }
 
-impl Workload for Appbt {
-    fn name(&self) -> &str {
-        "appbt"
-    }
-
-    fn suite(&self) -> Suite {
-        Suite::Nas
-    }
-
-    fn description(&self) -> &str {
-        "block-tridiagonal ADI: 40-byte field bursts per point, contiguous along x, stride 5n/5n² along y/z"
-    }
-
-    fn data_set_bytes(&self) -> u64 {
-        let points = self.n * self.n * self.n;
-        // u + rhs + forcing (5 components) + qs; the per-line lhs buffer
-        // is transient.
-        (5 + 5 + 5 + 1) * points * 8
-    }
-
-    fn generate(&self, sink: &mut dyn FnMut(Access)) {
+impl Appbt {
+    // One body serves both emission paths, so closure and chunked
+    // streams are identical by construction.
+    fn trace<S: RefSink + ?Sized>(&self, sink: &mut S) {
         let n = self.n;
         let mut mem = AddressSpace::new();
         let u = mem.array4(5, n, n, n, 8);
@@ -151,6 +134,37 @@ impl Workload for Appbt {
                 }
             }
         }
+    }
+}
+
+impl Workload for Appbt {
+    fn name(&self) -> &str {
+        "appbt"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Nas
+    }
+
+    fn description(&self) -> &str {
+        "block-tridiagonal ADI: 40-byte field bursts per point, contiguous along x, stride 5n/5n² along y/z"
+    }
+
+    fn data_set_bytes(&self) -> u64 {
+        let points = self.n * self.n * self.n;
+        // u + rhs + forcing (5 components) + qs; the per-line lhs buffer
+        // is transient.
+        (5 + 5 + 5 + 1) * points * 8
+    }
+
+    fn generate(&self, sink: &mut dyn FnMut(Access)) {
+        self.trace(sink);
+    }
+
+    fn generate_chunks(&self, batch: &mut Vec<Access>, emit: &mut dyn FnMut(&[Access])) {
+        let mut sink = ChunkSink::new(batch, emit);
+        self.trace(&mut sink);
+        sink.flush();
     }
 }
 

@@ -13,7 +13,7 @@
 
 use streamsim_trace::Access;
 
-use crate::{AddressSpace, Suite, Tracer, Workload};
+use crate::{AddressSpace, ChunkSink, RefSink, Suite, Tracer, Workload};
 
 /// The LU kernel model.
 #[derive(Clone, Debug)]
@@ -42,26 +42,10 @@ impl Applu {
     }
 }
 
-impl Workload for Applu {
-    fn name(&self) -> &str {
-        "applu"
-    }
-
-    fn suite(&self) -> Suite {
-        Suite::Nas
-    }
-
-    fn description(&self) -> &str {
-        "SSOR: ascending lower solve (unit streams) and descending upper solve (backward streams) over AOS fields"
-    }
-
-    fn data_set_bytes(&self) -> u64 {
-        let points = self.n * self.n * self.n;
-        // u + rhs + frct (5 components each).
-        3 * 5 * points * 8
-    }
-
-    fn generate(&self, sink: &mut dyn FnMut(Access)) {
+impl Applu {
+    // One body serves both emission paths, so closure and chunked
+    // streams are identical by construction.
+    fn trace<S: RefSink + ?Sized>(&self, sink: &mut S) {
         let n = self.n;
         let mut mem = AddressSpace::new();
         let u = mem.array4(5, n, n, n, 8);
@@ -72,7 +56,7 @@ impl Workload for Applu {
 
         let mut t = Tracer::new(sink, 8192, Tracer::DEFAULT_IFETCH_INTERVAL);
         let mut jp = 0u64;
-        let mut block_math = |t: &mut Tracer<'_>, refs: u64| {
+        let mut block_math = |t: &mut Tracer<'_, S>, refs: u64| {
             for _ in 0..refs {
                 jp = (jp + 1) % jac.len();
                 t.load(jac.at(jp));
@@ -128,6 +112,36 @@ impl Workload for Applu {
                 }
             }
         }
+    }
+}
+
+impl Workload for Applu {
+    fn name(&self) -> &str {
+        "applu"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Nas
+    }
+
+    fn description(&self) -> &str {
+        "SSOR: ascending lower solve (unit streams) and descending upper solve (backward streams) over AOS fields"
+    }
+
+    fn data_set_bytes(&self) -> u64 {
+        let points = self.n * self.n * self.n;
+        // u + rhs + frct (5 components each).
+        3 * 5 * points * 8
+    }
+
+    fn generate(&self, sink: &mut dyn FnMut(Access)) {
+        self.trace(sink);
+    }
+
+    fn generate_chunks(&self, batch: &mut Vec<Access>, emit: &mut dyn FnMut(&[Access])) {
+        let mut sink = ChunkSink::new(batch, emit);
+        self.trace(&mut sink);
+        sink.flush();
     }
 }
 

@@ -13,7 +13,7 @@
 
 use streamsim_trace::Access;
 
-use crate::{AddressSpace, Suite, Tracer, Workload};
+use crate::{AddressSpace, ChunkSink, RefSink, Suite, Tracer, Workload};
 
 /// The SP kernel model.
 #[derive(Clone, Debug)]
@@ -43,25 +43,10 @@ impl Appsp {
     }
 }
 
-impl Workload for Appsp {
-    fn name(&self) -> &str {
-        "appsp"
-    }
-
-    fn suite(&self) -> Suite {
-        Suite::Nas
-    }
-
-    fn description(&self) -> &str {
-        "scalar pentadiagonal ADI: unit-stride x-sweeps, 40-byte bursts at stride 5n/5n² along y and z"
-    }
-
-    fn data_set_bytes(&self) -> u64 {
-        // u + rhs, five components per point.
-        2 * 5 * self.n * self.n * self.n * 8
-    }
-
-    fn generate(&self, sink: &mut dyn FnMut(Access)) {
+impl Appsp {
+    // One body serves both emission paths, so closure and chunked
+    // streams are identical by construction.
+    fn trace<S: RefSink + ?Sized>(&self, sink: &mut S) {
         let n = self.n;
         let mut mem = AddressSpace::new();
         let u = mem.array4(5, n, n, n, 8);
@@ -126,6 +111,35 @@ impl Workload for Appsp {
                 }
             }
         }
+    }
+}
+
+impl Workload for Appsp {
+    fn name(&self) -> &str {
+        "appsp"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Nas
+    }
+
+    fn description(&self) -> &str {
+        "scalar pentadiagonal ADI: unit-stride x-sweeps, 40-byte bursts at stride 5n/5n² along y and z"
+    }
+
+    fn data_set_bytes(&self) -> u64 {
+        // u + rhs, five components per point.
+        2 * 5 * self.n * self.n * self.n * 8
+    }
+
+    fn generate(&self, sink: &mut dyn FnMut(Access)) {
+        self.trace(sink);
+    }
+
+    fn generate_chunks(&self, batch: &mut Vec<Access>, emit: &mut dyn FnMut(&[Access])) {
+        let mut sink = ChunkSink::new(batch, emit);
+        self.trace(&mut sink);
+        sink.flush();
     }
 }
 

@@ -12,7 +12,7 @@ use streamsim_prng::{Rng, Xoshiro256StarStar};
 
 use streamsim_trace::Access;
 
-use crate::{AddressSpace, Suite, Tracer, Workload};
+use crate::{AddressSpace, ChunkSink, RefSink, Suite, Tracer, Workload};
 
 /// The BDNA kernel model.
 #[derive(Clone, Debug)]
@@ -43,25 +43,10 @@ impl Bdna {
     }
 }
 
-impl Workload for Bdna {
-    fn name(&self) -> &str {
-        "bdna"
-    }
-
-    fn suite(&self) -> Suite {
-        Suite::Perfect
-    }
-
-    fn description(&self) -> &str {
-        "molecular dynamics: sequential neighbour-list reads plus windowed gathers/scatters of positions and forces"
-    }
-
-    fn data_set_bytes(&self) -> u64 {
-        // Positions + forces (3 coords each) + the pair list.
-        self.atoms * 6 * 8 + self.atoms * self.neighbours * 4
-    }
-
-    fn generate(&self, sink: &mut dyn FnMut(Access)) {
+impl Bdna {
+    // One body serves both emission paths, so closure and chunked
+    // streams are identical by construction.
+    fn trace<S: RefSink + ?Sized>(&self, sink: &mut S) {
         let mut mem = AddressSpace::new();
         let pos = mem.array2(self.atoms, 3, 8);
         let force = mem.array2(self.atoms, 3, 8);
@@ -105,6 +90,35 @@ impl Workload for Bdna {
                 }
             }
         }
+    }
+}
+
+impl Workload for Bdna {
+    fn name(&self) -> &str {
+        "bdna"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Perfect
+    }
+
+    fn description(&self) -> &str {
+        "molecular dynamics: sequential neighbour-list reads plus windowed gathers/scatters of positions and forces"
+    }
+
+    fn data_set_bytes(&self) -> u64 {
+        // Positions + forces (3 coords each) + the pair list.
+        self.atoms * 6 * 8 + self.atoms * self.neighbours * 4
+    }
+
+    fn generate(&self, sink: &mut dyn FnMut(Access)) {
+        self.trace(sink);
+    }
+
+    fn generate_chunks(&self, batch: &mut Vec<Access>, emit: &mut dyn FnMut(&[Access])) {
+        let mut sink = ChunkSink::new(batch, emit);
+        self.trace(&mut sink);
+        sink.flush();
     }
 }
 

@@ -14,7 +14,7 @@ use streamsim_prng::{Rng, Xoshiro256StarStar};
 
 use streamsim_trace::Access;
 
-use crate::{AddressSpace, Suite, Tracer, Workload};
+use crate::{AddressSpace, ChunkSink, RefSink, Suite, Tracer, Workload};
 
 /// The CG kernel model.
 #[derive(Clone, Debug)]
@@ -60,27 +60,10 @@ impl Cgm {
             seed: 0xc6,
         }
     }
-}
 
-impl Workload for Cgm {
-    fn name(&self) -> &str {
-        "cgm"
-    }
-
-    fn suite(&self) -> Suite {
-        Suite::Nas
-    }
-
-    fn description(&self) -> &str {
-        "conjugate gradient: CSR sparse mat-vec (sequential values/indices, gathered x) plus dense vector ops"
-    }
-
-    fn data_set_bytes(&self) -> u64 {
-        // a (f64) + colidx (i32) + rowptr + 5 dense vectors.
-        self.nnz * 8 + self.nnz * 4 + (self.rows + 1) * 4 + 5 * self.rows * 8
-    }
-
-    fn generate(&self, sink: &mut dyn FnMut(Access)) {
+    // One body serves both emission paths, so closure and chunked
+    // streams are identical by construction.
+    fn trace<S: RefSink + ?Sized>(&self, sink: &mut S) {
         let mut mem = AddressSpace::new();
         let a = mem.array1(self.nnz, 8);
         let colidx = mem.array1(self.nnz, 4);
@@ -136,6 +119,35 @@ impl Workload for Cgm {
                 t.store(p.at(i));
             }
         }
+    }
+}
+
+impl Workload for Cgm {
+    fn name(&self) -> &str {
+        "cgm"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Nas
+    }
+
+    fn description(&self) -> &str {
+        "conjugate gradient: CSR sparse mat-vec (sequential values/indices, gathered x) plus dense vector ops"
+    }
+
+    fn data_set_bytes(&self) -> u64 {
+        // a (f64) + colidx (i32) + rowptr + 5 dense vectors.
+        self.nnz * 8 + self.nnz * 4 + (self.rows + 1) * 4 + 5 * self.rows * 8
+    }
+
+    fn generate(&self, sink: &mut dyn FnMut(Access)) {
+        self.trace(sink);
+    }
+
+    fn generate_chunks(&self, batch: &mut Vec<Access>, emit: &mut dyn FnMut(&[Access])) {
+        let mut sink = ChunkSink::new(batch, emit);
+        self.trace(&mut sink);
+        sink.flush();
     }
 }
 

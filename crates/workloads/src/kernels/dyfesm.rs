@@ -11,7 +11,7 @@ use streamsim_prng::{Rng, Xoshiro256StarStar};
 
 use streamsim_trace::Access;
 
-use crate::{AddressSpace, Suite, Tracer, Workload};
+use crate::{AddressSpace, ChunkSink, RefSink, Suite, Tracer, Workload};
 
 /// The DYFESM kernel model.
 #[derive(Clone, Debug)]
@@ -41,25 +41,10 @@ impl Dyfesm {
     }
 }
 
-impl Workload for Dyfesm {
-    fn name(&self) -> &str {
-        "dyfesm"
-    }
-
-    fn suite(&self) -> Suite {
-        Suite::Perfect
-    }
-
-    fn description(&self) -> &str {
-        "finite-element assembly: connectivity-driven gathers of nodal displacements and scatter-adds of forces"
-    }
-
-    fn data_set_bytes(&self) -> u64 {
-        // Displacements + forces (3 dof) + connectivity.
-        self.nodes * 6 * 8 + self.elements * self.nodes_per_elem * 4
-    }
-
-    fn generate(&self, sink: &mut dyn FnMut(Access)) {
+impl Dyfesm {
+    // One body serves both emission paths, so closure and chunked
+    // streams are identical by construction.
+    fn trace<S: RefSink + ?Sized>(&self, sink: &mut S) {
         let mut mem = AddressSpace::new();
         let disp = mem.array2(self.nodes, 3, 8);
         let force = mem.array2(self.nodes, 3, 8);
@@ -120,6 +105,35 @@ impl Workload for Dyfesm {
                 }
             }
         }
+    }
+}
+
+impl Workload for Dyfesm {
+    fn name(&self) -> &str {
+        "dyfesm"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Perfect
+    }
+
+    fn description(&self) -> &str {
+        "finite-element assembly: connectivity-driven gathers of nodal displacements and scatter-adds of forces"
+    }
+
+    fn data_set_bytes(&self) -> u64 {
+        // Displacements + forces (3 dof) + connectivity.
+        self.nodes * 6 * 8 + self.elements * self.nodes_per_elem * 4
+    }
+
+    fn generate(&self, sink: &mut dyn FnMut(Access)) {
+        self.trace(sink);
+    }
+
+    fn generate_chunks(&self, batch: &mut Vec<Access>, emit: &mut dyn FnMut(&[Access])) {
+        let mut sink = ChunkSink::new(batch, emit);
+        self.trace(&mut sink);
+        sink.flush();
     }
 }
 

@@ -11,7 +11,7 @@
 
 use streamsim_trace::Access;
 
-use crate::{AddressSpace, Suite, Tracer, Workload};
+use crate::{AddressSpace, ChunkSink, RefSink, Suite, Tracer, Workload};
 
 /// The EP kernel model.
 #[derive(Clone, Debug)]
@@ -36,25 +36,10 @@ impl Embar {
     }
 }
 
-impl Workload for Embar {
-    fn name(&self) -> &str {
-        "embar"
-    }
-
-    fn suite(&self) -> Suite {
-        Suite::Nas
-    }
-
-    fn description(&self) -> &str {
-        "embarrassingly parallel random pairs: register-resident generation plus one sequential results log"
-    }
-
-    fn data_set_bytes(&self) -> u64 {
-        // Scratch + tally bins + the results log (two deviates per pair).
-        self.chunk.max(256) * 8 + 16 * 8 + (self.batches as u64) * self.chunk * 2 * 8
-    }
-
-    fn generate(&self, sink: &mut dyn FnMut(Access)) {
+impl Embar {
+    // One body serves both emission paths, so closure and chunked
+    // streams are identical by construction.
+    fn trace<S: RefSink + ?Sized>(&self, sink: &mut S) {
         let mut mem = AddressSpace::new();
         // Scratch scales with the chunk so it stays cache-resident at
         // any simulated scale.
@@ -82,6 +67,35 @@ impl Workload for Embar {
                 log_pos += 2;
             }
         }
+    }
+}
+
+impl Workload for Embar {
+    fn name(&self) -> &str {
+        "embar"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Nas
+    }
+
+    fn description(&self) -> &str {
+        "embarrassingly parallel random pairs: register-resident generation plus one sequential results log"
+    }
+
+    fn data_set_bytes(&self) -> u64 {
+        // Scratch + tally bins + the results log (two deviates per pair).
+        self.chunk.max(256) * 8 + 16 * 8 + (self.batches as u64) * self.chunk * 2 * 8
+    }
+
+    fn generate(&self, sink: &mut dyn FnMut(Access)) {
+        self.trace(sink);
+    }
+
+    fn generate_chunks(&self, batch: &mut Vec<Access>, emit: &mut dyn FnMut(&[Access])) {
+        let mut sink = ChunkSink::new(batch, emit);
+        self.trace(&mut sink);
+        sink.flush();
     }
 }
 

@@ -12,7 +12,7 @@
 
 use streamsim_trace::Access;
 
-use crate::{AddressSpace, Suite, Tracer, Workload};
+use crate::{AddressSpace, ChunkSink, RefSink, Suite, Tracer, Workload};
 
 /// The FT kernel model.
 #[derive(Clone, Debug)]
@@ -35,29 +35,10 @@ impl Fftpde {
             passes: 2,
         }
     }
-}
 
-const COMPLEX: u64 = 16;
-
-impl Workload for Fftpde {
-    fn name(&self) -> &str {
-        "fftpde"
-    }
-
-    fn suite(&self) -> Suite {
-        Suite::Nas
-    }
-
-    fn description(&self) -> &str {
-        "3-D FFT: unit-stride dim-1 transforms plus large power-of-two strides along dims 2 and 3"
-    }
-
-    fn data_set_bytes(&self) -> u64 {
-        // x plus the half-size decimated work array.
-        self.n * self.n * self.n * COMPLEX * 3 / 2
-    }
-
-    fn generate(&self, sink: &mut dyn FnMut(Access)) {
+    // One body serves both emission paths, so closure and chunked
+    // streams are identical by construction.
+    fn trace<S: RefSink + ?Sized>(&self, sink: &mut S) {
         let n = self.n;
         let mut mem = AddressSpace::new();
         let x = mem.alloc(n * n * n * COMPLEX, 64);
@@ -115,6 +96,37 @@ impl Workload for Fftpde {
                 }
             }
         }
+    }
+}
+
+const COMPLEX: u64 = 16;
+
+impl Workload for Fftpde {
+    fn name(&self) -> &str {
+        "fftpde"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Nas
+    }
+
+    fn description(&self) -> &str {
+        "3-D FFT: unit-stride dim-1 transforms plus large power-of-two strides along dims 2 and 3"
+    }
+
+    fn data_set_bytes(&self) -> u64 {
+        // x plus the half-size decimated work array.
+        self.n * self.n * self.n * COMPLEX * 3 / 2
+    }
+
+    fn generate(&self, sink: &mut dyn FnMut(Access)) {
+        self.trace(sink);
+    }
+
+    fn generate_chunks(&self, batch: &mut Vec<Access>, emit: &mut dyn FnMut(&[Access])) {
+        let mut sink = ChunkSink::new(batch, emit);
+        self.trace(&mut sink);
+        sink.flush();
     }
 }
 

@@ -12,7 +12,7 @@ use streamsim_prng::{Rng, Xoshiro256StarStar};
 
 use streamsim_trace::Access;
 
-use crate::{AddressSpace, Suite, Tracer, Workload};
+use crate::{AddressSpace, ChunkSink, RefSink, Suite, Tracer, Workload};
 
 /// The IS kernel model.
 #[derive(Clone, Debug)]
@@ -39,25 +39,10 @@ impl Is {
     }
 }
 
-impl Workload for Is {
-    fn name(&self) -> &str {
-        "is"
-    }
-
-    fn suite(&self) -> Suite {
-        Suite::Nas
-    }
-
-    fn description(&self) -> &str {
-        "integer bucket sort: sequential key/rank sweeps with an L1-resident count array"
-    }
-
-    fn data_set_bytes(&self) -> u64 {
-        // keys + ranks (i32) + counts.
-        self.keys * 4 * 2 + self.max_key * 4
-    }
-
-    fn generate(&self, sink: &mut dyn FnMut(Access)) {
+impl Is {
+    // One body serves both emission paths, so closure and chunked
+    // streams are identical by construction.
+    fn trace<S: RefSink + ?Sized>(&self, sink: &mut S) {
         let mut mem = AddressSpace::new();
         let key = mem.array1(self.keys, 4);
         let rank = mem.array1(self.keys, 4);
@@ -92,6 +77,35 @@ impl Workload for Is {
                 t.store(rank.at(i));
             }
         }
+    }
+}
+
+impl Workload for Is {
+    fn name(&self) -> &str {
+        "is"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Nas
+    }
+
+    fn description(&self) -> &str {
+        "integer bucket sort: sequential key/rank sweeps with an L1-resident count array"
+    }
+
+    fn data_set_bytes(&self) -> u64 {
+        // keys + ranks (i32) + counts.
+        self.keys * 4 * 2 + self.max_key * 4
+    }
+
+    fn generate(&self, sink: &mut dyn FnMut(Access)) {
+        self.trace(sink);
+    }
+
+    fn generate_chunks(&self, batch: &mut Vec<Access>, emit: &mut dyn FnMut(&[Access])) {
+        let mut sink = ChunkSink::new(batch, emit);
+        self.trace(&mut sink);
+        sink.flush();
     }
 }
 

@@ -11,7 +11,7 @@ use streamsim_prng::{Rng, Xoshiro256StarStar};
 
 use streamsim_trace::Access;
 
-use crate::{AddressSpace, Suite, Tracer, Workload};
+use crate::{AddressSpace, ChunkSink, RefSink, Suite, Tracer, Workload};
 
 /// The MDG kernel model.
 #[derive(Clone, Debug)]
@@ -36,26 +36,10 @@ impl Mdg {
     }
 }
 
-impl Workload for Mdg {
-    fn name(&self) -> &str {
-        "mdg"
-    }
-
-    fn suite(&self) -> Suite {
-        Suite::Perfect
-    }
-
-    fn description(&self) -> &str {
-        "water MD: cache-resident molecule data with a large sequential pair list driving the misses"
-    }
-
-    fn data_set_bytes(&self) -> u64 {
-        let n = self.molecules;
-        // 3 atoms × 3 coords positions+forces, plus the pair list.
-        n * 9 * 2 * 8 + n * (n - 1) / 2 * 8
-    }
-
-    fn generate(&self, sink: &mut dyn FnMut(Access)) {
+impl Mdg {
+    // One body serves both emission paths, so closure and chunked
+    // streams are identical by construction.
+    fn trace<S: RefSink + ?Sized>(&self, sink: &mut S) {
         let n = self.molecules;
         let mut mem = AddressSpace::new();
         let pos = mem.array2(n * 9, 1, 8); // 3 atoms × 3 coords per molecule
@@ -99,6 +83,36 @@ impl Workload for Mdg {
                 t.store(pos.at(i, 0));
             }
         }
+    }
+}
+
+impl Workload for Mdg {
+    fn name(&self) -> &str {
+        "mdg"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Perfect
+    }
+
+    fn description(&self) -> &str {
+        "water MD: cache-resident molecule data with a large sequential pair list driving the misses"
+    }
+
+    fn data_set_bytes(&self) -> u64 {
+        let n = self.molecules;
+        // 3 atoms × 3 coords positions+forces, plus the pair list.
+        n * 9 * 2 * 8 + n * (n - 1) / 2 * 8
+    }
+
+    fn generate(&self, sink: &mut dyn FnMut(Access)) {
+        self.trace(sink);
+    }
+
+    fn generate_chunks(&self, batch: &mut Vec<Access>, emit: &mut dyn FnMut(&[Access])) {
+        let mut sink = ChunkSink::new(batch, emit);
+        self.trace(&mut sink);
+        sink.flush();
     }
 }
 

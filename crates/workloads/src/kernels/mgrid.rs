@@ -12,7 +12,7 @@
 
 use streamsim_trace::Access;
 
-use crate::{AddressSpace, Array3, Suite, Tracer, Workload};
+use crate::{AddressSpace, Array3, ChunkSink, RefSink, Suite, Tracer, Workload};
 
 /// The MG kernel model.
 #[derive(Clone, Debug)]
@@ -41,7 +41,7 @@ impl Mgrid {
     }
 
     /// Relaxation sweep: u ← smooth(u, r) with a 27-point stencil.
-    fn relax(t: &mut Tracer<'_>, u: &Array3, r: &Array3) {
+    fn relax<S: RefSink + ?Sized>(t: &mut Tracer<'_, S>, u: &Array3, r: &Array3) {
         let n = u.dims()[0];
         for k in 1..n - 1 {
             for j in 1..n - 1 {
@@ -62,7 +62,7 @@ impl Mgrid {
     }
 
     /// Residual: r ← v − A·u.
-    fn resid(t: &mut Tracer<'_>, u: &Array3, v: &Array3, r: &Array3) {
+    fn resid<S: RefSink + ?Sized>(t: &mut Tracer<'_, S>, u: &Array3, v: &Array3, r: &Array3) {
         let n = u.dims()[0];
         for k in 1..n - 1 {
             for j in 1..n - 1 {
@@ -78,7 +78,7 @@ impl Mgrid {
     }
 
     /// Restriction: coarse ← fine at stride 2.
-    fn restrict(t: &mut Tracer<'_>, fine: &Array3, coarse: &Array3) {
+    fn restrict<S: RefSink + ?Sized>(t: &mut Tracer<'_, S>, fine: &Array3, coarse: &Array3) {
         let nc = coarse.dims()[0];
         for k in 0..nc {
             for j in 0..nc {
@@ -92,7 +92,7 @@ impl Mgrid {
     }
 
     /// Prolongation: fine ← fine + interpolate(coarse).
-    fn interp(t: &mut Tracer<'_>, coarse: &Array3, fine: &Array3) {
+    fn interp<S: RefSink + ?Sized>(t: &mut Tracer<'_, S>, coarse: &Array3, fine: &Array3) {
         let nc = coarse.dims()[0];
         for k in 0..nc {
             for j in 0..nc {
@@ -106,27 +106,10 @@ impl Mgrid {
     }
 }
 
-impl Workload for Mgrid {
-    fn name(&self) -> &str {
-        "mgrid"
-    }
-
-    fn suite(&self) -> Suite {
-        Suite::Nas
-    }
-
-    fn description(&self) -> &str {
-        "multigrid V-cycle: 27-point stencil relaxation over a grid hierarchy; long unit-stride plane sweeps"
-    }
-
-    fn data_set_bytes(&self) -> u64 {
-        // u, v, r on the finest grid plus the coarse hierarchy (~1/7 more
-        // per array).
-        let fine = self.n * self.n * self.n * 8;
-        3 * fine + 3 * fine / 7
-    }
-
-    fn generate(&self, sink: &mut dyn FnMut(Access)) {
+impl Mgrid {
+    // One body serves both emission paths, so closure and chunked
+    // streams are identical by construction.
+    fn trace<S: RefSink + ?Sized>(&self, sink: &mut S) {
         let mut mem = AddressSpace::new();
         // Grid hierarchy down to 4³.
         let mut dims = Vec::new();
@@ -172,6 +155,37 @@ impl Workload for Mgrid {
                 Self::relax(&mut t, u, r);
             }
         }
+    }
+}
+
+impl Workload for Mgrid {
+    fn name(&self) -> &str {
+        "mgrid"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Nas
+    }
+
+    fn description(&self) -> &str {
+        "multigrid V-cycle: 27-point stencil relaxation over a grid hierarchy; long unit-stride plane sweeps"
+    }
+
+    fn data_set_bytes(&self) -> u64 {
+        // u, v, r on the finest grid plus the coarse hierarchy (~1/7 more
+        // per array).
+        let fine = self.n * self.n * self.n * 8;
+        3 * fine + 3 * fine / 7
+    }
+
+    fn generate(&self, sink: &mut dyn FnMut(Access)) {
+        self.trace(sink);
+    }
+
+    fn generate_chunks(&self, batch: &mut Vec<Access>, emit: &mut dyn FnMut(&[Access])) {
+        let mut sink = ChunkSink::new(batch, emit);
+        self.trace(&mut sink);
+        sink.flush();
     }
 }
 

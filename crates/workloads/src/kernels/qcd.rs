@@ -9,7 +9,7 @@
 
 use streamsim_trace::Access;
 
-use crate::{AddressSpace, Array2, Suite, Tracer, Workload};
+use crate::{AddressSpace, Array2, ChunkSink, RefSink, Suite, Tracer, Workload};
 
 /// The QCD kernel model.
 #[derive(Clone, Debug)]
@@ -30,25 +30,10 @@ impl Qcd {
 /// Reals per SU(3) matrix (3×3 complex).
 const MATRIX: u64 = 18;
 
-impl Workload for Qcd {
-    fn name(&self) -> &str {
-        "qcd"
-    }
-
-    fn suite(&self) -> Suite {
-        Suite::Perfect
-    }
-
-    fn description(&self) -> &str {
-        "lattice QCD: 144-byte SU(3) link bursts, contiguous in x, strided in y/z/t, with staple neighbour gathers"
-    }
-
-    fn data_set_bytes(&self) -> u64 {
-        let sites = self.l.pow(4);
-        sites * 4 * MATRIX * 8
-    }
-
-    fn generate(&self, sink: &mut dyn FnMut(Access)) {
+impl Qcd {
+    // One body serves both emission paths, so closure and chunked
+    // streams are identical by construction.
+    fn trace<S: RefSink + ?Sized>(&self, sink: &mut S) {
         let l = self.l;
         let sites = l.pow(4);
         let mut mem = AddressSpace::new();
@@ -97,6 +82,35 @@ impl Workload for Qcd {
                 }
             }
         }
+    }
+}
+
+impl Workload for Qcd {
+    fn name(&self) -> &str {
+        "qcd"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Perfect
+    }
+
+    fn description(&self) -> &str {
+        "lattice QCD: 144-byte SU(3) link bursts, contiguous in x, strided in y/z/t, with staple neighbour gathers"
+    }
+
+    fn data_set_bytes(&self) -> u64 {
+        let sites = self.l.pow(4);
+        sites * 4 * MATRIX * 8
+    }
+
+    fn generate(&self, sink: &mut dyn FnMut(Access)) {
+        self.trace(sink);
+    }
+
+    fn generate_chunks(&self, batch: &mut Vec<Access>, emit: &mut dyn FnMut(&[Access])) {
+        let mut sink = ChunkSink::new(batch, emit);
+        self.trace(&mut sink);
+        sink.flush();
     }
 }
 

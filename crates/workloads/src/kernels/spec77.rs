@@ -10,7 +10,7 @@
 
 use streamsim_trace::Access;
 
-use crate::{AddressSpace, Suite, Tracer, Workload};
+use crate::{AddressSpace, ChunkSink, RefSink, Suite, Tracer, Workload};
 
 /// The spec77 kernel model.
 #[derive(Clone, Debug)]
@@ -38,27 +38,10 @@ impl Spec77 {
     }
 }
 
-impl Workload for Spec77 {
-    fn name(&self) -> &str {
-        "spec77"
-    }
-
-    fn suite(&self) -> Suite {
-        Suite::Perfect
-    }
-
-    fn description(&self) -> &str {
-        "spectral weather model: long sequential Legendre/FFT/physics sweeps over several large arrays"
-    }
-
-    fn data_set_bytes(&self) -> u64 {
-        let spec = self.waves * self.waves * self.levels * 8; // coefficients
-        let four = self.waves * self.lats * self.levels * 8; // Fourier
-        let grid = 2 * self.lats * self.lats * self.levels * 8; // grid fields
-        spec + four + grid
-    }
-
-    fn generate(&self, sink: &mut dyn FnMut(Access)) {
+impl Spec77 {
+    // One body serves both emission paths, so closure and chunked
+    // streams are identical by construction.
+    fn trace<S: RefSink + ?Sized>(&self, sink: &mut S) {
         let mut mem = AddressSpace::new();
         let spec = mem.array2(self.waves * self.waves, self.levels, 8);
         let legendre = mem.array1(self.waves * self.waves, 8);
@@ -112,6 +95,37 @@ impl Workload for Spec77 {
                 }
             }
         }
+    }
+}
+
+impl Workload for Spec77 {
+    fn name(&self) -> &str {
+        "spec77"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Perfect
+    }
+
+    fn description(&self) -> &str {
+        "spectral weather model: long sequential Legendre/FFT/physics sweeps over several large arrays"
+    }
+
+    fn data_set_bytes(&self) -> u64 {
+        let spec = self.waves * self.waves * self.levels * 8; // coefficients
+        let four = self.waves * self.lats * self.levels * 8; // Fourier
+        let grid = 2 * self.lats * self.lats * self.levels * 8; // grid fields
+        spec + four + grid
+    }
+
+    fn generate(&self, sink: &mut dyn FnMut(Access)) {
+        self.trace(sink);
+    }
+
+    fn generate_chunks(&self, batch: &mut Vec<Access>, emit: &mut dyn FnMut(&[Access])) {
+        let mut sink = ChunkSink::new(batch, emit);
+        self.trace(&mut sink);
+        sink.flush();
     }
 }
 

@@ -15,7 +15,7 @@
 
 use streamsim_trace::Access;
 
-use crate::{AddressSpace, Suite, Tracer, Workload};
+use crate::{AddressSpace, ChunkSink, RefSink, Suite, Tracer, Workload};
 
 /// The TRFD kernel model.
 #[derive(Clone, Debug)]
@@ -44,25 +44,10 @@ impl Trfd {
     }
 }
 
-impl Workload for Trfd {
-    fn name(&self) -> &str {
-        "trfd"
-    }
-
-    fn suite(&self) -> Suite {
-        Suite::Perfect
-    }
-
-    fn description(&self) -> &str {
-        "integral transformation: matrix-product passes mixing unit-stride column sweeps with whole-column strided row sweeps"
-    }
-
-    fn data_set_bytes(&self) -> u64 {
-        // Three n×n matrices.
-        3 * self.n * self.n * 8
-    }
-
-    fn generate(&self, sink: &mut dyn FnMut(Access)) {
+impl Trfd {
+    // One body serves both emission paths, so closure and chunked
+    // streams are identical by construction.
+    fn trace<S: RefSink + ?Sized>(&self, sink: &mut S) {
         let n = self.n;
         let mut mem = AddressSpace::new();
         let a = mem.array2(n, n, 8);
@@ -124,6 +109,35 @@ impl Workload for Trfd {
                 }
             }
         }
+    }
+}
+
+impl Workload for Trfd {
+    fn name(&self) -> &str {
+        "trfd"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Perfect
+    }
+
+    fn description(&self) -> &str {
+        "integral transformation: matrix-product passes mixing unit-stride column sweeps with whole-column strided row sweeps"
+    }
+
+    fn data_set_bytes(&self) -> u64 {
+        // Three n×n matrices.
+        3 * self.n * self.n * 8
+    }
+
+    fn generate(&self, sink: &mut dyn FnMut(Access)) {
+        self.trace(sink);
+    }
+
+    fn generate_chunks(&self, batch: &mut Vec<Access>, emit: &mut dyn FnMut(&[Access])) {
+        let mut sink = ChunkSink::new(batch, emit);
+        self.trace(&mut sink);
+        sink.flush();
     }
 }
 

@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod chunk;
 pub mod combinators;
 pub mod generators;
 pub mod kernels;
@@ -41,6 +42,7 @@ use std::fmt;
 
 use streamsim_trace::Access;
 
+pub use chunk::{ChunkSink, RefSink, DEFAULT_CHUNK};
 pub use layout::{AddressSpace, Array1, Array2, Array3, Array4};
 pub use tracer::Tracer;
 
@@ -88,6 +90,22 @@ pub trait Workload: Send + Sync + fmt::Debug {
 
     /// Pushes the complete reference trace into `sink`.
     fn generate(&self, sink: &mut dyn FnMut(Access));
+
+    /// Emits the complete reference trace in chunks: `batch` is filled
+    /// up to its capacity ([`DEFAULT_CHUNK`] if unallocated) and handed
+    /// to `emit` repeatedly, so consumers pay one indirect call per
+    /// chunk instead of per reference.
+    ///
+    /// The concatenation of all emitted chunks must be byte-identical
+    /// to the stream [`Workload::generate`] pushes (pinned by property
+    /// tests for every kernel). The default adapter guarantees this by
+    /// routing `generate` through a [`ChunkSink`]; hot kernels override
+    /// it with a natively chunked body instead.
+    fn generate_chunks(&self, batch: &mut Vec<Access>, emit: &mut dyn FnMut(&[Access])) {
+        let mut sink = ChunkSink::new(batch, emit);
+        self.generate(&mut |a| sink.emit(a));
+        sink.flush();
+    }
 
     /// A string identifying this workload instance's reference stream,
     /// used as a memoisation key by trace caches: two workloads with

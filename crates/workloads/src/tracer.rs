@@ -10,6 +10,8 @@
 
 use streamsim_trace::{Access, Addr};
 
+use crate::chunk::RefSink;
+
 /// Base of the modelled code segment, well below the data segment.
 const CODE_BASE: u64 = 0x0040_0000;
 /// Modelled instruction-fetch granularity (one fetch per access emitted).
@@ -39,8 +41,8 @@ const FETCH_BYTES: u64 = 32;
 /// assert_eq!(ifetches, 2);
 /// assert_eq!(refs.len(), 6);
 /// ```
-pub struct Tracer<'a> {
-    sink: &'a mut dyn FnMut(Access),
+pub struct Tracer<'a, S: RefSink + ?Sized = dyn FnMut(Access) + 'a> {
+    sink: &'a mut S,
     code_bytes: u64,
     code_pos: u64,
     ifetch_interval: u32,
@@ -49,7 +51,7 @@ pub struct Tracer<'a> {
     ifetches: u64,
 }
 
-impl std::fmt::Debug for Tracer<'_> {
+impl<S: RefSink + ?Sized> std::fmt::Debug for Tracer<'_, S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Tracer")
             .field("data_refs", &self.data_refs)
@@ -63,7 +65,9 @@ impl<'a> Tracer<'a> {
     /// Default instruction-fetch interval used by the benchmark kernels:
     /// one modelled fetch per three data references.
     pub const DEFAULT_IFETCH_INTERVAL: u32 = 3;
+}
 
+impl<'a, S: RefSink + ?Sized> Tracer<'a, S> {
     /// Creates a tracer over `sink` with a loop body of `code_bytes`
     /// bytes and one instruction fetch per `ifetch_interval` data
     /// references (0 disables ifetches).
@@ -72,7 +76,7 @@ impl<'a> Tracer<'a> {
     ///
     /// Panics if `code_bytes` is not a positive multiple of the 32-byte
     /// fetch granularity when ifetches are enabled.
-    pub fn new(sink: &'a mut dyn FnMut(Access), code_bytes: u64, ifetch_interval: u32) -> Self {
+    pub fn new(sink: &'a mut S, code_bytes: u64, ifetch_interval: u32) -> Self {
         if ifetch_interval > 0 {
             assert!(
                 code_bytes > 0 && code_bytes.is_multiple_of(FETCH_BYTES),
@@ -91,17 +95,20 @@ impl<'a> Tracer<'a> {
     }
 
     /// Emits a data load.
+    #[inline]
     pub fn load(&mut self, addr: Addr) {
         self.data(Access::load(addr));
     }
 
     /// Emits a data store.
+    #[inline]
     pub fn store(&mut self, addr: Addr) {
         self.data(Access::store(addr));
     }
 
+    #[inline]
     fn data(&mut self, access: Access) {
-        (self.sink)(access);
+        self.sink.emit(access);
         self.data_refs += 1;
         if self.ifetch_interval == 0 {
             return;
@@ -111,7 +118,7 @@ impl<'a> Tracer<'a> {
             self.countdown = self.ifetch_interval;
             let addr = Addr::new(CODE_BASE + self.code_pos);
             self.code_pos = (self.code_pos + FETCH_BYTES) % self.code_bytes;
-            (self.sink)(Access::ifetch(addr));
+            self.sink.emit(Access::ifetch(addr));
             self.ifetches += 1;
         }
     }

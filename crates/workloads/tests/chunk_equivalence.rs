@@ -1,0 +1,205 @@
+//! The chunked emission path must be byte-identical to the closure path.
+//!
+//! `Workload::generate_chunks` exists purely as a faster delivery
+//! mechanism: the concatenation of every emitted chunk has to equal the
+//! stream `Workload::generate` pushes, reference for reference. These
+//! tests pin that contract for all fifteen paper kernels (which share a
+//! generic trace body), every synthetic generator and combinator (which
+//! carry native chunked overrides), and across awkward batch capacities
+//! so chunk-boundary bookkeeping cannot hide an off-by-one.
+
+use streamsim_trace::Access;
+use streamsim_workloads::combinators::{Concat, Interleaved, RecordedTrace};
+use streamsim_workloads::generators::{
+    InterleavedStreams, PointerChase, RandomGather, SequentialSweep, StridedSweep,
+};
+use streamsim_workloads::{collect_trace, kernels, Workload};
+
+/// Small variants of every paper kernel (fast enough for debug-mode CI);
+/// sizes mirror `kernel_invariants.rs`.
+fn small_kernels() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(kernels::Embar {
+            chunk: 256,
+            batches: 4,
+            compute_refs: 4,
+        }),
+        Box::new(kernels::Mgrid { n: 8, cycles: 1 }),
+        Box::new(kernels::Cgm {
+            rows: 200,
+            nnz: 3_000,
+            bandwidth: Some(40),
+            iters: 2,
+            seed: 1,
+        }),
+        Box::new(kernels::Fftpde {
+            n: 16,
+            steps: 1,
+            passes: 1,
+        }),
+        Box::new(kernels::Is {
+            keys: 2_048,
+            max_key: 256,
+            iters: 1,
+            seed: 2,
+        }),
+        Box::new(kernels::Appsp { n: 8, iters: 1 }),
+        Box::new(kernels::Appbt { n: 6, iters: 1 }),
+        Box::new(kernels::Applu { n: 6, iters: 1 }),
+        Box::new(kernels::Spec77 {
+            waves: 12,
+            lats: 12,
+            levels: 2,
+            steps: 1,
+        }),
+        Box::new(kernels::Adm {
+            cells: 2_048,
+            steps: 1,
+            indirect_pct: 60,
+            seed: 3,
+        }),
+        Box::new(kernels::Bdna {
+            atoms: 512,
+            neighbours: 6,
+            window: 32,
+            steps: 1,
+            seed: 4,
+        }),
+        Box::new(kernels::Dyfesm {
+            elements: 256,
+            nodes: 1_024,
+            nodes_per_elem: 4,
+            steps: 1,
+            seed: 5,
+        }),
+        Box::new(kernels::Mdg {
+            molecules: 48,
+            steps: 1,
+            seed: 6,
+        }),
+        Box::new(kernels::Qcd { l: 4, sweeps: 1 }),
+        Box::new(kernels::Trfd {
+            n: 48,
+            unit_passes: 1,
+            strided_passes: 1,
+            compute_refs: 1,
+        }),
+    ]
+}
+
+fn synthetic_workloads() -> Vec<Box<dyn Workload>> {
+    let sweep = SequentialSweep {
+        arrays: 2,
+        bytes_per_array: 2_048,
+        passes: 2,
+        elem: 8,
+    };
+    let strided = StridedSweep {
+        stride_bytes: 128,
+        count: 500,
+        repeats: 3,
+    };
+    vec![
+        Box::new(sweep.clone()),
+        Box::new(InterleavedStreams {
+            num_streams: 3,
+            elements: 300,
+            elem: 8,
+        }),
+        Box::new(strided.clone()),
+        Box::new(RandomGather {
+            footprint: 64 * 1024,
+            count: 1_000,
+            seed: 9,
+        }),
+        Box::new(PointerChase {
+            nodes: 256,
+            node_bytes: 64,
+            steps: 1_000,
+            seed: 10,
+        }),
+        Box::new(RecordedTrace::new(
+            "recorded",
+            collect_trace(&StridedSweep {
+                stride_bytes: 64,
+                count: 700,
+                repeats: 1,
+            }),
+        )),
+        Box::new(Concat::new(
+            "concat",
+            vec![Box::new(sweep.clone()), Box::new(strided.clone())],
+        )),
+        Box::new(Interleaved::new(
+            "interleaved",
+            vec![Box::new(sweep), Box::new(strided)],
+            17,
+        )),
+    ]
+}
+
+/// Collects a workload's trace through the chunked path with a batch of
+/// the given capacity (0 = let the adapter pick the default), checking
+/// that no emitted chunk is empty or oversized along the way.
+fn collect_chunked(w: &dyn Workload, capacity: usize) -> Vec<Access> {
+    let mut batch = Vec::with_capacity(capacity);
+    let mut out = Vec::new();
+    w.generate_chunks(&mut batch, &mut |chunk: &[Access]| {
+        assert!(!chunk.is_empty(), "{}: empty chunk emitted", w.name());
+        out.extend_from_slice(chunk);
+    });
+    out
+}
+
+#[test]
+fn chunked_stream_matches_closure_stream_for_every_kernel() {
+    for w in small_kernels() {
+        let closure = collect_trace(w.as_ref());
+        for capacity in [0usize, 1, 7, 4096] {
+            assert_eq!(
+                closure,
+                collect_chunked(w.as_ref(), capacity),
+                "{} diverges at batch capacity {capacity}",
+                w.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn chunked_stream_matches_closure_stream_for_generators_and_combinators() {
+    for w in synthetic_workloads() {
+        let closure = collect_trace(w.as_ref());
+        for capacity in [0usize, 1, 7, 4096] {
+            assert_eq!(
+                closure,
+                collect_chunked(w.as_ref(), capacity),
+                "{} diverges at batch capacity {capacity}",
+                w.name()
+            );
+        }
+    }
+}
+
+/// A reused batch vector (dirty contents, pre-grown capacity) must not
+/// leak stale references into the next workload's stream.
+#[test]
+fn batch_reuse_across_workloads_is_clean() {
+    let mut batch = Vec::with_capacity(33);
+    let mut streams: Vec<Vec<Access>> = Vec::new();
+    for w in synthetic_workloads() {
+        let mut out = Vec::new();
+        w.generate_chunks(&mut batch, &mut |chunk: &[Access]| {
+            out.extend_from_slice(chunk);
+        });
+        streams.push(out);
+    }
+    for (w, stream) in synthetic_workloads().iter().zip(&streams) {
+        assert_eq!(
+            collect_trace(w.as_ref()),
+            *stream,
+            "{} stream corrupted by batch reuse",
+            w.name()
+        );
+    }
+}

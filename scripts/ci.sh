@@ -34,7 +34,19 @@ cargo build --release --offline --examples
 echo "==> cargo doc --no-deps --offline"
 RUSTDOCFLAGS="${RUSTDOCFLAGS:--D warnings}" cargo doc --no-deps --offline --quiet
 
+echo "==> cargo clippy --workspace -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
 echo "==> cargo test -q --offline ${test_scope[*]:-}"
 cargo test -q --offline "${test_scope[@]}"
+
+# Perf smoke: the recording bench asserts the chunked/SoA hot loop is
+# byte-identical to the pre-PR reference implementation, then times
+# both. The enforce floor is deliberately far below the recorded
+# speedup (see BENCH_recording.json) so shared-machine noise cannot
+# flake the gate; a drop below it means the fast path actually rotted.
+echo "==> recording bench smoke (enforce >= 1.15x)"
+STREAMSIM_BENCH_SAMPLES=3 STREAMSIM_BENCH_WARMUP=1 STREAMSIM_BENCH_ENFORCE=1.15 \
+    cargo bench --offline -p streamsim-bench --bench recording
 
 echo "==> tier-1 gate passed"

@@ -31,6 +31,7 @@
 //! whose text fields differ at all — the regression gate for the golden
 //! scorecard.
 
+use std::collections::HashMap;
 use std::io::Write;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -56,31 +57,50 @@ fn diff_values(key: &str, a: &JsonValue, b: &JsonValue) -> Option<String> {
     }
 }
 
-/// Compares two JSONL report files row by row. Rows are matched by
-/// position within their (artifact, table) group, so reordering whole
-/// experiments between runs does not produce spurious diffs.
+/// A row's identity: its text-valued fields (artifact, table, benchmark,
+/// configuration labels, ...) in file order. Numbers are the
+/// measurements under comparison, so they stay out of the key.
+fn row_key(fields: &[(String, JsonValue)]) -> String {
+    let mut key = String::new();
+    for (k, v) in fields {
+        if let JsonValue::Text(s) = v {
+            if !key.is_empty() {
+                key.push(' ');
+            }
+            key.push_str(k);
+            key.push('=');
+            key.push_str(s);
+        }
+    }
+    key
+}
+
+/// One parsed JSONL row: display label, occurrence index (for duplicate
+/// keys), and the parsed fields.
+type Row = (String, usize, Vec<(String, JsonValue)>);
+
+/// Compares two JSONL report files. Rows are matched by their key
+/// columns — the text-valued fields — so adding, removing or reordering
+/// rows between runs lines up the survivors instead of cascading
+/// positional mismatches down the rest of the group. Rows sharing a key
+/// pair up in occurrence order (an all-numeric row's key is empty, which
+/// degrades to exactly the old positional behaviour); rows whose key
+/// exists in only one file are reported as such.
 fn diff_reports(path_a: &str, path_b: &str) -> Result<Vec<String>, String> {
-    let read = |path: &str| -> Result<Vec<(String, Vec<(String, JsonValue)>)>, String> {
+    let read = |path: &str| -> Result<Vec<Row>, String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         let mut rows = Vec::new();
+        let mut occurrences: HashMap<String, usize> = HashMap::new();
         for (i, line) in text.lines().enumerate() {
             if line.trim().is_empty() {
                 continue;
             }
             let fields =
                 parse_flat_json_line(line).map_err(|e| format!("{path}:{}: {e}", i + 1))?;
-            let group = ["artifact", "table"]
-                .iter()
-                .map(|k| {
-                    fields
-                        .iter()
-                        .find(|(key, _)| key == k)
-                        .map(|(_, v)| format!("{v:?}"))
-                        .unwrap_or_default()
-                })
-                .collect::<Vec<_>>()
-                .join("/");
-            rows.push((group, fields));
+            let key = row_key(&fields);
+            let occ = occurrences.entry(key.clone()).or_insert(0);
+            rows.push((key, *occ, fields));
+            *occ += 1;
         }
         Ok(rows)
     };
@@ -89,42 +109,50 @@ fn diff_reports(path_a: &str, path_b: &str) -> Result<Vec<String>, String> {
     let b = read(path_b)?;
     let mut drift = Vec::new();
 
-    let groups: Vec<String> = {
-        let mut seen = Vec::new();
-        for (g, _) in a.iter().chain(b.iter()) {
-            if !seen.contains(g) {
-                seen.push(g.clone());
-            }
+    let label = |key: &str, occ: usize| {
+        let name = if key.is_empty() {
+            "<untitled row>"
+        } else {
+            key
+        };
+        if occ == 0 {
+            name.to_owned()
+        } else {
+            format!("{name} (#{})", occ + 1)
         }
-        seen
     };
-    for group in groups {
-        let rows_a: Vec<_> = a.iter().filter(|(g, _)| *g == group).collect();
-        let rows_b: Vec<_> = b.iter().filter(|(g, _)| *g == group).collect();
-        if rows_a.len() != rows_b.len() {
-            drift.push(format!(
-                "{group}: {} rows vs {} rows",
-                rows_a.len(),
-                rows_b.len()
-            ));
+
+    let index_b: HashMap<(&str, usize), &Vec<(String, JsonValue)>> = b
+        .iter()
+        .map(|(key, occ, fields)| ((key.as_str(), *occ), fields))
+        .collect();
+    let mut matched: HashMap<(&str, usize), bool> = HashMap::new();
+
+    for (key, occ, fa) in &a {
+        let Some(fb) = index_b.get(&(key.as_str(), *occ)) else {
+            drift.push(format!("{}: only in {path_a}", label(key, *occ)));
             continue;
-        }
-        for (i, ((_, fa), (_, fb))) in rows_a.iter().zip(&rows_b).enumerate() {
-            for (key, va) in fa {
-                match fb.iter().find(|(k, _)| k == key) {
-                    Some((_, vb)) => {
-                        if let Some(msg) = diff_values(key, va, vb) {
-                            drift.push(format!("{group} row {i}: {msg}"));
-                        }
+        };
+        matched.insert((key.as_str(), *occ), true);
+        for (field, va) in fa {
+            match fb.iter().find(|(k, _)| k == field) {
+                Some((_, vb)) => {
+                    if let Some(msg) = diff_values(field, va, vb) {
+                        drift.push(format!("{}: {msg}", label(key, *occ)));
                     }
-                    None => drift.push(format!("{group} row {i}: {key} missing in {path_b}")),
                 }
+                None => drift.push(format!("{}: {field} missing in {path_b}", label(key, *occ))),
             }
-            for (key, _) in fb {
-                if !fa.iter().any(|(k, _)| k == key) {
-                    drift.push(format!("{group} row {i}: {key} missing in {path_a}"));
-                }
+        }
+        for (field, _) in fb.iter() {
+            if !fa.iter().any(|(k, _)| k == field) {
+                drift.push(format!("{}: {field} missing in {path_a}", label(key, *occ)));
             }
+        }
+    }
+    for (key, occ, _) in &b {
+        if !matched.contains_key(&(key.as_str(), *occ)) {
+            drift.push(format!("{}: only in {path_b}", label(key, *occ)));
         }
     }
     Ok(drift)
@@ -216,8 +244,22 @@ fn main() -> ExitCode {
         selected = ARTIFACT_NAMES.iter().map(|s| (*s).to_owned()).collect();
     }
 
+    // The JSON sink streams: rows land on disk as each experiment
+    // finishes, so a partial file is useful (and memory flat) even if a
+    // later experiment dies mid-report.
+    let mut json_file = match &json_out {
+        Some(path) => match std::fs::File::create(path) {
+            Ok(file) => Some(std::io::BufWriter::new(file)),
+            Err(e) => {
+                eprintln!("error: cannot create {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let mut json_rows = 0usize;
+
     let mut report = String::new();
-    let mut json_lines: Vec<String> = Vec::new();
     report.push_str(&format!(
         "streamsim report — Palacharla & Kessler, ISCA 1994 (scale: {:?}, sampling: {})\n\n",
         options.scale,
@@ -234,20 +276,27 @@ fn main() -> ExitCode {
             "=== {name} ===\n{}",
             streamsim::render_text(artifact.as_ref())
         ));
-        if json_out.is_some() {
-            json_lines.extend(streamsim::render_json_lines(artifact.as_ref()));
+        if let Some(file) = json_file.as_mut() {
+            for line in streamsim::render_json_lines(artifact.as_ref()) {
+                if let Err(e) = writeln!(file, "{line}") {
+                    eprintln!("error: cannot write {}: {e}", json_out.as_deref().unwrap());
+                    return ExitCode::FAILURE;
+                }
+                json_rows += 1;
+            }
         }
         report.push_str(&format!("[{name}: {:.2?}]\n\n", start.elapsed()));
         eprintln!("{name} done in {:.2?}", start.elapsed());
     }
 
-    if let Some(path) = json_out {
-        let mut contents = json_lines.join("\n");
-        contents.push('\n');
-        if let Err(code) = write_file(&path, &contents) {
-            return code;
+    if let Some(path) = &json_out {
+        if let Some(file) = json_file.as_mut() {
+            if let Err(e) = file.flush() {
+                eprintln!("error: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
         }
-        eprintln!("{} JSON rows written to {path}", json_lines.len());
+        eprintln!("{json_rows} JSON rows written to {path}");
     }
     match out {
         Some(path) => {
