@@ -50,6 +50,7 @@ pub mod chart;
 pub mod experiments;
 mod miss_trace;
 pub mod paper;
+mod profile;
 pub mod replay;
 pub mod report;
 mod runner;
@@ -58,11 +59,12 @@ mod system;
 mod trace_store;
 
 pub use miss_trace::{record_miss_trace, run_l2, run_streams, MissEvent, MissTrace, RecordOptions};
+pub use profile::ProfileArtifact;
 pub use replay::{replay, replay_l2, replay_streams, L2Observer, MissObserver, StreamObserver};
-pub use runner::parallel_map;
+pub use runner::{parallel_map, parallel_map_with_threads};
 pub use sink::{
     parse_flat_json_line, render_json_lines, render_text, Artifact, ArtifactSink, Cell,
-    JsonLinesSink, JsonValue, MultiSink, TextSink,
+    JsonLinesSink, JsonValue, MultiSink, TextSink, Value,
 };
 pub use system::{L1Summary, MemorySystem, MemorySystemBuilder, SimReport, StreamTopology};
 pub use trace_store::TraceStore;

@@ -117,6 +117,7 @@ pub fn record_miss_trace(
     workload: &dyn Workload,
     options: &RecordOptions,
 ) -> Result<MissTrace, CacheConfigError> {
+    let mut span = streamsim_obs::span("record");
     let mut l1 = SplitL1::new(options.icache, options.dcache)?;
     let block = options.dcache.block();
     // Miss traces run 10^4-10^5 events at quick scale; starting with a
@@ -159,9 +160,11 @@ pub fn record_miss_trace(
         }
     }
 
+    let summary = L1Summary::from_split(&l1);
+    span.items(summary.icache.accesses() + summary.dcache.accesses());
     Ok(MissTrace {
         events,
-        summary: L1Summary::from_split(&l1),
+        summary,
         l1_block: block,
     })
 }

@@ -1,0 +1,181 @@
+//! The `--profile` artifact: per-phase wall clock and throughput.
+//!
+//! [`ProfileArtifact`] snapshots the observability span registry
+//! ([`streamsim_obs::registry_snapshot`]) and renders it through the
+//! ordinary [`Artifact`](crate::Artifact) machinery, so a profiling run
+//! emits its timing table exactly like any paper table — aligned text
+//! in the report, one flat JSON object per phase under `--json`.
+//!
+//! Registry paths are hierarchical (`report/record` when recording runs
+//! on the main thread under a driver span, bare `record` when it runs on
+//! a `parallel_map` worker, whose span stack starts empty). The profile
+//! aggregates by *leaf* name so each engine phase — `record`, `replay`,
+//! `report` — accumulates into one row regardless of which thread did
+//! the work.
+
+use std::collections::BTreeMap;
+
+use streamsim_obs::PhaseStat;
+
+use crate::sink::{col, Artifact, ArtifactSink, Cell};
+
+/// A snapshot of per-phase timings, ready to render as an artifact.
+///
+/// # Example
+///
+/// ```
+/// use streamsim_core::ProfileArtifact;
+/// use streamsim_obs as obs;
+///
+/// obs::set_level(obs::Level::Info);
+/// obs::reset();
+/// {
+///     let mut span = obs::span("replay");
+///     span.items(1000);
+/// }
+/// let profile = ProfileArtifact::capture();
+/// assert_eq!(profile.phases().len(), 1);
+/// assert_eq!(profile.phases()[0].0, "replay");
+/// # obs::set_level(obs::Level::Off);
+/// # obs::reset();
+/// ```
+#[derive(Clone, Debug)]
+pub struct ProfileArtifact {
+    phases: Vec<(String, PhaseStat)>,
+}
+
+impl ProfileArtifact {
+    /// Captures the current span registry, aggregated by leaf phase
+    /// name and sorted alphabetically.
+    pub fn capture() -> Self {
+        let mut by_leaf: BTreeMap<String, PhaseStat> = BTreeMap::new();
+        for (path, stat) in streamsim_obs::registry_snapshot() {
+            let leaf = path.rsplit('/').next().unwrap_or(path.as_str()).to_owned();
+            let agg = by_leaf.entry(leaf).or_default();
+            agg.calls += stat.calls;
+            agg.nanos += stat.nanos;
+            agg.items += stat.items;
+        }
+        ProfileArtifact {
+            phases: by_leaf.into_iter().collect(),
+        }
+    }
+
+    /// The aggregated `(phase, stat)` rows.
+    pub fn phases(&self) -> &[(String, PhaseStat)] {
+        &self.phases
+    }
+
+    /// Whether no phase recorded any span (e.g. observability was off).
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+}
+
+impl Artifact for ProfileArtifact {
+    fn artifact(&self) -> &'static str {
+        "profile"
+    }
+
+    fn emit(&self, sink: &mut dyn ArtifactSink) {
+        sink.begin_table(
+            self.artifact(),
+            "phases",
+            "Profile: wall clock and throughput per engine phase",
+            &[
+                col("phase", "phase"),
+                col("calls", "calls"),
+                col("wall ms", "wall_ms"),
+                col("items", "items"),
+                col("Mitem/s", "mitems_per_s"),
+            ],
+        );
+        for (phase, stat) in &self.phases {
+            let rate = stat.mitems_per_sec();
+            sink.row(&[
+                Cell::text(phase.clone()),
+                Cell::int(stat.calls as i64, stat.calls.to_string()),
+                Cell::num(stat.wall_ms(), format!("{:.2}", stat.wall_ms())),
+                Cell::int(stat.items as i64, stat.items.to_string()),
+                match rate {
+                    Some(r) => Cell::num(r, format!("{r:.2}")),
+                    None => Cell::text("-"),
+                },
+            ]);
+        }
+        if self.phases.is_empty() {
+            sink.note("(no spans recorded — is STREAMSIM_LOG at least info?)");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{render_json_lines, render_text};
+
+    fn stat(calls: u64, nanos: u128, items: u64) -> PhaseStat {
+        PhaseStat {
+            calls,
+            nanos,
+            items,
+        }
+    }
+
+    #[test]
+    fn renders_phases_in_both_sinks() {
+        let profile = ProfileArtifact {
+            phases: vec![
+                ("record".to_owned(), stat(3, 2_000_000, 4_000)),
+                ("replay".to_owned(), stat(5, 1_000_000, 0)),
+            ],
+        };
+        let text = render_text(&profile);
+        assert!(text.contains("record"), "{text}");
+        assert!(text.contains("2.00"), "{text}");
+        let lines = render_json_lines(&profile);
+        assert_eq!(lines.len(), 2);
+        assert!(
+            lines[0].contains("\"artifact\":\"profile\""),
+            "{}",
+            lines[0]
+        );
+        assert!(lines[0].contains("\"phase\":\"record\""), "{}", lines[0]);
+        assert!(lines[1].contains("\"mitems_per_s\":\"-\""), "{}", lines[1]);
+    }
+
+    #[test]
+    fn capture_aggregates_by_leaf_name() {
+        use streamsim_obs as obs;
+        // Unique span names so concurrent tests in this binary (which
+        // may open their own spans while the level is raised) cannot
+        // perturb the aggregation under inspection.
+        obs::set_level(obs::Level::Info);
+        {
+            let _outer = obs::span("prof_test_outer");
+            let mut nested = obs::span("prof_test_leaf");
+            nested.items(10);
+        }
+        {
+            let mut bare = obs::span("prof_test_leaf");
+            bare.items(5);
+        }
+        let profile = ProfileArtifact::capture();
+        let leaf = profile
+            .phases()
+            .iter()
+            .find(|(name, _)| name == "prof_test_leaf")
+            .expect("leaf phase present");
+        assert_eq!(leaf.1.calls, 2, "nested and bare paths merge by leaf");
+        assert_eq!(leaf.1.items, 15);
+        obs::set_level(obs::Level::Off);
+    }
+
+    #[test]
+    fn empty_capture_notes_the_likely_cause() {
+        let profile = ProfileArtifact { phases: vec![] };
+        assert!(profile.is_empty());
+        let text = render_text(&profile);
+        assert!(text.contains("STREAMSIM_LOG"), "{text}");
+    }
+}

@@ -40,6 +40,13 @@ pub trait MissObserver {
 
 /// Replays `trace` into every observer in a single pass over the events.
 pub fn replay(trace: &MissTrace, observers: &mut [&mut dyn MissObserver]) {
+    let mut span = streamsim_obs::span("replay");
+    let events = trace.events().len() as u64;
+    streamsim_obs::count(streamsim_obs::Counter::ReplayMissEvents, events);
+    // Items = event deliveries: each event fans out to every observer,
+    // so the span's throughput reads as miss-events/s per observer when
+    // divided by the observer count.
+    span.items(events * observers.len() as u64);
     for event in trace.events() {
         match *event {
             MissEvent::Fetch { addr, kind } => {
@@ -128,10 +135,12 @@ impl L2Observer {
 
 impl MissObserver for L2Observer {
     fn on_fetch(&mut self, addr: Addr, kind: AccessKind) {
+        streamsim_obs::count(streamsim_obs::Counter::L2Probes, 1);
         self.cache.access(addr, kind);
     }
 
     fn on_writeback(&mut self, base: Addr) {
+        streamsim_obs::count(streamsim_obs::Counter::L2Probes, 1);
         self.cache.access(base, AccessKind::Store);
     }
 }

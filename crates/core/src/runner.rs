@@ -5,7 +5,10 @@
 //! scoped threads. Results come back in input order, so experiment output
 //! is deterministic regardless of scheduling.
 
+use std::any::Any;
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
 /// Applies `f` to every item, using up to `available_parallelism` worker
@@ -46,16 +49,39 @@ where
     // One shared queue of (index, item); each worker drains it into a
     // private (index, result) list, and the lists are merged and sorted
     // back into input order at the end.
+    //
+    // Panic safety: a panic in `f` must reach the caller with its
+    // original payload. Workers run `f` under `catch_unwind`; the first
+    // payload is parked aside and re-thrown after the scope joins, and
+    // the abort flag stops the other workers from draining doomed work.
+    // Locks recover poisoned state with `into_inner` — an `expect` here
+    // would panic *during* the cleanup and mask the payload the caller
+    // actually needs to see.
     let queue = Mutex::new(items.into_iter().enumerate());
+    let aborted = AtomicBool::new(false);
+    let panic_payload: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
     let mut indexed: Vec<(usize, R)> = std::thread::scope(|scope| {
         let workers: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
                     let mut done = Vec::new();
                     loop {
-                        let next = queue.lock().expect("queue not poisoned").next();
+                        if aborted.load(Ordering::Relaxed) {
+                            break done;
+                        }
+                        let next = queue.lock().unwrap_or_else(|e| e.into_inner()).next();
                         match next {
-                            Some((i, item)) => done.push((i, f(item))),
+                            Some((i, item)) => match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                                Ok(r) => done.push((i, r)),
+                                Err(payload) => {
+                                    aborted.store(true, Ordering::Relaxed);
+                                    panic_payload
+                                        .lock()
+                                        .unwrap_or_else(|e| e.into_inner())
+                                        .get_or_insert(payload);
+                                    break done;
+                                }
+                            },
                             None => break done,
                         }
                     }
@@ -65,11 +91,18 @@ where
         workers
             .into_iter()
             .flat_map(|w| {
-                w.join()
-                    .unwrap_or_else(|panic| std::panic::resume_unwind(panic))
+                // `f` panics are caught above; this backstop covers a
+                // panic outside `f` (e.g. allocation failure).
+                w.join().unwrap_or_else(|panic| resume_unwind(panic))
             })
             .collect()
     });
+    if let Some(payload) = panic_payload
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner())
+    {
+        resume_unwind(payload);
+    }
     indexed.sort_unstable_by_key(|&(i, _)| i);
     indexed.into_iter().map(|(_, r)| r).collect()
 }
@@ -140,5 +173,69 @@ mod tests {
     fn thread_cap_of_zero_is_clamped_to_one() {
         let out = parallel_map_with_threads(vec![1, 2, 3], 0, |i: i32| i * 10);
         assert_eq!(out, vec![10, 20, 30]);
+    }
+
+    fn payload_message(payload: &(dyn std::any::Any + Send)) -> &str {
+        payload
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| payload.downcast_ref::<&str>().copied())
+            .unwrap_or("<non-string payload>")
+    }
+
+    /// Panic-safety regression: a panic in `f` must reach the caller
+    /// with its *original* payload. The old implementation `expect`ed
+    /// the queue lock un-poisoned, so an unwinding worker could replace
+    /// "boom on 7" with "queue not poisoned" — the message that
+    /// actually diagnoses the failure never surfaced.
+    #[test]
+    fn worker_panic_propagates_the_original_payload() {
+        let result = std::panic::catch_unwind(|| {
+            parallel_map_with_threads((0..64).collect(), 4, |i: i32| {
+                if i == 7 {
+                    panic!("boom on {i}");
+                }
+                i * 2
+            })
+        });
+        let payload = result.expect_err("the panic must propagate");
+        let msg = payload_message(payload.as_ref());
+        assert!(msg.contains("boom on 7"), "masked payload: {msg}");
+    }
+
+    #[test]
+    fn serial_path_panic_also_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            parallel_map_with_threads(vec![1], 4, |_| -> i32 { panic!("solo boom") })
+        });
+        let msg_owner = result.expect_err("the panic must propagate");
+        assert!(payload_message(msg_owner.as_ref()).contains("solo boom"));
+    }
+
+    /// After a worker panics, the abort flag stops the other workers
+    /// from draining the rest of the queue.
+    #[test]
+    fn panic_aborts_remaining_work() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let processed = AtomicUsize::new(0);
+        let total = 10_000;
+        let result = std::panic::catch_unwind(|| {
+            parallel_map_with_threads((0..total).collect(), 2, |i: i32| {
+                processed.fetch_add(1, Ordering::Relaxed);
+                if i == 0 {
+                    panic!("early boom");
+                }
+                // Give the panicking worker time to raise the flag
+                // before this one re-polls the queue.
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                i
+            })
+        });
+        assert!(result.is_err());
+        let n = processed.load(Ordering::Relaxed);
+        assert!(
+            n < total as usize / 2,
+            "workers kept draining after the panic: {n}/{total}"
+        );
     }
 }

@@ -182,12 +182,24 @@ pub struct JsonLinesSink {
     artifact: String,
     table: String,
     keys: Vec<String>,
+    stamp: Vec<(String, Value)>,
 }
 
 impl JsonLinesSink {
     /// An empty sink.
     pub fn new() -> Self {
         JsonLinesSink::default()
+    }
+
+    /// A sink that appends `stamp` key/value pairs to every row — run
+    /// provenance (`run_seed`, `run_config`, ...) that identifies where
+    /// a row came from. `streamsim-report --diff` ignores `run_`-prefixed
+    /// keys, so stamps never register as drift.
+    pub fn with_stamp(stamp: Vec<(String, Value)>) -> Self {
+        JsonLinesSink {
+            stamp,
+            ..JsonLinesSink::default()
+        }
     }
 
     /// The accumulated JSON lines.
@@ -227,6 +239,16 @@ impl ArtifactSink for JsonLinesSink {
             };
             let _ = write!(line, ",{}:", json_string(key));
             match &cell.value {
+                Value::Text(s) => line.push_str(&json_string(s)),
+                Value::Num(n) => line.push_str(&json_number(*n)),
+                Value::Int(n) => {
+                    let _ = write!(line, "{n}");
+                }
+            }
+        }
+        for (key, value) in &self.stamp {
+            let _ = write!(line, ",{}:", json_string(key));
+            match value {
                 Value::Text(s) => line.push_str(&json_string(s)),
                 Value::Num(n) => line.push_str(&json_number(*n)),
                 Value::Int(n) => {
@@ -543,6 +565,22 @@ mod tests {
             assert_eq!(pairs[0].0, "artifact");
             assert_eq!(pairs[0].1, JsonValue::Text("demo".into()));
             assert!(matches!(pairs[3].1, JsonValue::Num(_)));
+        }
+    }
+
+    #[test]
+    fn stamped_sink_appends_provenance_to_every_row() {
+        let mut sink = JsonLinesSink::with_stamp(vec![
+            ("run_seed".to_owned(), Value::Int(7)),
+            ("run_config".to_owned(), Value::Text("00ff".to_owned())),
+        ]);
+        Demo.emit(&mut sink);
+        for line in sink.lines() {
+            assert!(
+                line.ends_with(",\"run_seed\":7,\"run_config\":\"00ff\"}"),
+                "{line}"
+            );
+            parse_flat_json_line(line).expect("stamped line stays valid JSON");
         }
     }
 

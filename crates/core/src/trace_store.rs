@@ -85,9 +85,11 @@ impl TraceStore {
         let key = Self::key(workload, options);
         if let Some(trace) = self.inner.traces.lock().expect("store lock").get(&key) {
             self.inner.hits.fetch_add(1, Ordering::Relaxed);
+            streamsim_obs::count(streamsim_obs::Counter::TraceStoreHits, 1);
             return Ok(Arc::clone(trace));
         }
         self.inner.misses.fetch_add(1, Ordering::Relaxed);
+        streamsim_obs::count(streamsim_obs::Counter::TraceStoreMisses, 1);
         let trace = Arc::new(record_miss_trace(workload, options)?);
         let mut map = self.inner.traces.lock().expect("store lock");
         Ok(Arc::clone(map.entry(key).or_insert(trace)))
@@ -112,7 +114,12 @@ impl TraceStore {
         workloads: &[Box<dyn Workload>],
         options: &RecordOptions,
     ) -> Result<Vec<Arc<MissTrace>>, CacheConfigError> {
+        streamsim_obs::count(
+            streamsim_obs::Counter::TraceStorePrefills,
+            workloads.len() as u64,
+        );
         let refs: Vec<&dyn Workload> = workloads.iter().map(Box::as_ref).collect();
+        let _span = streamsim_obs::span("prefill");
         crate::parallel_map(refs, |w: &dyn Workload| self.record(w, options))
             .into_iter()
             .collect()

@@ -1,0 +1,187 @@
+//! The structured event log.
+//!
+//! At [`Level::Debug`](crate::Level::Debug), span closings and counter
+//! flushes append records to an in-memory log; the report layer drains
+//! it ([`drain_events`]) and writes the records as JSONL next to its
+//! artifact output. Each record is one flat JSON object:
+//!
+//! ```json
+//! {"event":"span","name":"record","ms":12.5,"items":1048576}
+//! {"event":"counter","name":"l1_probes","value":1048576}
+//! ```
+//!
+//! Draining sorts records by `(event, name)` with a stable sort, so the
+//! drained order is deterministic across thread schedules whenever
+//! names are distinct (records sharing both keys keep arrival order).
+
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+use crate::Level;
+
+/// A typed field value of an event record.
+#[derive(Clone, Copy, Debug)]
+pub enum EventValue<'a> {
+    /// A real number (serialized unrounded; non-finite becomes `null`).
+    Num(f64),
+    /// An exact integer.
+    Int(u64),
+    /// A string.
+    Text(&'a str),
+}
+
+#[derive(Debug)]
+struct StoredEvent {
+    kind: &'static str,
+    name: String,
+    line: String,
+}
+
+static EVENTS: Mutex<Vec<StoredEvent>> = Mutex::new(Vec::new());
+
+/// Appends one record to the event log when the level is at least
+/// [`Level::Debug`]; a no-op otherwise. `kind` becomes the `event` key,
+/// `name` the `name` key, and `fields` follow in order.
+pub fn emit_event(kind: &'static str, name: &str, fields: &[(&str, EventValue<'_>)]) {
+    if !crate::enabled(Level::Debug) {
+        return;
+    }
+    let mut line = String::with_capacity(64);
+    let _ = write!(
+        line,
+        "{{\"event\":\"{kind}\",\"name\":{}",
+        json_escape(name)
+    );
+    for (key, value) in fields {
+        let _ = write!(line, ",{}:", json_escape(key));
+        match value {
+            EventValue::Num(n) if n.is_finite() => {
+                let _ = write!(line, "{n}");
+            }
+            EventValue::Num(_) => line.push_str("null"),
+            EventValue::Int(n) => {
+                let _ = write!(line, "{n}");
+            }
+            EventValue::Text(s) => line.push_str(&json_escape(s)),
+        }
+    }
+    line.push('}');
+    EVENTS
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(StoredEvent {
+            kind,
+            name: name.to_owned(),
+            line,
+        });
+}
+
+/// Emits one `counter` record per *nonzero* global counter, in counter
+/// declaration order. A no-op below [`Level::Debug`].
+pub fn emit_counter_events() {
+    for (name, value) in crate::counter_snapshot() {
+        if value > 0 {
+            emit_event("counter", name, &[("value", EventValue::Int(value))]);
+        }
+    }
+}
+
+/// Number of records currently buffered.
+pub fn pending_events() -> usize {
+    EVENTS.lock().unwrap_or_else(|e| e.into_inner()).len()
+}
+
+/// Takes every buffered record, sorted stably by `(event, name)`, as
+/// JSONL lines. The log is left empty.
+pub fn drain_events() -> Vec<String> {
+    let mut events = std::mem::take(&mut *EVENTS.lock().unwrap_or_else(|e| e.into_inner()));
+    events.sort_by(|a, b| (a.kind, a.name.as_str()).cmp(&(b.kind, b.name.as_str())));
+    events.into_iter().map(|e| e.line).collect()
+}
+
+pub(crate) fn clear_events() {
+    EVENTS.lock().unwrap_or_else(|e| e.into_inner()).clear();
+}
+
+/// Escapes `s` as a JSON string literal, quotes included.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_log_stays_empty() {
+        let _guard = crate::test_lock::hold();
+        crate::set_level(Level::Info);
+        crate::reset();
+        emit_event("span", "x", &[("ms", EventValue::Num(1.0))]);
+        assert_eq!(pending_events(), 0, "Info does not log events");
+        crate::set_level(Level::Off);
+    }
+
+    #[test]
+    fn events_render_flat_json_and_drain_sorted() {
+        let _guard = crate::test_lock::hold();
+        crate::set_level(Level::Debug);
+        crate::reset();
+        emit_event("span", "b", &[("ms", EventValue::Num(2.5))]);
+        emit_event("counter", "z", &[("value", EventValue::Int(7))]);
+        emit_event(
+            "span",
+            "a",
+            &[
+                ("items", EventValue::Int(3)),
+                ("who", EventValue::Text("x")),
+            ],
+        );
+        let lines = drain_events();
+        assert_eq!(
+            lines,
+            [
+                "{\"event\":\"counter\",\"name\":\"z\",\"value\":7}",
+                "{\"event\":\"span\",\"name\":\"a\",\"items\":3,\"who\":\"x\"}",
+                "{\"event\":\"span\",\"name\":\"b\",\"ms\":2.5}",
+            ]
+        );
+        assert_eq!(pending_events(), 0, "drain empties the log");
+        crate::set_level(Level::Off);
+        crate::reset();
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        let _guard = crate::test_lock::hold();
+        crate::set_level(Level::Debug);
+        crate::reset();
+        emit_event("span", "nan", &[("ms", EventValue::Num(f64::NAN))]);
+        let lines = drain_events();
+        assert!(lines[0].contains("\"ms\":null"), "{}", lines[0]);
+        crate::set_level(Level::Off);
+        crate::reset();
+    }
+
+    #[test]
+    fn escape_covers_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_escape("\u{1}"), "\"\\u0001\"");
+    }
+}

@@ -1,0 +1,173 @@
+//! Hermetic observability: spans, counters, events and run provenance.
+//!
+//! The simulator records and replays millions of references per second;
+//! this crate makes that pipeline visible without slowing it down. It
+//! provides four small pieces, all dependency-free and thread-safe:
+//!
+//! * **Levels** — one global verbosity switch read from `STREAMSIM_LOG`
+//!   (`off`, `info`, `debug`) and overridable in-process with
+//!   [`set_level`]. Everything below is a no-op at [`Level::Off`].
+//! * **Counters** ([`Counter`], [`count`]) — cheap process-wide event
+//!   counters. The enabled path is a single relaxed `fetch_add`; the
+//!   disabled path is one relaxed load and a predictable branch, cheap
+//!   enough to sit on the recording hot path (the CI perf smoke pins
+//!   this: the 1.15× recording floor holds with observability compiled
+//!   in but disabled).
+//! * **Spans** ([`span`]) — RAII wall-clock timers over the monotonic
+//!   clock. Spans nest per thread (`report/fig3`), aggregate into a
+//!   global registry by path ([`registry_snapshot`]), and carry an
+//!   optional item count so a phase reports throughput (Mref/s).
+//! * **Events** ([`drain_events`]) — at [`Level::Debug`], span closings
+//!   and counter flushes append structured JSONL records to an in-memory
+//!   log the caller drains next to its other artifact output.
+//! * **Provenance** ([`RunManifest`], [`fingerprint64`]) — the identity
+//!   of a run (PRNG seed, configuration fingerprint, thread count) as a
+//!   plain value the report layer stamps into every JSON artifact.
+//!
+//! # Example
+//!
+//! ```
+//! use streamsim_obs as obs;
+//!
+//! obs::set_level(obs::Level::Info);
+//! {
+//!     let mut span = obs::span("record");
+//!     obs::count(obs::Counter::RefsGenerated, 1024);
+//!     span.items(1024);
+//! }
+//! let phases = obs::registry_snapshot();
+//! assert_eq!(phases[0].0, "record");
+//! assert_eq!(phases[0].1.items, 1024);
+//! assert_eq!(obs::counter(obs::Counter::RefsGenerated), 1024);
+//! # obs::reset();
+//! # obs::set_level(obs::Level::Off);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod counters;
+mod events;
+mod manifest;
+mod span;
+
+pub use counters::{count, counter, counter_snapshot, Counter, CounterSet, NUM_COUNTERS};
+pub use events::{
+    drain_events, emit_counter_events, emit_event, json_escape, pending_events, EventValue,
+};
+pub use manifest::{fingerprint64, RunManifest, StampValue};
+pub use span::{registry_snapshot, reset_registry, span, PhaseStat, SpanGuard};
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Global verbosity, lowest to highest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Everything disabled (the default): counters stay zero, spans are
+    /// no-ops, no events are recorded.
+    Off = 0,
+    /// Counters count and spans aggregate into the registry.
+    Info = 1,
+    /// Additionally, span closings and counter flushes append JSONL
+    /// records to the event log.
+    Debug = 2,
+}
+
+/// Sentinel for "not yet initialized from the environment".
+const LEVEL_UNSET: u8 = u8::MAX;
+
+static LEVEL: AtomicU8 = AtomicU8::new(LEVEL_UNSET);
+
+#[cold]
+fn level_from_env() -> u8 {
+    let parsed = match std::env::var("STREAMSIM_LOG").as_deref() {
+        Ok("info") | Ok("1") => Level::Info,
+        Ok("debug") | Ok("2") | Ok("trace") => Level::Debug,
+        _ => Level::Off,
+    } as u8;
+    // Racing initializers agree (the env doesn't change), and an
+    // intervening `set_level` wins via the compare-exchange.
+    let _ = LEVEL.compare_exchange(LEVEL_UNSET, parsed, Ordering::Relaxed, Ordering::Relaxed);
+    LEVEL.load(Ordering::Relaxed)
+}
+
+#[inline(always)]
+fn raw_level() -> u8 {
+    let v = LEVEL.load(Ordering::Relaxed);
+    if v == LEVEL_UNSET {
+        level_from_env()
+    } else {
+        v
+    }
+}
+
+/// The current global level (initialized from `STREAMSIM_LOG` on first
+/// use).
+#[inline]
+pub fn level() -> Level {
+    match raw_level() {
+        0 => Level::Off,
+        1 => Level::Info,
+        _ => Level::Debug,
+    }
+}
+
+/// Overrides the global level (e.g. `streamsim-report --profile` raises
+/// `Off` to `Info` so the phase registry fills).
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Whether observability at `at` is active. The hot-path gate: a single
+/// relaxed load and a predictable branch.
+#[inline(always)]
+pub fn enabled(at: Level) -> bool {
+    raw_level() >= at as u8
+}
+
+/// Zeroes every global counter, the span registry and the event log.
+/// The level is left unchanged. Intended for tests and for the report
+/// binary between profiling sections.
+pub fn reset() {
+    counters::reset_counters();
+    span::reset_registry();
+    events::clear_events();
+}
+
+#[cfg(test)]
+pub(crate) mod test_lock {
+    use std::sync::{Mutex, MutexGuard};
+
+    /// Unit tests mutate process-global state (level, counters,
+    /// registry); this lock serializes them within the test binary.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    pub fn hold() -> MutexGuard<'static, ()> {
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order() {
+        assert!(Level::Off < Level::Info);
+        assert!(Level::Info < Level::Debug);
+    }
+
+    #[test]
+    fn set_level_round_trips() {
+        let _guard = test_lock::hold();
+        let before = level();
+        set_level(Level::Debug);
+        assert_eq!(level(), Level::Debug);
+        assert!(enabled(Level::Info));
+        set_level(Level::Off);
+        assert!(!enabled(Level::Info));
+        set_level(before);
+    }
+}

@@ -1,0 +1,127 @@
+//! Run provenance: the identity of an experiment run.
+//!
+//! A result row without provenance cannot be compared across machines
+//! or commits. [`RunManifest`] captures the quantities that determine
+//! (seed, configuration) or merely describe (thread count) a run; the
+//! report layer stamps the deterministic subset into every JSON row as
+//! `run_*` keys and emits the full manifest as its own artifact.
+
+use crate::events::json_escape;
+
+/// The provenance of one experiment run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunManifest {
+    /// The PRNG seed the run's L1 replacement policy draws from (the
+    /// workload seeds are fixed per kernel and covered by `config`).
+    pub seed: u64,
+    /// Hex fingerprint of the full run configuration (scale, sampling,
+    /// L1 geometry and replacement policy).
+    pub config: String,
+    /// Worker threads available to `parallel_map`.
+    pub threads: u64,
+    /// Input-size scale label (`"Paper"` / `"Quick"`).
+    pub scale: String,
+    /// Time-sampling label (`"off"` or `"on/off"` reference counts).
+    pub sampling: String,
+}
+
+impl RunManifest {
+    /// Builds a manifest; `threads` defaults to the machine's available
+    /// parallelism.
+    pub fn new(seed: u64, config_text: &str, scale: &str, sampling: &str) -> Self {
+        RunManifest {
+            seed,
+            config: format!("{:016x}", fingerprint64(config_text)),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get() as u64)
+                .unwrap_or(1),
+            scale: scale.to_owned(),
+            sampling: sampling.to_owned(),
+        }
+    }
+
+    /// The deterministic stamp keys added to every JSON row. `run_*`
+    /// keys are provenance, not measurements: `streamsim-report --diff`
+    /// excludes them from both row identity and drift comparison.
+    pub fn row_stamp(&self) -> Vec<(&'static str, StampValue)> {
+        vec![
+            ("run_config", StampValue::Text(self.config.clone())),
+            ("run_seed", StampValue::Int(self.seed)),
+            ("run_threads", StampValue::Int(self.threads)),
+        ]
+    }
+
+    /// The manifest as one flat JSONL record (`artifact":"manifest"`).
+    pub fn to_json_line(&self) -> String {
+        format!(
+            "{{\"artifact\":\"manifest\",\"table\":\"run\",\"run_config\":{},\
+             \"run_seed\":{},\"run_threads\":{},\"scale\":{},\"sampling\":{}}}",
+            json_escape(&self.config),
+            self.seed,
+            self.threads,
+            json_escape(&self.scale),
+            json_escape(&self.sampling),
+        )
+    }
+}
+
+/// A stamp field value (mirrors the sink cell values without depending
+/// on the sink crate).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StampValue {
+    /// An exact integer.
+    Int(u64),
+    /// A string.
+    Text(String),
+}
+
+/// FNV-1a over the UTF-8 bytes: a stable 64-bit fingerprint for
+/// configuration text. Not cryptographic — it only needs to change when
+/// the configuration does.
+pub fn fingerprint64(text: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in text.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_is_stable_and_sensitive() {
+        assert_eq!(fingerprint64(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fingerprint64("abc"), fingerprint64("abc"));
+        assert_ne!(fingerprint64("abc"), fingerprint64("abd"));
+    }
+
+    #[test]
+    fn manifest_renders_one_flat_line() {
+        let m = RunManifest {
+            seed: 7,
+            config: "00ff".into(),
+            threads: 4,
+            scale: "Quick".into(),
+            sampling: "off".into(),
+        };
+        assert_eq!(
+            m.to_json_line(),
+            "{\"artifact\":\"manifest\",\"table\":\"run\",\"run_config\":\"00ff\",\
+             \"run_seed\":7,\"run_threads\":4,\"scale\":\"Quick\",\"sampling\":\"off\"}"
+        );
+        let stamp = m.row_stamp();
+        assert_eq!(stamp[0].0, "run_config");
+        assert_eq!(stamp[1], ("run_seed", StampValue::Int(7)));
+    }
+
+    #[test]
+    fn new_fingerprints_the_config_text() {
+        let a = RunManifest::new(1, "cfg-a", "Quick", "off");
+        let b = RunManifest::new(1, "cfg-b", "Quick", "off");
+        assert_ne!(a.config, b.config);
+        assert!(a.threads >= 1);
+    }
+}

@@ -98,6 +98,8 @@ impl CzoneFilter {
                 // eviction): no stride information, keep waiting.
                 return None;
             }
+            // Every arm below advances (or restarts) the partition's FSM.
+            streamsim_obs::count(streamsim_obs::Counter::CzoneTransitions, 1);
             match entry.state {
                 FsmState::Meta1 => {
                     entry.stride = delta;
@@ -130,6 +132,7 @@ impl CzoneFilter {
                 state: FsmState::Meta1,
             });
             self.stats.insertions += 1;
+            streamsim_obs::count(streamsim_obs::Counter::CzoneTransitions, 1);
             None
         }
     }

@@ -215,6 +215,7 @@ impl StreamSystem {
         let fx = self.buffers[idx].allocate(addr, stride_bytes, clock);
         self.buffers[idx].touch(clock);
         self.stats.allocations += 1;
+        streamsim_obs::count(streamsim_obs::Counter::StreamAllocations, 1);
         self.stats.prefetches_flushed += fx.flushed;
         self.stats.prefetches_issued += fx.issued;
         self.stats.lengths.record_run(fx.previous_run);

@@ -58,6 +58,7 @@ impl UnitStrideFilter {
         if let Some(pos) = self.entries.iter().position(|&b| b == block) {
             self.entries.remove(pos);
             self.stats.allocations += 1;
+            streamsim_obs::count(streamsim_obs::Counter::UnitFilterAccepts, 1);
             return true;
         }
         if self.entries.len() == self.capacity {
@@ -66,6 +67,7 @@ impl UnitStrideFilter {
         }
         self.entries.push_back(block.next());
         self.stats.insertions += 1;
+        streamsim_obs::count(streamsim_obs::Counter::UnitFilterRejects, 1);
         false
     }
 

@@ -40,11 +40,36 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "==> cargo test -q --offline ${test_scope[*]:-}"
 cargo test -q --offline "${test_scope[@]}"
 
+# Observability smoke: one quick experiment with spans, counters and
+# the event log fully enabled (STREAMSIM_LOG=debug + --profile). The
+# JSON artifact must open with the run manifest, carry the per-phase
+# profile rows, and the drained event log must land beside it; diffing
+# each file against itself parses every line through the in-tree flat
+# JSON reader, so a malformed line is a hard failure here, not a
+# surprise for a downstream consumer.
+echo "==> observability smoke (--profile under STREAMSIM_LOG=debug)"
+obs_dir=$(mktemp -d)
+trap 'rm -rf "$obs_dir"' EXIT
+STREAMSIM_LOG=debug ./target/release/streamsim-report \
+    --quick --profile --out /dev/null --json "$obs_dir/run.jsonl" table2
+head -n 1 "$obs_dir/run.jsonl" | grep -q '"artifact":"manifest"'
+grep -q '"artifact":"profile"' "$obs_dir/run.jsonl"
+grep -q '"phase":"record"' "$obs_dir/run.jsonl"
+grep -q '"run_seed"' "$obs_dir/run.jsonl"
+grep -q '"event":"span"' "$obs_dir/run.jsonl.events.jsonl"
+grep -q '"event":"counter"' "$obs_dir/run.jsonl.events.jsonl"
+for f in "$obs_dir/run.jsonl" "$obs_dir/run.jsonl.events.jsonl"; do
+    ./target/release/streamsim-report --diff "$f" "$f"
+done
+
 # Perf smoke: the recording bench asserts the chunked/SoA hot loop is
 # byte-identical to the pre-PR reference implementation, then times
 # both. The enforce floor is deliberately far below the recorded
 # speedup (see BENCH_recording.json) so shared-machine noise cannot
 # flake the gate; a drop below it means the fast path actually rotted.
+# Observability is compiled into that loop (counter hooks on the
+# reference-generation and L1-probe paths); CI leaves STREAMSIM_LOG
+# unset, so this floor also pins the disabled-mode overhead contract.
 echo "==> recording bench smoke (enforce >= 1.15x)"
 STREAMSIM_BENCH_SAMPLES=3 STREAMSIM_BENCH_WARMUP=1 STREAMSIM_BENCH_ENFORCE=1.15 \
     cargo bench --offline -p streamsim-bench --bench recording

@@ -3,14 +3,16 @@
 //! ```text
 //! USAGE:
 //!   streamsim-report [OPTIONS] [EXPERIMENT...]
-//!   streamsim-report --diff <A.jsonl> <B.jsonl>
+//!   streamsim-report --diff <A.jsonl> <B.jsonl> [--summary]
 //!
 //! OPTIONS:
 //!   --quick           run reduced inputs (smoke test)
 //!   --sampling        enable the paper's 10k-on/90k-off time sampling
+//!   --profile         time the engine phases; append a per-phase table
 //!   --out <FILE>      write the text report to FILE instead of stdout
 //!   --json <FILE>     additionally write one JSON line per table row to FILE
 //!   --diff <A> <B>    compare two --json outputs; exit 1 on drift
+//!   --summary         with --diff: one drift rollup line per artifact
 //!   --list            list experiment names and exit
 //!   -h, --help        show this help
 //!
@@ -26,43 +28,85 @@
 //! it.
 //!
 //! The `--json` file holds one flat JSON object per table row (see
-//! DESIGN.md for the schema); `--diff` re-reads two such files and
-//! reports rows whose numeric fields differ by more than `5e-5` or
-//! whose text fields differ at all — the regression gate for the golden
-//! scorecard.
+//! DESIGN.md for the schema). Its first line is the *run manifest*
+//! (`"artifact":"manifest"`) — PRNG seed, configuration fingerprint and
+//! thread count — and every data row carries the deterministic subset as
+//! `run_*` keys. `--diff` re-reads two such files and reports rows whose
+//! numeric fields differ by more than `5e-5` or whose text fields differ
+//! at all — the regression gate for the golden scorecard. Provenance is
+//! excluded from the comparison: `manifest` and `profile` rows are
+//! skipped and `run_*` keys are ignored, so wall clock and thread count
+//! never register as drift.
+//!
+//! Observability is controlled by `STREAMSIM_LOG` (`off`/`info`/`debug`);
+//! `--profile` raises `off` to `info`. At `debug` with `--json FILE`,
+//! span and counter events stream to `FILE.events.jsonl`.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::io::Write;
 use std::process::ExitCode;
 use std::time::Instant;
 
 use streamsim::experiments::{self, ExperimentOptions, Scale, ARTIFACT_NAMES};
-use streamsim::{parse_flat_json_line, JsonValue};
+use streamsim::{parse_flat_json_line, JsonLinesSink, JsonValue, ProfileArtifact, Value};
+use streamsim_obs::{RunManifest, StampValue};
 
 /// Numeric tolerance for `--diff`: golden values are pinned to four
 /// decimals, so anything past 5e-5 is real drift.
 const DIFF_EPS: f64 = 5e-5;
 
-fn diff_values(key: &str, a: &JsonValue, b: &JsonValue) -> Option<String> {
+/// How one row (or one of its fields) drifted between the two files.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum DriftKind {
+    /// The row exists in both files with a differing field.
+    Changed,
+    /// The row exists only in the second file.
+    Added,
+    /// The row exists only in the first file.
+    Removed,
+}
+
+/// One drift finding, carrying enough structure for the `--summary`
+/// rollup (per-artifact grouping, numeric magnitude) next to the
+/// human-readable `message` the plain mode prints.
+#[derive(Clone, Debug)]
+struct DriftRecord {
+    artifact: String,
+    row: String,
+    kind: DriftKind,
+    /// `|Δ|` for a numeric field drift; `None` for text/structural drift.
+    delta: Option<f64>,
+    message: String,
+}
+
+fn diff_values(key: &str, a: &JsonValue, b: &JsonValue) -> Option<(String, Option<f64>)> {
     match (a, b) {
         (JsonValue::Num(x), JsonValue::Num(y)) => {
-            if (x - y).abs() > DIFF_EPS {
-                Some(format!("{key}: {x} != {y} (|Δ| = {:.3e})", (x - y).abs()))
+            let delta = (x - y).abs();
+            if delta > DIFF_EPS {
+                Some((
+                    format!("{key}: {x} != {y} (|Δ| = {delta:.3e})"),
+                    Some(delta),
+                ))
             } else {
                 None
             }
         }
         _ if a == b => None,
-        _ => Some(format!("{key}: {a:?} != {b:?}")),
+        _ => Some((format!("{key}: {a:?} != {b:?}"), None)),
     }
 }
 
 /// A row's identity: its text-valued fields (artifact, table, benchmark,
 /// configuration labels, ...) in file order. Numbers are the
-/// measurements under comparison, so they stay out of the key.
+/// measurements under comparison, so they stay out of the key — and so
+/// do `run_*` provenance stamps, which describe the run, not the row.
 fn row_key(fields: &[(String, JsonValue)]) -> String {
     let mut key = String::new();
     for (k, v) in fields {
+        if k.starts_with("run_") {
+            continue;
+        }
         if let JsonValue::Text(s) = v {
             if !key.is_empty() {
                 key.push(' ');
@@ -75,6 +119,25 @@ fn row_key(fields: &[(String, JsonValue)]) -> String {
     key
 }
 
+/// Whether a row is pure provenance (`manifest`) or timing (`profile`):
+/// machine- and run-specific by nature, so `--diff` skips it entirely.
+fn is_provenance_row(fields: &[(String, JsonValue)]) -> bool {
+    fields.iter().any(|(k, v)| {
+        k == "artifact" && matches!(v, JsonValue::Text(s) if s == "manifest" || s == "profile")
+    })
+}
+
+/// The `artifact` field of a row, for the `--summary` grouping.
+fn artifact_of(fields: &[(String, JsonValue)]) -> String {
+    fields
+        .iter()
+        .find_map(|(k, v)| match v {
+            JsonValue::Text(s) if k == "artifact" => Some(s.clone()),
+            _ => None,
+        })
+        .unwrap_or_else(|| "<no artifact>".to_owned())
+}
+
 /// One parsed JSONL row: display label, occurrence index (for duplicate
 /// keys), and the parsed fields.
 type Row = (String, usize, Vec<(String, JsonValue)>);
@@ -85,8 +148,9 @@ type Row = (String, usize, Vec<(String, JsonValue)>);
 /// positional mismatches down the rest of the group. Rows sharing a key
 /// pair up in occurrence order (an all-numeric row's key is empty, which
 /// degrades to exactly the old positional behaviour); rows whose key
-/// exists in only one file are reported as such.
-fn diff_reports(path_a: &str, path_b: &str) -> Result<Vec<String>, String> {
+/// exists in only one file are reported as such. Provenance is invisible
+/// here: `manifest`/`profile` rows and `run_*` keys are skipped.
+fn diff_reports(path_a: &str, path_b: &str) -> Result<Vec<DriftRecord>, String> {
     let read = |path: &str| -> Result<Vec<Row>, String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         let mut rows = Vec::new();
@@ -97,6 +161,9 @@ fn diff_reports(path_a: &str, path_b: &str) -> Result<Vec<String>, String> {
             }
             let fields =
                 parse_flat_json_line(line).map_err(|e| format!("{path}:{}: {e}", i + 1))?;
+            if is_provenance_row(&fields) {
+                continue;
+            }
             let key = row_key(&fields);
             let occ = occurrences.entry(key.clone()).or_insert(0);
             rows.push((key, *occ, fields));
@@ -107,7 +174,7 @@ fn diff_reports(path_a: &str, path_b: &str) -> Result<Vec<String>, String> {
 
     let a = read(path_a)?;
     let b = read(path_b)?;
-    let mut drift = Vec::new();
+    let mut drift: Vec<DriftRecord> = Vec::new();
 
     let label = |key: &str, occ: usize| {
         let name = if key.is_empty() {
@@ -129,33 +196,129 @@ fn diff_reports(path_a: &str, path_b: &str) -> Result<Vec<String>, String> {
     let mut matched: HashMap<(&str, usize), bool> = HashMap::new();
 
     for (key, occ, fa) in &a {
+        let row = label(key, *occ);
         let Some(fb) = index_b.get(&(key.as_str(), *occ)) else {
-            drift.push(format!("{}: only in {path_a}", label(key, *occ)));
+            drift.push(DriftRecord {
+                artifact: artifact_of(fa),
+                kind: DriftKind::Removed,
+                delta: None,
+                message: format!("{row}: only in {path_a}"),
+                row,
+            });
             continue;
         };
         matched.insert((key.as_str(), *occ), true);
         for (field, va) in fa {
+            if field.starts_with("run_") {
+                continue;
+            }
             match fb.iter().find(|(k, _)| k == field) {
                 Some((_, vb)) => {
-                    if let Some(msg) = diff_values(field, va, vb) {
-                        drift.push(format!("{}: {msg}", label(key, *occ)));
+                    if let Some((msg, delta)) = diff_values(field, va, vb) {
+                        drift.push(DriftRecord {
+                            artifact: artifact_of(fa),
+                            kind: DriftKind::Changed,
+                            delta,
+                            message: format!("{row}: {msg}"),
+                            row: row.clone(),
+                        });
                     }
                 }
-                None => drift.push(format!("{}: {field} missing in {path_b}", label(key, *occ))),
+                None => drift.push(DriftRecord {
+                    artifact: artifact_of(fa),
+                    kind: DriftKind::Changed,
+                    delta: None,
+                    message: format!("{row}: {field} missing in {path_b}"),
+                    row: row.clone(),
+                }),
             }
         }
         for (field, _) in fb.iter() {
+            if field.starts_with("run_") {
+                continue;
+            }
             if !fa.iter().any(|(k, _)| k == field) {
-                drift.push(format!("{}: {field} missing in {path_a}", label(key, *occ)));
+                drift.push(DriftRecord {
+                    artifact: artifact_of(fa),
+                    kind: DriftKind::Changed,
+                    delta: None,
+                    message: format!("{row}: {field} missing in {path_a}"),
+                    row: row.clone(),
+                });
             }
         }
     }
-    for (key, occ, _) in &b {
+    for (key, occ, fb) in &b {
         if !matched.contains_key(&(key.as_str(), *occ)) {
-            drift.push(format!("{}: only in {path_b}", label(key, *occ)));
+            let row = label(key, *occ);
+            drift.push(DriftRecord {
+                artifact: artifact_of(fb),
+                kind: DriftKind::Added,
+                delta: None,
+                message: format!("{row}: only in {path_b}"),
+                row,
+            });
         }
     }
     Ok(drift)
+}
+
+/// Rolls drift up per artifact: one line each with the distinct rows
+/// changed, rows added/removed, and the largest numeric drift.
+fn summarize_drift(drift: &[DriftRecord]) -> Vec<String> {
+    #[derive(Default)]
+    struct ArtifactDrift<'a> {
+        changed_rows: BTreeSet<&'a str>,
+        added: usize,
+        removed: usize,
+        max_delta: f64,
+    }
+    let mut agg: BTreeMap<&str, ArtifactDrift<'_>> = BTreeMap::new();
+    for d in drift {
+        let entry = agg.entry(d.artifact.as_str()).or_default();
+        match d.kind {
+            DriftKind::Changed => {
+                entry.changed_rows.insert(d.row.as_str());
+                if let Some(delta) = d.delta {
+                    entry.max_delta = entry.max_delta.max(delta);
+                }
+            }
+            DriftKind::Added => entry.added += 1,
+            DriftKind::Removed => entry.removed += 1,
+        }
+    }
+    agg.into_iter()
+        .map(|(artifact, d)| {
+            let max = if d.max_delta > 0.0 {
+                format!("{:.3e}", d.max_delta)
+            } else {
+                "-".to_owned()
+            };
+            format!(
+                "{artifact}: {} row(s) changed, {} added, {} removed, max |Δ| = {max}",
+                d.changed_rows.len(),
+                d.added,
+                d.removed,
+            )
+        })
+        .collect()
+}
+
+/// The manifest describing this run: the L1 PRNG seed, a fingerprint of
+/// the full recording configuration, and the machine's parallelism.
+fn run_manifest(options: &ExperimentOptions) -> RunManifest {
+    let record = options.record_options();
+    let seed = match record.dcache.replacement() {
+        streamsim::Replacement::Random { seed } => seed,
+        _ => 0,
+    };
+    let scale = format!("{:?}", options.scale);
+    let sampling = match options.sampling {
+        Some((on, off)) => format!("{on}/{off}"),
+        None => "off".to_owned(),
+    };
+    let config_text = format!("{record:?} scale={scale} sampling={sampling}");
+    RunManifest::new(seed, &config_text, &scale, &sampling)
 }
 
 fn write_file(path: &str, contents: &str) -> Result<(), ExitCode> {
@@ -174,12 +337,17 @@ fn main() -> ExitCode {
     let mut out: Option<String> = None;
     let mut json_out: Option<String> = None;
     let mut selected: Vec<String> = Vec::new();
+    let mut diff_paths: Option<(String, String)> = None;
+    let mut summary = false;
+    let mut profile = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => options.scale = Scale::Quick,
             "--sampling" => options.sampling = Some((10_000, 90_000)),
+            "--profile" => profile = true,
+            "--summary" => summary = true,
             "--out" => match args.next() {
                 Some(path) => out = Some(path),
                 None => {
@@ -199,23 +367,7 @@ fn main() -> ExitCode {
                     eprintln!("error: --diff needs two JSONL file paths");
                     return ExitCode::FAILURE;
                 };
-                match diff_reports(&a, &b) {
-                    Ok(drift) if drift.is_empty() => {
-                        println!("no drift between {a} and {b}");
-                        return ExitCode::SUCCESS;
-                    }
-                    Ok(drift) => {
-                        for line in &drift {
-                            println!("{line}");
-                        }
-                        eprintln!("{} drifting row(s) between {a} and {b}", drift.len());
-                        return ExitCode::FAILURE;
-                    }
-                    Err(e) => {
-                        eprintln!("error: {e}");
-                        return ExitCode::FAILURE;
-                    }
-                }
+                diff_paths = Some((a, b));
             }
             "--list" => {
                 for name in ARTIFACT_NAMES {
@@ -226,9 +378,9 @@ fn main() -> ExitCode {
             "-h" | "--help" => {
                 println!(
                     "streamsim-report: regenerate the evaluation of Palacharla & Kessler \
-                     (ISCA 1994)\n\nUSAGE: streamsim-report [--quick] [--sampling] \
+                     (ISCA 1994)\n\nUSAGE: streamsim-report [--quick] [--sampling] [--profile] \
                      [--out FILE] [--json FILE] [--list] [EXPERIMENT...]\n       \
-                     streamsim-report --diff A.jsonl B.jsonl\n\nEXPERIMENTS: {}",
+                     streamsim-report --diff A.jsonl B.jsonl [--summary]\n\nEXPERIMENTS: {}",
                     ARTIFACT_NAMES.join(" ")
                 );
                 return ExitCode::SUCCESS;
@@ -240,9 +392,54 @@ fn main() -> ExitCode {
             }
         }
     }
+
+    if let Some((a, b)) = diff_paths {
+        return match diff_reports(&a, &b) {
+            Ok(drift) if drift.is_empty() => {
+                println!("no drift between {a} and {b}");
+                ExitCode::SUCCESS
+            }
+            Ok(drift) => {
+                if summary {
+                    for line in summarize_drift(&drift) {
+                        println!("{line}");
+                    }
+                } else {
+                    for d in &drift {
+                        println!("{}", d.message);
+                    }
+                }
+                eprintln!("{} drifting row(s) between {a} and {b}", drift.len());
+                ExitCode::FAILURE
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
     if selected.is_empty() {
         selected = ARTIFACT_NAMES.iter().map(|s| (*s).to_owned()).collect();
     }
+
+    // `--profile` needs the span registry filling; honour a stronger
+    // STREAMSIM_LOG (debug) but raise `off` to `info`.
+    if profile && streamsim_obs::level() == streamsim_obs::Level::Off {
+        streamsim_obs::set_level(streamsim_obs::Level::Info);
+    }
+    let manifest = run_manifest(&options);
+    let stamp: Vec<(String, Value)> = manifest
+        .row_stamp()
+        .into_iter()
+        .map(|(key, value)| {
+            let value = match value {
+                StampValue::Int(n) => Value::Int(n as i64),
+                StampValue::Text(s) => Value::Text(s),
+            };
+            (key.to_owned(), value)
+        })
+        .collect();
 
     // The JSON sink streams: rows land on disk as each experiment
     // finishes, so a partial file is useful (and memory flat) even if a
@@ -258,10 +455,19 @@ fn main() -> ExitCode {
         None => None,
     };
     let mut json_rows = 0usize;
+    if let Some(file) = json_file.as_mut() {
+        // The manifest leads the file, so a reader knows the run's
+        // provenance before the first data row.
+        if let Err(e) = writeln!(file, "{}", manifest.to_json_line()) {
+            eprintln!("error: cannot write {}: {e}", json_out.as_deref().unwrap());
+            return ExitCode::FAILURE;
+        }
+        json_rows += 1;
+    }
 
     let mut report = String::new();
     report.push_str(&format!(
-        "streamsim report — Palacharla & Kessler, ISCA 1994 (scale: {:?}, sampling: {})\n\n",
+        "streamsim report — Palacharla & Kessler, ISCA 1994 (scale: {:?}, sampling: {})\n",
         options.scale,
         if options.sampling.is_some() {
             "paper 10%"
@@ -269,24 +475,56 @@ fn main() -> ExitCode {
             "off"
         },
     ));
+    report.push_str(&format!(
+        "run: config {} seed {} threads {}\n\n",
+        manifest.config, manifest.seed, manifest.threads
+    ));
+    let emit_json = |artifact: &dyn streamsim::Artifact,
+                     file: &mut Option<std::io::BufWriter<std::fs::File>>,
+                     rows: &mut usize|
+     -> Result<(), ExitCode> {
+        if let Some(file) = file.as_mut() {
+            let mut sink = JsonLinesSink::with_stamp(stamp.clone());
+            artifact.emit(&mut sink);
+            for line in sink.into_lines() {
+                if let Err(e) = writeln!(file, "{line}") {
+                    eprintln!("error: cannot write {}: {e}", json_out.as_deref().unwrap());
+                    return Err(ExitCode::FAILURE);
+                }
+                *rows += 1;
+            }
+        }
+        Ok(())
+    };
     for name in &selected {
         let start = Instant::now();
-        let artifact = experiments::run_artifact(name, &options).expect("validated above");
+        let artifact = {
+            // Span "report": drivers' record/replay phases nest under it
+            // on this thread and stand alone on parallel_map workers; the
+            // profile table aggregates both by leaf name.
+            let _span = streamsim_obs::span("report");
+            experiments::run_artifact(name, &options).expect("validated above")
+        };
         report.push_str(&format!(
             "=== {name} ===\n{}",
             streamsim::render_text(artifact.as_ref())
         ));
-        if let Some(file) = json_file.as_mut() {
-            for line in streamsim::render_json_lines(artifact.as_ref()) {
-                if let Err(e) = writeln!(file, "{line}") {
-                    eprintln!("error: cannot write {}: {e}", json_out.as_deref().unwrap());
-                    return ExitCode::FAILURE;
-                }
-                json_rows += 1;
-            }
+        if let Err(code) = emit_json(artifact.as_ref(), &mut json_file, &mut json_rows) {
+            return code;
         }
         report.push_str(&format!("[{name}: {:.2?}]\n\n", start.elapsed()));
         eprintln!("{name} done in {:.2?}", start.elapsed());
+    }
+
+    if profile {
+        let phases = ProfileArtifact::capture();
+        report.push_str(&format!(
+            "=== profile ===\n{}\n",
+            streamsim::render_text(&phases)
+        ));
+        if let Err(code) = emit_json(&phases, &mut json_file, &mut json_rows) {
+            return code;
+        }
     }
 
     if let Some(path) = &json_out {
@@ -297,6 +535,21 @@ fn main() -> ExitCode {
             }
         }
         eprintln!("{json_rows} JSON rows written to {path}");
+
+        // At debug, the event log streams next to the artifact output.
+        if streamsim_obs::level() == streamsim_obs::Level::Debug {
+            streamsim_obs::emit_counter_events();
+            let events = streamsim_obs::drain_events();
+            let events_path = format!("{path}.events.jsonl");
+            let mut contents = events.join("\n");
+            if !contents.is_empty() {
+                contents.push('\n');
+            }
+            if let Err(code) = write_file(&events_path, &contents) {
+                return code;
+            }
+            eprintln!("{} events written to {events_path}", events.len());
+        }
     }
     match out {
         Some(path) => {

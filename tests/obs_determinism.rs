@@ -1,0 +1,104 @@
+//! Cross-thread determinism of the observability layer.
+//!
+//! The event log is drained sorted by `(event, name)` and counters are
+//! exact sums, so a parallel run must produce the same drained records
+//! and the same registry whatever the thread count. This file owns its
+//! process (integration tests build one binary each), so it can mutate
+//! the global level without coordinating with other tests.
+
+use streamsim_core::parallel_map_with_threads;
+use streamsim_obs as obs;
+
+const ITEMS: u64 = 32;
+
+/// One synthetic parallel "experiment": every item opens its own span,
+/// bumps a counter and declares items, from whichever worker thread the
+/// queue hands it to.
+fn run_round(threads: usize) -> (Vec<String>, Vec<(String, obs::PhaseStat)>) {
+    obs::reset();
+    let total: u64 = parallel_map_with_threads((0..ITEMS).collect(), threads, |i| {
+        let mut span = obs::span(&format!("work{i:02}"));
+        obs::count(obs::Counter::RefsGenerated, i + 1);
+        span.items(i + 1);
+        i + 1
+    })
+    .into_iter()
+    .sum();
+    assert_eq!(total, ITEMS * (ITEMS + 1) / 2);
+    obs::emit_counter_events();
+    (obs::drain_events(), obs::registry_snapshot())
+}
+
+/// Strips the wall-clock field (`"ms":…`) from a span record — the only
+/// part that legitimately varies between runs.
+fn deterministic_view(line: &str) -> String {
+    match (line.find("\"ms\":"), line.find(",\"items\"")) {
+        (Some(ms), Some(items)) if ms < items => {
+            format!("{}{}", &line[..ms], &line[items + 1..])
+        }
+        _ => line.to_owned(),
+    }
+}
+
+#[test]
+fn drained_events_are_identical_across_thread_counts() {
+    obs::set_level(obs::Level::Debug);
+    let (events, registry) = run_round(1);
+    let reference: Vec<String> = events.iter().map(|l| deterministic_view(l)).collect();
+
+    // One counter rollup (sorted first: "counter" < "span"), then one
+    // span record per item, sorted by name.
+    assert_eq!(reference.len(), 1 + ITEMS as usize, "{reference:#?}");
+    assert_eq!(
+        reference[0],
+        format!(
+            "{{\"event\":\"counter\",\"name\":\"refs_generated\",\"value\":{}}}",
+            ITEMS * (ITEMS + 1) / 2
+        )
+    );
+    assert_eq!(
+        reference[1],
+        "{\"event\":\"span\",\"name\":\"work00\",\"items\":1}"
+    );
+    let ref_paths: Vec<&str> = registry.iter().map(|(p, _)| p.as_str()).collect();
+    assert_eq!(ref_paths.len(), ITEMS as usize);
+
+    for threads in [2, 4, 7] {
+        let (events, round_registry) = run_round(threads);
+        let got: Vec<String> = events.iter().map(|l| deterministic_view(l)).collect();
+        assert_eq!(got, reference, "event log diverged at {threads} threads");
+        let paths: Vec<&str> = round_registry.iter().map(|(p, _)| p.as_str()).collect();
+        assert_eq!(paths, ref_paths, "registry diverged at {threads} threads");
+        for ((path, stat), (_, ref_stat)) in round_registry.iter().zip(&registry) {
+            assert_eq!(stat.calls, ref_stat.calls, "{path}");
+            assert_eq!(stat.items, ref_stat.items, "{path}");
+        }
+    }
+    obs::set_level(obs::Level::Off);
+    obs::reset();
+}
+
+/// Workers start fresh span stacks, so a span opened inside a parallel
+/// worker never nests under the caller's open span — the engine phases
+/// (`record`, `replay`) aggregate under their own names no matter which
+/// driver invoked them.
+#[test]
+fn worker_spans_do_not_inherit_the_callers_path() {
+    obs::set_level(obs::Level::Info);
+    obs::reset();
+    {
+        let _driver = obs::span("obsdet_driver");
+        let paths = parallel_map_with_threads(vec![1, 2], 2, |_| {
+            let span = obs::span("obsdet_worker");
+            span.path().map(str::to_owned)
+        });
+        for path in paths {
+            assert_eq!(path.as_deref(), Some("obsdet_worker"));
+        }
+    }
+    let snapshot = obs::registry_snapshot();
+    let paths: Vec<&str> = snapshot.iter().map(|(p, _)| p.as_str()).collect();
+    assert_eq!(paths, ["obsdet_driver", "obsdet_worker"]);
+    obs::set_level(obs::Level::Off);
+    obs::reset();
+}

@@ -94,14 +94,177 @@ fn json_flag_writes_parseable_rows() {
     assert!(out.status.success());
     let written = std::fs::read_to_string(&path).unwrap();
     let lines: Vec<&str> = written.lines().filter(|l| !l.is_empty()).collect();
-    assert_eq!(lines.len(), 15, "one JSON row per benchmark: {written}");
-    for line in &lines {
+    // First line is the run manifest, then one row per benchmark.
+    assert_eq!(
+        lines.len(),
+        16,
+        "manifest + one row per benchmark: {written}"
+    );
+    let manifest = streamsim::parse_flat_json_line(lines[0]).expect("valid manifest line");
+    assert!(
+        manifest
+            .iter()
+            .any(|(k, v)| k == "artifact" && *v == streamsim::JsonValue::Text("manifest".into())),
+        "{}",
+        lines[0]
+    );
+    assert!(
+        manifest.iter().any(|(k, _)| k == "run_seed"),
+        "{}",
+        lines[0]
+    );
+    for line in &lines[1..] {
         let fields = streamsim::parse_flat_json_line(line).expect("valid JSON line");
         assert!(fields.iter().any(|(k, _)| k == "artifact"), "{line}");
         assert!(fields.iter().any(|(k, _)| k == "table"), "{line}");
         assert!(fields.iter().any(|(k, _)| k == "eb_pct"), "{line}");
+        // Every data row carries the deterministic provenance stamp.
+        for stamp in ["run_config", "run_seed", "run_threads"] {
+            assert!(fields.iter().any(|(k, _)| k == stamp), "{stamp}: {line}");
+        }
     }
     std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn profile_flag_emits_phase_timings() {
+    let dir = std::env::temp_dir().join("streamsim-report-profile-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("profile.jsonl");
+    let out = report()
+        .args([
+            "--quick",
+            "--profile",
+            "--out",
+            "/dev/null",
+            "--json",
+            path.to_str().unwrap(),
+            "scorecard",
+        ])
+        .env_remove("STREAMSIM_LOG")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let written = std::fs::read_to_string(&path).unwrap();
+    let phases: Vec<String> = written
+        .lines()
+        .filter(|l| l.contains("\"artifact\":\"profile\""))
+        .map(|l| {
+            streamsim::parse_flat_json_line(l)
+                .expect("valid profile line")
+                .into_iter()
+                .find_map(|(k, v)| match v {
+                    streamsim::JsonValue::Text(s) if k == "phase" => Some(s),
+                    _ => None,
+                })
+                .expect("profile row has a phase")
+        })
+        .collect();
+    for phase in ["record", "replay", "report"] {
+        assert!(phases.iter().any(|p| p == phase), "{phase} in {phases:?}");
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn debug_level_streams_events_beside_the_json_artifact() {
+    let dir = std::env::temp_dir().join("streamsim-report-events-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("run.jsonl");
+    let out = report()
+        .args([
+            "--quick",
+            "--out",
+            "/dev/null",
+            "--json",
+            path.to_str().unwrap(),
+            "table2",
+        ])
+        .env("STREAMSIM_LOG", "debug")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let events_path = format!("{}.events.jsonl", path.to_str().unwrap());
+    let events = std::fs::read_to_string(&events_path).unwrap();
+    let mut saw_span = false;
+    let mut saw_counter = false;
+    for line in events.lines().filter(|l| !l.is_empty()) {
+        let fields = streamsim::parse_flat_json_line(line).expect("valid event line");
+        match fields.first() {
+            Some((k, streamsim::JsonValue::Text(s))) if k == "event" => {
+                saw_span |= s == "span";
+                saw_counter |= s == "counter";
+            }
+            other => panic!("event line must lead with an event kind, got {other:?}: {line}"),
+        }
+    }
+    assert!(saw_span, "no span events in {events}");
+    assert!(saw_counter, "no counter events in {events}");
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&events_path).ok();
+}
+
+#[test]
+fn diff_ignores_provenance_and_summarizes_per_artifact() {
+    let dir = std::env::temp_dir().join("streamsim-report-summary-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let a = dir.join("a.jsonl");
+    let b = dir.join("b.jsonl");
+    // Files differ in: manifest row (skipped), run_threads stamp
+    // (ignored), one fig3 value (drift), one table2 row present only in
+    // b (drift).
+    std::fs::write(
+        &a,
+        concat!(
+            "{\"artifact\":\"manifest\",\"table\":\"run\",\"run_seed\":1,\"run_threads\":8}\n",
+            "{\"artifact\":\"fig3\",\"table\":\"hit_rate\",\"bench\":\"mgrid\",\"hit_pct\":71.0,\"run_threads\":8}\n",
+        ),
+    )
+    .unwrap();
+    std::fs::write(
+        &b,
+        concat!(
+            "{\"artifact\":\"manifest\",\"table\":\"run\",\"run_seed\":1,\"run_threads\":2}\n",
+            "{\"artifact\":\"fig3\",\"table\":\"hit_rate\",\"bench\":\"mgrid\",\"hit_pct\":71.5,\"run_threads\":2}\n",
+            "{\"artifact\":\"table2\",\"table\":\"eb\",\"bench\":\"adm\",\"eb_pct\":4.0}\n",
+        ),
+    )
+    .unwrap();
+    let out = report()
+        .args([
+            "--diff",
+            a.to_str().unwrap(),
+            b.to_str().unwrap(),
+            "--summary",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success(), "drift must exit nonzero");
+    let text = String::from_utf8(out.stdout).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2, "one rollup line per artifact: {text}");
+    assert!(
+        lines[0].starts_with("fig3: 1 row(s) changed, 0 added, 0 removed, max |Δ| = 5.000e-1"),
+        "{text}"
+    );
+    assert!(
+        lines[1].starts_with("table2: 0 row(s) changed, 1 added, 0 removed"),
+        "{text}"
+    );
+    assert!(
+        !text.contains("run_threads"),
+        "provenance must not register as drift: {text}"
+    );
+
+    // Identical-but-for-provenance files diff clean.
+    let out = report()
+        .args(["--diff", a.to_str().unwrap(), a.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    for p in [&a, &b] {
+        std::fs::remove_file(p).ok();
+    }
 }
 
 #[test]
