@@ -449,6 +449,7 @@ impl SetAssocCache {
         // compiler fully unrolls; other associativities take the dynamic
         // loop.
         let (hit_way, first_invalid) = if assoc == 4 {
+            // lint:allow(no-unwrap-hot, slice is base..base+4 by construction so the array conversion cannot fail)
             scan_ways::<4>(self.tags[base..base + 4].try_into().expect("len 4"), tag)
         } else {
             scan_ways_dyn(&self.tags[base..base + assoc], tag)
@@ -483,12 +484,14 @@ impl SetAssocCache {
                     .enumerate()
                     .min_by_key(|&(_, s)| s)
                     .map(|(w, _)| w)
+                    // lint:allow(no-unwrap-hot, CacheConfig rejects associativity 0 so the set is never empty)
                     .expect("associativity >= 1"),
                 // Exactly one PRNG draw per full-set eviction, over the
                 // same range as the pre-SoA implementation.
                 Replacement::Random { .. } => self
                     .rng
                     .as_mut()
+                    // lint:allow(no-unwrap-hot, the constructor seeds an rng whenever the policy is Random)
                     .expect("random replacement has an rng")
                     .gen_range(0..assoc),
                 Replacement::TreePlru => plru_victim(self.plru[row as usize], self.assoc) as usize,

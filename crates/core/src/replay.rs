@@ -73,11 +73,26 @@ pub struct StreamObserver {
 }
 
 impl StreamObserver {
-    /// Wraps a fresh [`StreamSystem`] of the given configuration.
+    /// Wraps a fresh [`StreamSystem`] of the given configuration,
+    /// charging internal-event counts to the global observability set.
     pub fn new(config: StreamConfig) -> Self {
+        Self::with_counters(config, streamsim_obs::Counters::global())
+    }
+
+    /// Like [`StreamObserver::new`], but charging allocation and filter
+    /// counts to `counters`. With a [scoped](streamsim_obs::Counters::scoped)
+    /// handle per observer, one replay pass attributes stream-buffer
+    /// churn to each configuration cell individually instead of summing
+    /// the whole sweep into the process-global set.
+    pub fn with_counters(config: StreamConfig, counters: streamsim_obs::Counters) -> Self {
         StreamObserver {
-            sys: StreamSystem::new(config),
+            sys: StreamSystem::with_counters(config, counters),
         }
+    }
+
+    /// The counter set this observer charges (scoped or global).
+    pub fn counters(&self) -> &streamsim_obs::Counters {
+        self.sys.counters()
     }
 
     /// The finalized statistics (call after [`replay`]).
@@ -107,10 +122,12 @@ impl MissObserver for StreamObserver {
 #[derive(Debug)]
 pub struct L2Observer {
     cache: SetAssocCache,
+    counters: streamsim_obs::Counters,
 }
 
 impl L2Observer {
-    /// Wraps a fresh cache of the given geometry.
+    /// Wraps a fresh cache of the given geometry, charging probe counts
+    /// to the global observability set.
     ///
     /// # Errors
     ///
@@ -120,11 +137,31 @@ impl L2Observer {
         config: CacheConfig,
         sampling: Option<SetSampling>,
     ) -> Result<Self, CacheConfigError> {
+        Self::with_counters(config, sampling, streamsim_obs::Counters::global())
+    }
+
+    /// Like [`L2Observer::new`], but charging probe counts to
+    /// `counters` for per-cell attribution inside a shared replay pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheConfigError`] if the configuration or sampling is
+    /// invalid.
+    pub fn with_counters(
+        config: CacheConfig,
+        sampling: Option<SetSampling>,
+        counters: streamsim_obs::Counters,
+    ) -> Result<Self, CacheConfigError> {
         let cache = match sampling {
             Some(s) => SetAssocCache::with_sampling(config, s)?,
             None => SetAssocCache::new(config)?,
         };
-        Ok(L2Observer { cache })
+        Ok(L2Observer { cache, counters })
+    }
+
+    /// The counter set this observer charges (scoped or global).
+    pub fn counters(&self) -> &streamsim_obs::Counters {
+        &self.counters
     }
 
     /// The cache statistics (call after [`replay`]).
@@ -135,12 +172,12 @@ impl L2Observer {
 
 impl MissObserver for L2Observer {
     fn on_fetch(&mut self, addr: Addr, kind: AccessKind) {
-        streamsim_obs::count(streamsim_obs::Counter::L2Probes, 1);
+        self.counters.add(streamsim_obs::Counter::L2Probes, 1);
         self.cache.access(addr, kind);
     }
 
     fn on_writeback(&mut self, base: Addr) {
-        streamsim_obs::count(streamsim_obs::Counter::L2Probes, 1);
+        self.counters.add(streamsim_obs::Counter::L2Probes, 1);
         self.cache.access(base, AccessKind::Store);
     }
 }
@@ -267,5 +304,67 @@ mod tests {
     #[test]
     fn empty_observer_list_is_fine() {
         replay(&trace(), &mut []);
+    }
+
+    #[test]
+    fn scoped_counters_attribute_per_observer() {
+        use streamsim_obs::{Counter, Counters};
+
+        // Two stream cells and one L2 cell share one pass; each holds a
+        // scoped counter set, so the churn of one configuration is
+        // attributable without reference to the others (and without any
+        // STREAMSIM_LOG level: scoped handles always count).
+        let trace = trace();
+        let mut narrow = StreamObserver::with_counters(
+            StreamConfig::paper_basic(1).unwrap(),
+            Counters::scoped(),
+        );
+        let mut wide = StreamObserver::with_counters(
+            StreamConfig::paper_filtered(8).unwrap(),
+            Counters::scoped(),
+        );
+        let mut l2 = L2Observer::with_counters(
+            CacheConfig::new(1 << 20, 2, BlockSize::new(64).unwrap()).unwrap(),
+            None,
+            Counters::scoped(),
+        )
+        .unwrap();
+        replay(&trace, &mut [&mut narrow, &mut wide, &mut l2]);
+
+        // Each scoped set matches its own observer's statistics exactly.
+        assert_eq!(
+            narrow.counters().get(Counter::StreamAllocations),
+            narrow.stats().allocations
+        );
+        assert_eq!(
+            wide.counters().get(Counter::StreamAllocations),
+            wide.stats().allocations
+        );
+        assert_eq!(
+            wide.counters().get(Counter::UnitFilterAccepts)
+                + wide.counters().get(Counter::UnitFilterRejects),
+            wide.stats().unit_filter.lookups,
+            "filter decisions land in the owning observer's set"
+        );
+        assert_eq!(
+            l2.counters().get(Counter::L2Probes),
+            trace.events().len() as u64
+        );
+        // And the cells genuinely differ — the point of attribution.
+        assert_ne!(
+            narrow.counters().get(Counter::StreamAllocations),
+            wide.counters().get(Counter::StreamAllocations)
+        );
+        assert_eq!(narrow.counters().get(Counter::UnitFilterAccepts), 0);
+    }
+
+    #[test]
+    fn default_observers_still_replay_identically() {
+        // with_counters must not perturb simulation results.
+        let trace = trace();
+        let config = StreamConfig::paper_strided(6, 16).unwrap();
+        let mut scoped = StreamObserver::with_counters(config, streamsim_obs::Counters::scoped());
+        replay(&trace, &mut [&mut scoped]);
+        assert_eq!(scoped.stats(), run_streams(&trace, config));
     }
 }

@@ -16,7 +16,7 @@
 //! happens outside the lock, so a miss never serialises the other
 //! workers behind a multi-second L1 simulation.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -50,7 +50,7 @@ pub struct TraceStore {
 
 #[derive(Debug, Default)]
 struct Inner {
-    traces: Mutex<HashMap<String, Arc<MissTrace>>>,
+    traces: Mutex<BTreeMap<String, Arc<MissTrace>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }

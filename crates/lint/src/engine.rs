@@ -1,0 +1,153 @@
+//! Walking a workspace tree and aggregating findings.
+//!
+//! The walk is deterministic: directory entries are visited in sorted
+//! order and findings are sorted by (file, line, rule), so two runs
+//! over the same tree produce byte-identical reports — the lint holds
+//! itself to the invariant it enforces.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::config::LintConfig;
+use crate::findings::{summary_json_line, Finding, Level};
+use crate::rules::{check_manifest, check_rust_source};
+
+/// The outcome of linting a tree.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Number of files scanned (`.rs` + `Cargo.toml`).
+    pub files_scanned: usize,
+    /// Every finding, violations and recorded suppressions alike.
+    pub findings: Vec<Finding>,
+}
+
+impl Report {
+    /// Number of unsuppressed violations.
+    pub fn deny_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.level == Level::Deny)
+            .count()
+    }
+
+    /// Number of recorded suppressions.
+    pub fn allow_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.level == Level::Allow)
+            .count()
+    }
+
+    /// The report as flat JSON lines: one object per finding plus a
+    /// closing summary object.
+    pub fn json_lines(&self) -> Vec<String> {
+        let mut lines: Vec<String> = self.findings.iter().map(Finding::to_json_line).collect();
+        lines.push(summary_json_line(
+            self.files_scanned,
+            self.deny_count(),
+            self.allow_count(),
+        ));
+        lines
+    }
+}
+
+/// Directories never descended into: build output, VCS metadata, and
+/// the lint's own seeded-violation fixtures.
+fn skip_dir(name: &str) -> bool {
+    name == "target" || name == "fixtures" || name.starts_with('.')
+}
+
+/// Collects the files to lint under `root`, sorted. With
+/// `workspace = false` the `crates/` subtree is skipped — that is the
+/// root-package gate; `--workspace` covers every member crate.
+fn collect_files(root: &Path, workspace: bool) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![(root.to_path_buf(), 0usize)];
+    while let Some((dir, depth)) = stack.pop() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)?
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .collect();
+        entries.sort();
+        for path in entries {
+            let name = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default()
+                .to_owned();
+            if path.is_dir() {
+                if skip_dir(&name) || (!workspace && depth == 0 && name == "crates") {
+                    continue;
+                }
+                stack.push((path, depth + 1));
+            } else if name.ends_with(".rs") || name == "Cargo.toml" {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Lints every `.rs` and `Cargo.toml` under `root`.
+///
+/// # Errors
+///
+/// Returns the first I/O error hit while walking or reading files.
+pub fn lint_tree(root: &Path, workspace: bool, config: &LintConfig) -> io::Result<Report> {
+    let mut report = Report::default();
+    for path in collect_files(root, workspace)? {
+        let rel: String = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let source = std::fs::read_to_string(&path)?;
+        report.files_scanned += 1;
+        if rel.ends_with("Cargo.toml") {
+            report.findings.extend(check_manifest(&rel, &source));
+        } else {
+            report
+                .findings
+                .extend(check_rust_source(&rel, &source, config));
+        }
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skip_list_covers_build_output_and_fixtures() {
+        assert!(skip_dir("target"));
+        assert!(skip_dir("fixtures"));
+        assert!(skip_dir(".git"));
+        assert!(!skip_dir("src"));
+        assert!(!skip_dir("crates"));
+    }
+
+    #[test]
+    fn report_counts_split_by_level() {
+        let report = Report {
+            files_scanned: 2,
+            findings: vec![
+                Finding::deny("todo-tag", "a.rs", 1, "x"),
+                Finding::allow("no-wall-clock", "b.rs", 2, "why"),
+            ],
+        };
+        assert_eq!(report.deny_count(), 1);
+        assert_eq!(report.allow_count(), 1);
+        let lines = report.json_lines();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[2].contains("\"table\":\"summary\""), "{}", lines[2]);
+        assert!(lines[2].contains("\"files\":2"), "{}", lines[2]);
+    }
+}

@@ -1,0 +1,164 @@
+//! Lint findings and their renderings.
+//!
+//! A finding is one flat record: rule, location, level, message and (for
+//! suppressions) the annotated reason. The JSON rendering is one flat
+//! object per finding — the same shape `streamsim-report --diff` parses
+//! — so a lint run can be captured as a golden artifact and diffed like
+//! any other experiment output.
+
+use std::fmt;
+
+/// How a finding counts toward the exit code.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Level {
+    /// A rule violation: fails the run under `--deny-warnings`.
+    Deny,
+    /// A recorded `lint:allow` suppression: reported, never fatal.
+    Allow,
+}
+
+impl Level {
+    /// The stable name used in text and JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Deny => "deny",
+            Level::Allow => "allow",
+        }
+    }
+}
+
+/// One lint finding.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Finding {
+    /// The rule that produced it (kebab-case, e.g. `no-hash-collections`).
+    pub rule: &'static str,
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Violation or suppression.
+    pub level: Level,
+    /// Human-readable description.
+    pub message: String,
+    /// The justification carried by a `lint:allow` annotation; empty
+    /// for violations.
+    pub reason: String,
+}
+
+impl Finding {
+    /// A violation of `rule` at `file:line`.
+    pub fn deny(rule: &'static str, file: &str, line: u32, message: impl Into<String>) -> Self {
+        Finding {
+            rule,
+            file: file.to_owned(),
+            line,
+            level: Level::Deny,
+            message: message.into(),
+            reason: String::new(),
+        }
+    }
+
+    /// A recorded suppression of `rule` at `file:line`.
+    pub fn allow(rule: &'static str, file: &str, line: u32, reason: impl Into<String>) -> Self {
+        let reason = reason.into();
+        Finding {
+            rule,
+            file: file.to_owned(),
+            line,
+            level: Level::Allow,
+            message: format!("suppressed by lint:allow: {reason}"),
+            reason,
+        }
+    }
+
+    /// The finding as one flat JSON object (the `streamsim-report --diff`
+    /// line shape: string and integer values only, no nesting).
+    pub fn to_json_line(&self) -> String {
+        format!(
+            "{{\"artifact\":\"lint\",\"table\":\"findings\",\"rule\":{},\"level\":{},\
+             \"file\":{},\"line\":{},\"message\":{},\"reason\":{}}}",
+            json_string(self.rule),
+            json_string(self.level.name()),
+            json_string(&self.file),
+            self.line,
+            json_string(&self.message),
+            json_string(&self.reason),
+        )
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {} — {}",
+            self.file,
+            self.line,
+            self.level.name(),
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Escapes `s` as a JSON string literal, quotes included (the same
+/// escape set `streamsim-core`'s flat-JSON writer uses).
+pub fn json_string(s: &str) -> String {
+    use fmt::Write as _;
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The one-line summary object closing a JSON report: totals by level.
+pub fn summary_json_line(files: usize, deny: usize, allow: usize) -> String {
+    format!(
+        "{{\"artifact\":\"lint\",\"table\":\"summary\",\"files\":{files},\
+         \"deny\":{deny},\"allow\":{allow}}}"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_lines_are_flat_and_escaped() {
+        let f = Finding::deny("todo-tag", "src/a.rs", 3, "TODO without \"tag\"");
+        let line = f.to_json_line();
+        assert!(line.starts_with("{\"artifact\":\"lint\""), "{line}");
+        assert!(line.contains("\\\"tag\\\""), "{line}");
+        assert!(line.ends_with('}'), "{line}");
+    }
+
+    #[test]
+    fn display_names_the_rule_and_location() {
+        let f = Finding::deny("no-build-script", "crates/x/build.rs", 1, "found build.rs");
+        let text = f.to_string();
+        assert!(text.contains("crates/x/build.rs:1"), "{text}");
+        assert!(text.contains("no-build-script"), "{text}");
+    }
+
+    #[test]
+    fn allows_carry_their_reason() {
+        let f = Finding::allow("no-wall-clock", "src/bin/r.rs", 9, "stderr progress only");
+        assert_eq!(f.level, Level::Allow);
+        assert!(f
+            .to_json_line()
+            .contains("\"reason\":\"stderr progress only\""));
+    }
+}

@@ -1,0 +1,462 @@
+//! A hand-rolled Rust token scanner.
+//!
+//! The rule engine needs to tell *code* from *literals and comments*: a
+//! `HashMap` inside a string or a doc comment is not a determinism
+//! violation, and a `// SAFETY:` justification lives in a comment. A
+//! full parser would be overkill — every rule in the catalog can be
+//! phrased over a flat token stream — but the scanner must get the
+//! awkward corners of Rust's lexical grammar right: nested block
+//! comments, raw strings with arbitrary `#` fences, byte strings, and
+//! the `'a` lifetime vs `'a'` char-literal ambiguity.
+//!
+//! Tokens tile the input exactly: every byte of the source belongs to
+//! precisely one token (whitespace included), so concatenating the
+//! token texts reconstructs the file byte for byte. The lexer property
+//! suite pins this round-trip on randomly generated token streams.
+
+/// What a [`Token`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`HashMap`, `unsafe`, `fn`, ...).
+    Ident,
+    /// A lifetime (`'a`, `'static`) — *not* a char literal.
+    Lifetime,
+    /// A numeric literal (`42`, `0xff_u64`, `1.5e3`).
+    Number,
+    /// A string literal of any flavour (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// A char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// A `// …` comment (doc comments included), newline excluded.
+    LineComment,
+    /// A `/* … */` comment, nesting handled.
+    BlockComment,
+    /// A single punctuation byte (`:`, `!`, `{`, ...).
+    Punct,
+    /// A maximal run of whitespace.
+    Whitespace,
+}
+
+/// One lexed token: kind plus the byte span and line it came from.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte, inclusive.
+    pub start: usize,
+    /// Byte offset past the last byte, exclusive.
+    pub end: usize,
+    /// 1-based line number of the token's first byte.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's text within `source` (the string it was lexed from).
+    pub fn text<'s>(&self, source: &'s str) -> &'s str {
+        &source[self.start..self.end]
+    }
+}
+
+/// Lexes `source` into a token stream that tiles it exactly.
+///
+/// The scanner never fails: unterminated literals and stray bytes
+/// degrade to best-effort tokens covering the rest of the input, so a
+/// syntactically broken file still produces spans the rules can work
+/// with (rustc will reject the file anyway; the lint must not panic
+/// first).
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer {
+        src: source,
+        bytes: source.as_bytes(),
+        pos: 0,
+        line: 1,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'s> {
+    src: &'s str,
+    bytes: &'s [u8],
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+impl<'s> Lexer<'s> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let line = self.line;
+            let kind = self.next_token();
+            debug_assert!(self.pos > start, "lexer must always make progress");
+            self.tokens.push(Token {
+                kind,
+                start,
+                end: self.pos,
+                line,
+            });
+        }
+        self.tokens
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    /// The char starting at byte offset `at`, if any.
+    fn char_at(&self, at: usize) -> Option<char> {
+        self.src[at..].chars().next()
+    }
+
+    /// Advances past one byte, maintaining the line count.
+    fn bump(&mut self) {
+        if self.bytes[self.pos] == b'\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    /// Advances past the char starting at the current position.
+    fn bump_char(&mut self) {
+        let c = self.char_at(self.pos).expect("in bounds");
+        if c == '\n' {
+            self.line += 1;
+        }
+        self.pos += c.len_utf8();
+    }
+
+    fn next_token(&mut self) -> TokenKind {
+        let c = self.char_at(self.pos).expect("in bounds");
+
+        if c.is_whitespace() {
+            while self.char_at(self.pos).is_some_and(|c| c.is_whitespace()) {
+                self.bump_char();
+            }
+            return TokenKind::Whitespace;
+        }
+
+        if c == '/' {
+            match self.peek(1) {
+                Some(b'/') => return self.line_comment(),
+                Some(b'*') => return self.block_comment(),
+                _ => {}
+            }
+        }
+
+        // Raw / byte string prefixes must be checked before the generic
+        // identifier path: `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'`.
+        if c == 'r' || c == 'b' {
+            if let Some(kind) = self.try_prefixed_literal() {
+                return kind;
+            }
+        }
+
+        if is_ident_start(c) {
+            while self.char_at(self.pos).is_some_and(is_ident_continue) {
+                self.bump_char();
+            }
+            return TokenKind::Ident;
+        }
+
+        if c.is_ascii_digit() {
+            return self.number();
+        }
+
+        if c == '"' {
+            return self.string();
+        }
+
+        if c == '\'' {
+            return self.char_or_lifetime();
+        }
+
+        // Anything else is a single punctuation char.
+        self.bump_char();
+        TokenKind::Punct
+    }
+
+    fn line_comment(&mut self) -> TokenKind {
+        while self.peek(0).is_some_and(|b| b != b'\n') {
+            self.bump();
+        }
+        TokenKind::LineComment
+    }
+
+    fn block_comment(&mut self) -> TokenKind {
+        self.bump(); // /
+        self.bump(); // *
+        let mut depth = 1u32;
+        while depth > 0 && self.pos < self.bytes.len() {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                _ => self.bump(),
+            }
+        }
+        TokenKind::BlockComment
+    }
+
+    /// `r`/`b`-prefixed literals. Returns `None` when the prefix turns
+    /// out to start a plain identifier (`raw_value`, `block`, ...).
+    fn try_prefixed_literal(&mut self) -> Option<TokenKind> {
+        let mut ahead = 1; // past the r or b
+        if self.bytes[self.pos] == b'b' && self.peek(1) == Some(b'r') {
+            ahead = 2;
+        }
+        let mut fence = 0usize;
+        while self.peek(ahead + fence) == Some(b'#') {
+            fence += 1;
+        }
+        match self.peek(ahead + fence) {
+            Some(b'"') => {
+                let raw = self.bytes[self.pos + ahead - 1] == b'r';
+                // Only raw strings may carry a `#` fence.
+                if fence > 0 && !raw {
+                    return None;
+                }
+                for _ in 0..ahead + fence + 1 {
+                    self.bump();
+                }
+                if raw {
+                    self.raw_string_tail(fence);
+                } else {
+                    self.escaped_string_tail(b'"');
+                }
+                Some(TokenKind::Str)
+            }
+            Some(b'\'') if ahead == 1 && fence == 0 && self.bytes[self.pos] == b'b' => {
+                self.bump(); // b
+                self.bump(); // '
+                self.escaped_string_tail(b'\'');
+                Some(TokenKind::Char)
+            }
+            _ => None,
+        }
+    }
+
+    /// Consumes up to and including the closing `"` + `fence` hashes.
+    fn raw_string_tail(&mut self, fence: usize) {
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'"' {
+                let mut hashes = 0usize;
+                while hashes < fence && self.peek(1 + hashes) == Some(b'#') {
+                    hashes += 1;
+                }
+                if hashes == fence {
+                    for _ in 0..fence + 1 {
+                        self.bump();
+                    }
+                    return;
+                }
+            }
+            self.bump_char();
+        }
+    }
+
+    /// Consumes an escaped literal body up to and including `close`.
+    fn escaped_string_tail(&mut self, close: u8) {
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => {
+                    self.bump();
+                    if self.pos < self.bytes.len() {
+                        self.bump_char();
+                    }
+                }
+                b if b == close => {
+                    self.bump();
+                    return;
+                }
+                _ => self.bump_char(),
+            }
+        }
+    }
+
+    fn string(&mut self) -> TokenKind {
+        self.bump(); // "
+        self.escaped_string_tail(b'"');
+        TokenKind::Str
+    }
+
+    fn number(&mut self) -> TokenKind {
+        // Prefix radix forms take everything alphanumeric (0xff_u64).
+        // Decimal forms additionally take a fraction and exponent; the
+        // `.` is consumed only when a digit follows, so `0..n` lexes as
+        // number, punct, punct, ident.
+        while self.char_at(self.pos).is_some_and(is_ident_continue) {
+            self.bump_char();
+        }
+        if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|b| b.is_ascii_digit()) {
+            self.bump();
+            while self.char_at(self.pos).is_some_and(is_ident_continue) {
+                self.bump_char();
+            }
+        }
+        // Exponent sign: `1e-3` leaves the scanner after `1e`; glue the
+        // sign and digits back on.
+        if matches!(self.bytes.get(self.pos.wrapping_sub(1)), Some(b'e' | b'E'))
+            && matches!(self.peek(0), Some(b'+' | b'-'))
+            && self.peek(1).is_some_and(|b| b.is_ascii_digit())
+        {
+            self.bump();
+            while self.char_at(self.pos).is_some_and(is_ident_continue) {
+                self.bump_char();
+            }
+        }
+        TokenKind::Number
+    }
+
+    /// Disambiguates `'a'` (char), `'\n'` (char), `' '` (char) and `'a`
+    /// / `'static` (lifetimes).
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        // An escape is always a char literal.
+        if self.peek(1) == Some(b'\\') {
+            self.bump(); // '
+            self.escaped_string_tail(b'\'');
+            return TokenKind::Char;
+        }
+        // `'X'` where X is any single char (ASCII or not): char literal.
+        if let Some(c) = self.char_at(self.pos + 1) {
+            if c != '\'' && self.peek(1 + c.len_utf8()) == Some(b'\'') {
+                self.bump(); // '
+                self.bump_char(); // X
+                self.bump(); // '
+                return TokenKind::Char;
+            }
+            if is_ident_start(c) {
+                self.bump(); // '
+                while self.char_at(self.pos).is_some_and(is_ident_continue) {
+                    self.bump_char();
+                }
+                return TokenKind::Lifetime;
+            }
+        }
+        // Stray quote (`''`, `'` at EOF): degrade to punctuation.
+        self.bump();
+        TokenKind::Punct
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src)
+            .iter()
+            .filter(|t| t.kind != TokenKind::Whitespace)
+            .map(|t| (t.kind, t.text(src)))
+            .collect()
+    }
+
+    #[test]
+    fn tokens_tile_the_input() {
+        let src = "fn main() { let s = \"x\\\"y\"; /* a /* b */ c */ } // done\n";
+        let tokens = lex(src);
+        let mut rebuilt = String::new();
+        for t in &tokens {
+            rebuilt.push_str(t.text(src));
+        }
+        assert_eq!(rebuilt, src);
+    }
+
+    #[test]
+    fn keywords_in_strings_are_not_idents() {
+        let got = kinds("let s = \"HashMap unsafe\";");
+        assert!(got
+            .iter()
+            .all(|(k, text)| *k != TokenKind::Ident || !text.contains("HashMap")));
+        assert_eq!(got[3], (TokenKind::Str, "\"HashMap unsafe\""));
+    }
+
+    #[test]
+    fn raw_strings_respect_their_fence() {
+        let src = "r##\"a \"# b\"## after";
+        let got = kinds(src);
+        assert_eq!(got[0], (TokenKind::Str, "r##\"a \"# b\"##"));
+        assert_eq!(got[1], (TokenKind::Ident, "after"));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let got = kinds("b\"bytes\" b'\\n' br#\"raw\"#");
+        assert_eq!(got[0], (TokenKind::Str, "b\"bytes\""));
+        assert_eq!(got[1], (TokenKind::Char, "b'\\n'"));
+        assert_eq!(got[2], (TokenKind::Str, "br#\"raw\"#"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let got = kinds("&'a str; 'x'; '\\u{1F600}'; 'static; ' ';");
+        assert_eq!(got[1], (TokenKind::Lifetime, "'a"));
+        assert_eq!(got[4], (TokenKind::Char, "'x'"));
+        assert_eq!(got[6], (TokenKind::Char, "'\\u{1F600}'"));
+        assert_eq!(got[8], (TokenKind::Lifetime, "'static"));
+        assert_eq!(got[10], (TokenKind::Char, "' '"));
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let got = kinds("/* outer /* inner */ still */ code");
+        assert_eq!(got[0].0, TokenKind::BlockComment);
+        assert_eq!(got[1], (TokenKind::Ident, "code"));
+    }
+
+    #[test]
+    fn numbers_with_suffixes_ranges_and_exponents() {
+        let got = kinds("0xff_u64 1.5e3 1e-3 0..10 1_000");
+        assert_eq!(got[0], (TokenKind::Number, "0xff_u64"));
+        assert_eq!(got[1], (TokenKind::Number, "1.5e3"));
+        assert_eq!(got[2], (TokenKind::Number, "1e-3"));
+        assert_eq!(got[3], (TokenKind::Number, "0"));
+        assert_eq!(got[4], (TokenKind::Punct, "."));
+        assert_eq!(got[5], (TokenKind::Punct, "."));
+        assert_eq!(got[6], (TokenKind::Number, "10"));
+        assert_eq!(got[7], (TokenKind::Number, "1_000"));
+    }
+
+    #[test]
+    fn line_numbers_are_tracked() {
+        let src = "a\nb\n\nc";
+        let tokens: Vec<_> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .collect();
+        assert_eq!(tokens[0].line, 1);
+        assert_eq!(tokens[1].line, 2);
+        assert_eq!(tokens[2].line, 4);
+    }
+
+    #[test]
+    fn unterminated_literals_do_not_panic() {
+        for src in ["\"open", "r#\"open", "/* open", "'", "b'x"] {
+            let tokens = lex(src);
+            let rebuilt: String = tokens.iter().map(|t| t.text(src)).collect();
+            assert_eq!(rebuilt, src, "tiling broken for {src:?}");
+        }
+    }
+
+    #[test]
+    fn identifiers_starting_with_r_and_b_are_not_literals() {
+        let got = kinds("raw_value block br0ken r b");
+        assert!(got.iter().all(|(k, _)| *k == TokenKind::Ident));
+        assert_eq!(got.len(), 5);
+    }
+}

@@ -1,0 +1,21 @@
+//! Suppressed fixture: the same violations as the violating tree, each
+//! annotated with a reasoned suppression — the lint must report zero
+//! denies here and one allow per annotation.
+
+// lint:allow(no-hash-collections, fixture proving a suppression covers the next code line)
+use std::collections::HashMap;
+
+pub fn justified() {
+    // lint:allow(no-wall-clock, fixture suppression with a reason)
+    let t = std::time::Instant::now();
+    // lint:allow(no-env-read, fixture suppression with a reason)
+    let home = std::env::var("HOME");
+    // lint:allow(no-hash-collections, same-line annotations also count)
+    let m: HashMap<u32, u32> = HashMap::new();
+    // lint:allow(no-debug-print, fixture suppression with a reason)
+    println!("{:?} {:?} {:?}", t, home, m);
+}
+
+// lint:allow(todo-tag, fixture proving comment rules suppress too)
+// TODO this untagged marker is deliberately covered.
+pub fn tagged_enough() {}

@@ -1,0 +1,6 @@
+//! Hot-module fixture: the path matches the configured hot-loop list, so
+//! the unwrap below must trip no-unwrap-hot.
+
+pub fn hot() -> u32 {
+    "7".parse::<u32>().unwrap() // no-unwrap-hot
+}

@@ -1,0 +1,37 @@
+//! Seeded-violation fixture: each construct below must trip exactly the
+//! rule named next to it. Never compiled — the tree is excluded from the
+//! workspace and only walked by the lint's own tests.
+
+use std::collections::HashMap; // no-hash-collections
+use std::time::Instant; // no-wall-clock
+
+// TODO without a tag trips todo-tag on this fixture line.
+pub fn naughty() {
+    let mut m: HashMap<u32, u32> = HashMap::new(); // no-hash-collections (twice)
+    m.insert(1, 2);
+    let t = Instant::now(); // no-wall-clock
+    std::thread::sleep(std::time::Duration::from_millis(1)); // no-wall-clock
+    let home = std::env::var("HOME"); // no-env-read
+    println!("{:?} {:?} {:?}", m, t, home); // no-debug-print
+}
+
+pub fn external() -> &'static str {
+    include_str!("../../../outside/secret.txt") // no-external-include
+}
+
+pub fn order(flag: &std::sync::atomic::AtomicBool) {
+    flag.store(true, std::sync::atomic::Ordering::SeqCst); // ordering-seqcst
+}
+
+/// # Safety
+/// Fixture only; the missing SAFETY comment is the point.
+pub unsafe fn danger() {} // safety-comment
+
+#[cfg(test)]
+mod tests {
+    // Masked: scaffolding rules skip cfg(test) modules, so this clock
+    // read must NOT fire.
+    pub fn clock() -> std::time::Instant {
+        std::time::Instant::now()
+    }
+}

@@ -1,0 +1,174 @@
+//! Property-based tests for the lint's hand-rolled lexer, on the
+//! in-tree `streamsim-prng` quickcheck harness.
+//!
+//! The lexer's load-bearing contract is *tiling*: tokens cover the input
+//! exactly, in order, with no gaps — so concatenating token texts
+//! reconstructs the file byte-for-byte and every rule sees every byte.
+//! The second contract is classification: rule keywords inside string
+//! literals, raw strings or comments are never reported as code idents.
+
+use streamsim_lint::{check_rust_source, lex, LintConfig, TokenKind};
+use streamsim_prng::quickcheck::{check_with, Gen};
+use streamsim_prng::Rng;
+
+/// One syntactically coherent Rust fragment.
+fn fragment(g: &mut Gen) -> String {
+    let idents = [
+        "foo", "bar", "x1", "value", "config", "state", "run", "hot", "m",
+    ];
+    let keywords = ["fn", "let", "mut", "pub", "struct", "impl", "match", "mod"];
+    let puncts = [
+        "{", "}", "(", ")", "::", ";", ",", "->", "=>", "=", "+", ".", "&", "#", "[", "]",
+    ];
+    let numbers = [
+        "0", "42", "0xff_u64", "1.5e3", "1e-3", "1_000", "0b1010", "7usize",
+    ];
+    match g.gen_range(0u32..10) {
+        0 => g.pick(&idents).to_owned(),
+        1 => g.pick(&keywords).to_owned(),
+        2 => g.pick(&puncts).to_owned(),
+        3 => g.pick(&numbers).to_owned(),
+        4 => format!("\"{}\"", inner_text(g)),
+        5 => {
+            let fence = "#".repeat(g.gen_range(0usize..3));
+            format!("r{fence}\"{}\"{fence}", inner_text(g).replace('\\', ""))
+        }
+        6 => g
+            .pick(&["'a'", "'\\n'", "'\\u{1F600}'", "' '", "'a", "'static"])
+            .to_owned(),
+        7 => format!("// {}\n", inner_text(g).replace('\n', " ")),
+        8 => format!(
+            "/* {} */",
+            inner_text(g).replace("*/", "").replace("/*", "")
+        ),
+        _ => g.pick(&[" ", "\n", "\t", "\n\n", "  "]).to_owned(),
+    }
+}
+
+/// Arbitrary short text for literal/comment interiors (no unescaped
+/// terminators; escapes are exercised explicitly).
+fn inner_text(g: &mut Gen) -> String {
+    let pieces = [
+        "hello",
+        "TODO",
+        "unsafe",
+        "HashMap",
+        "Instant",
+        "SeqCst",
+        "dbg!",
+        " ",
+        "\\n",
+        "\\\\",
+        "env::var",
+        "thread::sleep",
+        "println!",
+        "x + y",
+        "0xdead",
+        "\n",
+    ];
+    let n = g.gen_range(0usize..4);
+    (0..n).map(|_| g.pick(&pieces)).collect::<Vec<_>>().concat()
+}
+
+fn assert_tiles(source: &str) {
+    let tokens = lex(source);
+    let mut at = 0usize;
+    let mut rebuilt = String::with_capacity(source.len());
+    for t in &tokens {
+        assert_eq!(
+            t.start, at,
+            "gap or overlap before token at byte {at} in {source:?}"
+        );
+        assert!(t.end >= t.start);
+        let expected_line = 1 + source[..t.start].matches('\n').count() as u32;
+        assert_eq!(
+            t.line, expected_line,
+            "line drift at byte {} in {source:?}",
+            t.start
+        );
+        rebuilt.push_str(t.text(source));
+        at = t.end;
+    }
+    assert_eq!(at, source.len(), "tokens stop early in {source:?}");
+    assert_eq!(rebuilt, source, "concatenated tokens differ from input");
+}
+
+/// Tokens tile any concatenation of valid fragments, byte-for-byte.
+#[test]
+fn token_stream_tiles_fragment_soup() {
+    check_with("token_stream_tiles_fragment_soup", 256, |g| {
+        let source: String = g.vec(0usize..40, fragment).concat();
+        assert_tiles(&source);
+    });
+}
+
+/// Tiling survives arbitrary garbage — unterminated literals, stray
+/// quotes, broken escapes. The lexer degrades, never panics or drops
+/// bytes.
+#[test]
+fn token_stream_tiles_arbitrary_text() {
+    check_with("token_stream_tiles_arbitrary_text", 256, |g| {
+        let chars = [
+            '"', '\'', '\\', 'r', '#', 'b', '/', '*', 'a', '0', ' ', '\n', '{', '}', 'é', '∀',
+        ];
+        let source: String = (0..g.gen_range(0usize..60))
+            .map(|_| g.pick(&chars))
+            .collect();
+        assert_tiles(&source);
+    });
+}
+
+/// Rule keywords wrapped in string literals or comments never surface as
+/// code idents, so no code rule can fire on them.
+#[test]
+fn keywords_inside_literals_are_never_code() {
+    check_with("keywords_inside_literals_are_never_code", 256, |g| {
+        let word = g.pick(&[
+            "HashMap",
+            "HashSet",
+            "Instant",
+            "SystemTime",
+            "SeqCst",
+            "unsafe",
+        ]);
+        // Scrub markers that may legitimately fire from a comment (the
+        // block-comment arm below) so any finding is a misclassification.
+        let padding = inner_text(g)
+            .replace(['"', '\\', '\n'], " ")
+            .replace("TODO", "later")
+            .replace("FIXME", "later");
+        let wrapped = match g.gen_range(0u32..3) {
+            0 => format!("\"{padding}{word}{padding}\""),
+            1 => format!("r#\"{padding}{word}\"#"),
+            _ => format!("/* {word} {padding} */ \"quiet\""),
+        };
+        let source = format!("pub fn f() -> &'static str {{ {wrapped} }}\n");
+        for t in lex(&source) {
+            if t.kind == TokenKind::Ident {
+                assert_ne!(t.text(&source), word, "{word} leaked out of {wrapped:?}");
+            }
+        }
+        let findings =
+            check_rust_source("crates/core/src/probe.rs", &source, &LintConfig::default());
+        assert!(
+            findings.is_empty(),
+            "literal-wrapped {word} fired: {findings:?}"
+        );
+    });
+}
+
+/// An untagged to-do marker inside a *string literal* is invisible to the
+/// comment rules (only genuine comments are scanned).
+#[test]
+fn todo_in_strings_never_trips_the_comment_rules() {
+    check_with("todo_in_strings_never_trips_the_comment_rules", 128, |g| {
+        let marker = g.pick(&["TODO", "FIXME"]);
+        let source = format!("pub const NOTE: &str = \"{marker} later\";\n");
+        let findings =
+            check_rust_source("crates/core/src/probe.rs", &source, &LintConfig::default());
+        assert!(
+            findings.is_empty(),
+            "{marker} in a string fired: {findings:?}"
+        );
+    });
+}

@@ -52,7 +52,7 @@ mod events;
 mod manifest;
 mod span;
 
-pub use counters::{count, counter, counter_snapshot, Counter, CounterSet, NUM_COUNTERS};
+pub use counters::{count, counter, counter_snapshot, Counter, CounterSet, Counters, NUM_COUNTERS};
 pub use events::{
     drain_events, emit_counter_events, emit_event, json_escape, pending_events, EventValue,
 };

@@ -55,6 +55,7 @@ pub struct CzoneFilter {
     capacity: usize,
     czone_bits: u32,
     stats: FilterStats,
+    counters: streamsim_obs::Counters,
 }
 
 impl CzoneFilter {
@@ -65,6 +66,20 @@ impl CzoneFilter {
     ///
     /// Panics if `capacity == 0` or `czone_bits` is outside `1..=62`.
     pub fn new(capacity: usize, czone_bits: u32) -> Self {
+        Self::with_counters(capacity, czone_bits, streamsim_obs::Counters::global())
+    }
+
+    /// Like [`CzoneFilter::new`], but charging transition counts to
+    /// `counters` instead of the global set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` or `czone_bits` is outside `1..=62`.
+    pub fn with_counters(
+        capacity: usize,
+        czone_bits: u32,
+        counters: streamsim_obs::Counters,
+    ) -> Self {
         assert!(capacity > 0, "filter needs at least one entry");
         assert!(
             (1..=62).contains(&czone_bits),
@@ -75,6 +90,7 @@ impl CzoneFilter {
             capacity,
             czone_bits,
             stats: FilterStats::default(),
+            counters,
         }
     }
 
@@ -99,7 +115,8 @@ impl CzoneFilter {
                 return None;
             }
             // Every arm below advances (or restarts) the partition's FSM.
-            streamsim_obs::count(streamsim_obs::Counter::CzoneTransitions, 1);
+            self.counters
+                .add(streamsim_obs::Counter::CzoneTransitions, 1);
             match entry.state {
                 FsmState::Meta1 => {
                     entry.stride = delta;
@@ -132,7 +149,8 @@ impl CzoneFilter {
                 state: FsmState::Meta1,
             });
             self.stats.insertions += 1;
-            streamsim_obs::count(streamsim_obs::Counter::CzoneTransitions, 1);
+            self.counters
+                .add(streamsim_obs::Counter::CzoneTransitions, 1);
             None
         }
     }

@@ -65,26 +65,44 @@ pub struct StreamSystem {
     min_delta: Option<MinDeltaDetector>,
     stats: StreamStats,
     finalized: bool,
+    counters: streamsim_obs::Counters,
 }
 
 impl StreamSystem {
-    /// Creates a stream system from a validated configuration.
+    /// Creates a stream system from a validated configuration, charging
+    /// internal-event counts to the global observability set.
     pub fn new(config: StreamConfig) -> Self {
+        Self::with_counters(config, streamsim_obs::Counters::global())
+    }
+
+    /// Like [`StreamSystem::new`], but charging allocation and filter
+    /// counts to `counters` — scoped handles give per-system attribution
+    /// when many systems replay one trace side by side.
+    pub fn with_counters(config: StreamConfig, counters: streamsim_obs::Counters) -> Self {
         let buffers = (0..config.num_streams())
             .map(|_| StreamBuffer::new(config.depth(), config.block()))
             .collect();
         let (unit_filter, czone, min_delta) = match config.allocation() {
             Allocation::OnMiss => (None, None, None),
-            Allocation::UnitFilter { entries } => {
-                (Some(UnitStrideFilter::new(entries)), None, None)
-            }
+            Allocation::UnitFilter { entries } => (
+                Some(UnitStrideFilter::with_counters(entries, counters.clone())),
+                None,
+                None,
+            ),
             Allocation::UnitAndStrideFilters {
                 unit_entries,
                 stride_entries,
                 czone_bits,
             } => (
-                Some(UnitStrideFilter::new(unit_entries)),
-                Some(CzoneFilter::new(stride_entries, czone_bits)),
+                Some(UnitStrideFilter::with_counters(
+                    unit_entries,
+                    counters.clone(),
+                )),
+                Some(CzoneFilter::with_counters(
+                    stride_entries,
+                    czone_bits,
+                    counters.clone(),
+                )),
                 None,
             ),
             Allocation::MinDelta {
@@ -105,7 +123,13 @@ impl StreamSystem {
             min_delta,
             stats: StreamStats::default(),
             finalized: false,
+            counters,
         }
+    }
+
+    /// The counter set this system charges (scoped or global).
+    pub fn counters(&self) -> &streamsim_obs::Counters {
+        &self.counters
     }
 
     /// The configuration this system was built from.
@@ -161,6 +185,7 @@ impl StreamSystem {
             Allocation::UnitFilter { .. } => self
                 .unit_filter
                 .as_mut()
+                // lint:allow(no-unwrap-hot, the constructor builds the filter whenever the policy names one)
                 .expect("unit filter configured")
                 .lookup(block)
                 .then_some(unit_stride),
@@ -168,6 +193,7 @@ impl StreamSystem {
                 let unit = self
                     .unit_filter
                     .as_mut()
+                    // lint:allow(no-unwrap-hot, the constructor builds the filter whenever the policy names one)
                     .expect("unit filter configured")
                     .lookup(block);
                 if unit {
@@ -177,6 +203,7 @@ impl StreamSystem {
                     // the non-unit-stride filter.
                     self.czone
                         .as_mut()
+                        // lint:allow(no-unwrap-hot, the constructor builds the czone filter whenever the policy names one)
                         .expect("czone filter configured")
                         .lookup(word)
                         .map(|stride_words| stride_words * self.config.word().bytes() as i64)
@@ -185,6 +212,7 @@ impl StreamSystem {
             Allocation::MinDelta { .. } => self
                 .min_delta
                 .as_mut()
+                // lint:allow(no-unwrap-hot, the constructor builds the detector whenever the policy names one)
                 .expect("min-delta detector configured")
                 .lookup(word)
                 .map(|stride_words| stride_words * self.config.word().bytes() as i64),
@@ -210,12 +238,14 @@ impl StreamSystem {
             .enumerate()
             .min_by_key(|(_, b)| (b.is_active(), b.lru_stamp()))
             .map(|(i, _)| i)
+            // lint:allow(no-unwrap-hot, StreamConfig validates buffer count >= 1 so the iterator is never empty)
             .expect("at least one stream buffer");
         let clock = self.clock;
         let fx = self.buffers[idx].allocate(addr, stride_bytes, clock);
         self.buffers[idx].touch(clock);
         self.stats.allocations += 1;
-        streamsim_obs::count(streamsim_obs::Counter::StreamAllocations, 1);
+        self.counters
+            .add(streamsim_obs::Counter::StreamAllocations, 1);
         self.stats.prefetches_flushed += fx.flushed;
         self.stats.prefetches_issued += fx.issued;
         self.stats.lengths.record_run(fx.previous_run);

@@ -37,15 +37,22 @@ pub(crate) struct UnitStrideFilter {
     entries: VecDeque<BlockAddr>,
     capacity: usize,
     stats: FilterStats,
+    counters: streamsim_obs::Counters,
 }
 
 impl UnitStrideFilter {
+    #[cfg(test)]
     pub(crate) fn new(capacity: usize) -> Self {
+        Self::with_counters(capacity, streamsim_obs::Counters::global())
+    }
+
+    pub(crate) fn with_counters(capacity: usize, counters: streamsim_obs::Counters) -> Self {
         assert!(capacity > 0, "filter needs at least one entry");
         UnitStrideFilter {
             entries: VecDeque::with_capacity(capacity),
             capacity,
             stats: FilterStats::default(),
+            counters,
         }
     }
 
@@ -58,7 +65,8 @@ impl UnitStrideFilter {
         if let Some(pos) = self.entries.iter().position(|&b| b == block) {
             self.entries.remove(pos);
             self.stats.allocations += 1;
-            streamsim_obs::count(streamsim_obs::Counter::UnitFilterAccepts, 1);
+            self.counters
+                .add(streamsim_obs::Counter::UnitFilterAccepts, 1);
             return true;
         }
         if self.entries.len() == self.capacity {
@@ -67,7 +75,8 @@ impl UnitStrideFilter {
         }
         self.entries.push_back(block.next());
         self.stats.insertions += 1;
-        streamsim_obs::count(streamsim_obs::Counter::UnitFilterRejects, 1);
+        self.counters
+            .add(streamsim_obs::Counter::UnitFilterRejects, 1);
         false
     }
 

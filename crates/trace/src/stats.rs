@@ -8,7 +8,7 @@
 //! (e.g. `fftpde` is dominated by large power-of-two strides, `adm` by
 //! irregular gathers).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::{Access, AccessKind, Addr, BlockSize};
@@ -21,7 +21,7 @@ use crate::{Access, AccessKind, Addr, BlockSize};
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct StrideHistogram {
     /// Exact stride counts, capped to the most common strides.
-    counts: HashMap<i64, u64>,
+    counts: BTreeMap<i64, u64>,
     /// Total strides observed.
     total: u64,
 }
@@ -90,8 +90,8 @@ impl StrideHistogram {
     }
 
     /// Fraction of strides falling in each class, keyed by class.
-    pub fn class_fractions(&self, block: BlockSize) -> HashMap<StrideClass, f64> {
-        let mut fractions = HashMap::new();
+    pub fn class_fractions(&self, block: BlockSize) -> BTreeMap<StrideClass, f64> {
+        let mut fractions = BTreeMap::new();
         if self.total == 0 {
             return fractions;
         }

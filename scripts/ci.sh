@@ -40,6 +40,25 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "==> cargo test -q --offline ${test_scope[*]:-}"
 cargo test -q --offline "${test_scope[@]}"
 
+# Static analysis: the workspace's determinism/hermeticity/safety
+# invariants, enforced by the in-tree lint (see DESIGN.md, "Static
+# analysis"). Both scopes must be clean — zero unsuppressed findings;
+# suppressions are fine, they are reasoned and reported. The seeded
+# fixture tree then proves the gate has teeth: a run over known
+# violations must exit nonzero, else the lint rotted into a yes-man.
+echo "==> cargo build --release --offline -p streamsim-lint"
+cargo build --release --offline -p streamsim-lint
+echo "==> streamsim-lint --deny-warnings (root package)"
+./target/release/streamsim-lint --deny-warnings
+echo "==> streamsim-lint --deny-warnings --workspace"
+./target/release/streamsim-lint --deny-warnings --workspace
+echo "==> streamsim-lint fixture smoke (must fail on seeded violations)"
+if ./target/release/streamsim-lint --deny-warnings --workspace --quiet \
+    --root crates/lint/tests/fixtures/violating; then
+    echo "error: lint passed the seeded-violation fixture tree" >&2
+    exit 1
+fi
+
 # Observability smoke: one quick experiment with spans, counters and
 # the event log fully enabled (STREAMSIM_LOG=debug + --profile). The
 # JSON artifact must open with the run manifest, carry the per-phase

@@ -42,9 +42,10 @@
 //! `--profile` raises `off` to `info`. At `debug` with `--json FILE`,
 //! span and counter events stream to `FILE.events.jsonl`.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use std::io::Write;
 use std::process::ExitCode;
+// lint:allow(no-wall-clock, per-artifact runtimes printed to stderr are operator feedback and never enter an artifact)
 use std::time::Instant;
 
 use streamsim::experiments::{self, ExperimentOptions, Scale, ARTIFACT_NAMES};
@@ -154,7 +155,7 @@ fn diff_reports(path_a: &str, path_b: &str) -> Result<Vec<DriftRecord>, String> 
     let read = |path: &str| -> Result<Vec<Row>, String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         let mut rows = Vec::new();
-        let mut occurrences: HashMap<String, usize> = HashMap::new();
+        let mut occurrences: BTreeMap<String, usize> = BTreeMap::new();
         for (i, line) in text.lines().enumerate() {
             if line.trim().is_empty() {
                 continue;
@@ -189,11 +190,11 @@ fn diff_reports(path_a: &str, path_b: &str) -> Result<Vec<DriftRecord>, String> 
         }
     };
 
-    let index_b: HashMap<(&str, usize), &Vec<(String, JsonValue)>> = b
+    let index_b: BTreeMap<(&str, usize), &Vec<(String, JsonValue)>> = b
         .iter()
         .map(|(key, occ, fields)| ((key.as_str(), *occ), fields))
         .collect();
-    let mut matched: HashMap<(&str, usize), bool> = HashMap::new();
+    let mut matched: BTreeMap<(&str, usize), bool> = BTreeMap::new();
 
     for (key, occ, fa) in &a {
         let row = label(key, *occ);
@@ -497,6 +498,7 @@ fn main() -> ExitCode {
         Ok(())
     };
     for name in &selected {
+        // lint:allow(no-wall-clock, progress timing for the operator; the measured value goes to stderr and the text report footer only)
         let start = Instant::now();
         let artifact = {
             // Span "report": drivers' record/replay phases nest under it

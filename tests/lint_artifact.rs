@@ -1,0 +1,83 @@
+//! The lint's JSON report must be a well-formed flat-JSONL artifact:
+//! every line parses with the same reader `streamsim-report --diff`
+//! uses, carries the `artifact`/`table` discriminators, and the
+//! workspace itself lints clean (zero unsuppressed findings, every
+//! suppression reasoned) — the acceptance gate, held as a test.
+
+use streamsim::{parse_flat_json_line, JsonValue};
+use streamsim_lint::{lint_tree, Level, LintConfig};
+
+fn text(fields: &[(String, JsonValue)], key: &str) -> Option<String> {
+    fields.iter().find_map(|(k, v)| match v {
+        JsonValue::Text(s) if k == key => Some(s.clone()),
+        _ => None,
+    })
+}
+
+#[test]
+fn lint_json_report_parses_as_a_flat_artifact() {
+    let report = lint_tree(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")),
+        true,
+        &LintConfig::default(),
+    )
+    .expect("lint walk");
+    let lines = report.json_lines();
+    assert!(!lines.is_empty());
+    for line in &lines {
+        let fields = parse_flat_json_line(line).unwrap_or_else(|e| panic!("{e}: {line}"));
+        assert_eq!(text(&fields, "artifact").as_deref(), Some("lint"), "{line}");
+        let table = text(&fields, "table").expect("table column");
+        match table.as_str() {
+            "findings" => {
+                for key in ["rule", "level", "file", "message", "reason"] {
+                    assert!(text(&fields, key).is_some(), "missing {key}: {line}");
+                }
+                assert!(
+                    fields
+                        .iter()
+                        .any(|(k, v)| k == "line" && matches!(v, JsonValue::Num(_))),
+                    "line must be numeric: {line}"
+                );
+            }
+            "summary" => {
+                for key in ["files", "deny", "allow"] {
+                    assert!(
+                        fields
+                            .iter()
+                            .any(|(k, v)| k == key && matches!(v, JsonValue::Num(_))),
+                        "missing numeric {key}: {line}"
+                    );
+                }
+            }
+            other => panic!("unexpected table '{other}': {line}"),
+        }
+    }
+}
+
+#[test]
+fn workspace_lints_clean_with_reasoned_suppressions() {
+    let report = lint_tree(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")),
+        true,
+        &LintConfig::default(),
+    )
+    .expect("lint walk");
+    let denies: Vec<String> = report
+        .findings
+        .iter()
+        .filter(|f| f.level == Level::Deny)
+        .map(|f| f.to_string())
+        .collect();
+    assert!(
+        denies.is_empty(),
+        "unsuppressed violations:\n{}",
+        denies.join("\n")
+    );
+    for f in &report.findings {
+        assert!(
+            !f.reason.trim().is_empty(),
+            "suppression without a reason: {f}"
+        );
+    }
+}
