@@ -33,6 +33,7 @@ pub fn options_from_env() -> ExperimentOptions {
         scale,
         sampling,
         store: Default::default(),
+        executor: Default::default(),
     }
 }
 

@@ -1,5 +1,7 @@
 //! The generic set-associative cache simulator.
 
+// lint:hot-module — the per-access lookup below is the simulation's inner loop
+
 use streamsim_prng::{Rng, Xoshiro256StarStar};
 
 use streamsim_trace::{AccessKind, Addr, BlockAddr};

@@ -122,7 +122,7 @@ impl MissObserver for PartitionedObserver {
 /// Runs the ablation suite.
 pub fn run(options: &ExperimentOptions) -> Ablations {
     let workloads = ablation_workloads(options);
-    let traces: Vec<(String, Arc<MissTrace>)> = crate::parallel_map(workloads, |w| {
+    let traces: Vec<(String, Arc<MissTrace>)> = options.parallel_map(workloads, |w| {
         (w.name().to_owned(), trace_of(w.as_ref(), options))
     });
 
@@ -218,7 +218,7 @@ pub fn run(options: &ExperimentOptions) -> Ablations {
     // LRU and tree-PLRU primaries and compare stream hit rates. The
     // store keys on the full RecordOptions, so each policy gets its own
     // cached trace.
-    let l1_replacement = crate::parallel_map(ablation_workloads(options), |w| {
+    let l1_replacement = options.parallel_map(ablation_workloads(options), |w| {
         let base = options.record_options();
         let rates = [
             Replacement::Random { seed: 0x5eed },
@@ -253,7 +253,7 @@ pub fn run(options: &ExperimentOptions) -> Ablations {
     // Victim buffer: Jouppi's original front end — a direct-mapped data
     // cache with a 16-entry victim cache, backed by ten stream buffers
     // that see only the misses the victim buffer could not recover.
-    let victim = crate::parallel_map(ablation_workloads(options), |w| {
+    let victim = options.parallel_map(ablation_workloads(options), |w| {
         let l1_bytes = match options.scale {
             crate::experiments::Scale::Paper => 64 << 10,
             crate::experiments::Scale::Quick => 16 << 10,

@@ -70,7 +70,7 @@ fn configs() -> Vec<StreamConfig> {
 /// Runs the experiment. The whole lineage replays over each benchmark's
 /// trace in a single pass.
 pub fn run(options: &ExperimentOptions) -> Baselines {
-    let rows = crate::parallel_map(miss_traces(options), |(name, trace)| Row {
+    let rows = options.parallel_map(miss_traces(options), |(name, trace)| Row {
         name,
         stats: replay_streams(&trace, &configs()),
     });

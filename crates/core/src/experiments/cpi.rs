@@ -29,7 +29,7 @@ use streamsim_trace::BlockSize;
 
 use crate::experiments::{workload_set, ExperimentOptions};
 use crate::sink::{col, Artifact, ArtifactSink, Cell};
-use crate::{parallel_map, run_streams, MissTrace};
+use crate::{run_streams, MissTrace};
 
 /// The assumed memory-system timing, in processor cycles.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -162,7 +162,7 @@ pub fn run(options: &ExperimentOptions) -> Cpi {
 pub fn run_with_timing(options: &ExperimentOptions, timing: Timing) -> Cpi {
     let record = options.record_options();
     let opts = options.clone();
-    let rows = parallel_map(workload_set(options.scale), move |w| {
+    let rows = options.parallel_map(workload_set(options.scale), move |w| {
         let trace = opts.store.record(w.as_ref(), &record).expect("valid L1");
         measure(w.name().to_owned(), &trace, w.as_ref(), &opts, timing)
     });

@@ -58,7 +58,7 @@ pub fn run(options: &ExperimentOptions) -> Fig3 {
         .map(|&n| StreamConfig::paper_basic(n).expect("stream counts are positive"))
         .collect();
     let traces = miss_traces(options);
-    let rows = crate::parallel_map(traces, move |(name, trace)| {
+    let rows = options.parallel_map(traces, move |(name, trace)| {
         let hit_rates = replay_streams(&trace, &configs)
             .iter()
             .map(|s| s.hit_rate())

@@ -65,7 +65,7 @@ pub fn run(options: &ExperimentOptions) -> Fig9 {
         .into_iter()
         .filter(|(name, _)| FIG9_BENCHMARKS.contains(&name.as_str()))
         .collect();
-    let rows = crate::parallel_map(traces, move |(name, trace)| {
+    let rows = options.parallel_map(traces, move |(name, trace)| {
         let hit_rates = replay_streams(&trace, &configs)
             .iter()
             .map(|s| s.hit_rate())

@@ -47,7 +47,7 @@ use std::sync::Arc;
 use streamsim_workloads::{all_benchmarks, kernels, Workload};
 
 use crate::sink::Artifact;
-use crate::{MissTrace, RecordOptions, TraceStore};
+use crate::{ExecutorHandle, MissTrace, RecordOptions, TraceStore};
 
 /// Every experiment driver's artifact name, in report order.
 pub const ARTIFACT_NAMES: [&str; 16] = [
@@ -124,6 +124,13 @@ pub struct ExperimentOptions {
     pub sampling: Option<(u64, u64)>,
     /// The shared store of recorded miss traces.
     pub store: TraceStore,
+    /// The executor every concurrent fan-out in this run goes through —
+    /// trace-store prefills and the drivers' (cell × config) sweeps
+    /// alike. Defaults to the production thread pool; DST tests swap in
+    /// a seeded [`streamsim_dst::SimExecutor`] via
+    /// [`ExperimentOptions::with_executor`] so a whole experiment runs
+    /// under one reproducible interleaving.
+    pub executor: ExecutorHandle,
 }
 
 impl ExperimentOptions {
@@ -141,6 +148,27 @@ impl ExperimentOptions {
             scale,
             ..ExperimentOptions::default()
         }
+    }
+
+    /// These options with a different executor (keeping store, scale
+    /// and sampling).
+    pub fn with_executor(mut self, executor: ExecutorHandle) -> Self {
+        self.executor = executor;
+        self
+    }
+
+    /// [`parallel_map`](crate::parallel_map) over this run's executor.
+    ///
+    /// Drivers route every fan-out through here instead of the free
+    /// function, so one `ExperimentOptions` value pins the scheduling
+    /// of an entire experiment.
+    pub fn parallel_map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        self.executor.parallel_map(items, f)
     }
 
     /// The [`RecordOptions`] (L1 geometry + sampling) these experiment
@@ -325,7 +353,11 @@ pub fn miss_traces(options: &ExperimentOptions) -> Vec<(String, Arc<MissTrace>)>
     let workloads = workload_set(options.scale);
     let traces = options
         .store
-        .prefill(&workloads, &options.record_options())
+        .prefill_on(
+            &workloads,
+            &options.record_options(),
+            options.executor.executor(),
+        )
         .expect("paper L1 configuration is valid");
     workloads
         .iter()

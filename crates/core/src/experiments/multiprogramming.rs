@@ -68,7 +68,7 @@ pub fn run(options: &ExperimentOptions) -> Multiprogramming {
     let store = options.store.clone();
     let scale = options.scale;
     let config = StreamConfig::paper_filtered(10).expect("valid");
-    let rows = crate::parallel_map(PAIRS.to_vec(), move |(a, b)| {
+    let rows = options.parallel_map(PAIRS.to_vec(), move |(a, b)| {
         let wa = find(scale, a);
         let wb = find(scale, b);
 

@@ -9,7 +9,7 @@ use std::fmt;
 
 use crate::experiments::{workload_set, ExperimentOptions};
 use crate::sink::{col, Artifact, ArtifactSink, Cell};
-use crate::{paper, parallel_map, L1Summary};
+use crate::{paper, L1Summary};
 
 /// One benchmark's measured characteristics.
 #[derive(Clone, Debug)]
@@ -35,7 +35,7 @@ pub struct Table1 {
 pub fn run(options: &ExperimentOptions) -> Table1 {
     let record = options.record_options();
     let store = options.store.clone();
-    let rows = parallel_map(workload_set(options.scale), move |w| {
+    let rows = options.parallel_map(workload_set(options.scale), move |w| {
         let trace = store
             .record(w.as_ref(), &record)
             .expect("paper L1 configuration is valid");

@@ -23,7 +23,7 @@ use streamsim_streams::StreamConfig;
 use crate::experiments::{table4_pairs, ExperimentOptions};
 use crate::report::size;
 use crate::sink::{col, Artifact, ArtifactSink, Cell};
-use crate::{paper, parallel_map, replay, L2Observer, MissObserver, StreamObserver};
+use crate::{paper, replay, L2Observer, MissObserver, StreamObserver};
 
 /// The L2 capacities swept, smallest to largest.
 pub const L2_SIZES: [u64; 7] = [
@@ -139,7 +139,7 @@ pub fn run(options: &ExperimentOptions) -> Table4 {
         cells.push((name, true, large));
     }
     let opts = options.clone();
-    let rows = parallel_map(cells, move |(name, large, workload)| {
+    let rows = options.parallel_map(cells, move |(name, large, workload)| {
         measure(name, large, workload.as_ref(), &opts)
     });
     Table4 { rows }

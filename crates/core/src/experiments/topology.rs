@@ -136,7 +136,7 @@ fn measure(name: String, trace: &MissTrace, timing: Timing) -> Row {
 /// Runs the comparison with [`Timing::default`].
 pub fn run(options: &ExperimentOptions) -> Topology {
     let timing = Timing::default();
-    let rows = crate::parallel_map(miss_traces(options), move |(name, trace)| {
+    let rows = options.parallel_map(miss_traces(options), move |(name, trace)| {
         measure(name, &trace, timing)
     });
     Topology { rows, timing }

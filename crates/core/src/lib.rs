@@ -60,11 +60,13 @@ mod trace_store;
 
 pub use miss_trace::{record_miss_trace, run_l2, run_streams, MissEvent, MissTrace, RecordOptions};
 pub use profile::ProfileArtifact;
-pub use replay::{replay, replay_l2, replay_streams, L2Observer, MissObserver, StreamObserver};
-pub use runner::{parallel_map, parallel_map_with_threads};
+pub use replay::{
+    replay, replay_chunked, replay_l2, replay_streams, L2Observer, MissObserver, StreamObserver,
+};
+pub use runner::{parallel_map, parallel_map_on, parallel_map_with_threads, ExecutorHandle};
 pub use sink::{
     parse_flat_json_line, render_json_lines, render_text, Artifact, ArtifactSink, Cell,
-    JsonLinesSink, JsonValue, MultiSink, TextSink, Value,
+    GuardedSink, JsonLinesSink, JsonValue, MultiSink, TextSink, Value,
 };
 pub use system::{L1Summary, MemorySystem, MemorySystemBuilder, SimReport, StreamTopology};
 pub use trace_store::TraceStore;

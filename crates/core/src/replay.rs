@@ -15,6 +15,8 @@
 //! cache sees only the stream-miss residual) implement [`MissObserver`]
 //! themselves and join the same pass.
 
+// lint:hot-module — the replay loop touches every recorded miss event per observer
+
 use streamsim_cache::{CacheConfig, CacheConfigError, CacheStats, SetAssocCache, SetSampling};
 use streamsim_streams::{StreamConfig, StreamStats, StreamSystem};
 use streamsim_trace::{AccessKind, Addr};
@@ -57,6 +59,46 @@ pub fn replay(trace: &MissTrace, observers: &mut [&mut dyn MissObserver]) {
             MissEvent::Writeback { base } => {
                 for o in observers.iter_mut() {
                     o.on_writeback(base);
+                }
+            }
+        }
+    }
+    for o in observers.iter_mut() {
+        o.finish();
+    }
+}
+
+/// [`replay`] with batched delivery: the event vector is walked in
+/// chunks of `chunk_len` events, and within each chunk every observer
+/// consumes the whole batch before the next observer runs.
+///
+/// Because observers are independent, this is behaviour-preserving for
+/// any chunk length — `tests/replay_properties.rs` sweeps boundaries to
+/// pin exactly that. It exists as the groundwork for the replay-loop
+/// batching rewrite (ROADMAP): per-chunk delivery keeps one observer's
+/// state hot in cache across a run of events instead of touching every
+/// observer per event. A `chunk_len` of `0` delivers the whole trace as
+/// one chunk.
+pub fn replay_chunked(
+    trace: &MissTrace,
+    observers: &mut [&mut dyn MissObserver],
+    chunk_len: usize,
+) {
+    let mut span = streamsim_obs::span("replay");
+    let events = trace.events().len() as u64;
+    streamsim_obs::count(streamsim_obs::Counter::ReplayMissEvents, events);
+    span.items(events * observers.len() as u64);
+    let chunk_len = if chunk_len == 0 {
+        trace.events().len().max(1)
+    } else {
+        chunk_len
+    };
+    for chunk in trace.events().chunks(chunk_len) {
+        for o in observers.iter_mut() {
+            for event in chunk {
+                match *event {
+                    MissEvent::Fetch { addr, kind } => o.on_fetch(addr, kind),
+                    MissEvent::Writeback { base } => o.on_writeback(base),
                 }
             }
         }
@@ -304,6 +346,33 @@ mod tests {
     #[test]
     fn empty_observer_list_is_fine() {
         replay(&trace(), &mut []);
+        replay_chunked(&trace(), &mut [], 7);
+    }
+
+    /// Chunked delivery matches per-event delivery for assorted chunk
+    /// lengths (the full boundary sweep is a property test in
+    /// `tests/replay_properties.rs`).
+    #[test]
+    fn chunked_replay_matches_per_event_replay() {
+        let trace = trace();
+        let config = StreamConfig::paper_filtered(4).unwrap();
+        let l2_cfg = CacheConfig::new(1 << 20, 2, BlockSize::new(64).unwrap()).unwrap();
+        let reference = {
+            let mut streams = StreamObserver::new(config);
+            let mut l2 = L2Observer::new(l2_cfg, None).unwrap();
+            replay(&trace, &mut [&mut streams, &mut l2]);
+            (streams.stats(), l2.stats())
+        };
+        for chunk_len in [0, 1, 7, 1024, trace.events().len() + 3] {
+            let mut streams = StreamObserver::new(config);
+            let mut l2 = L2Observer::new(l2_cfg, None).unwrap();
+            replay_chunked(&trace, &mut [&mut streams, &mut l2], chunk_len);
+            assert_eq!(
+                (streams.stats(), l2.stats()),
+                reference,
+                "diverged at chunk_len {chunk_len}"
+            );
+        }
     }
 
     #[test]

@@ -4,12 +4,23 @@
 //! [`parallel_map`] spreads them over the machine's cores with plain
 //! scoped threads. Results come back in input order, so experiment output
 //! is deterministic regardless of scheduling.
+//!
+//! The work-queue protocol itself is generic over the
+//! [`Executor`](streamsim_dst::Executor) seam: [`parallel_map_on`] runs
+//! the same queue/abort/panic-parking protocol on any executor, so the
+//! production thread pool and the deterministic-simulation scheduler
+//! ([`streamsim_dst::SimExecutor`]) exercise identical code. Tests
+//! sweep seeds through the simulated executor to explore interleavings
+//! real threads may never produce.
 
 use std::any::Any;
+use std::fmt;
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+
+use streamsim_dst::{Executor, StepOutcome, ThreadExecutor};
 
 /// Applies `f` to every item, using up to `available_parallelism` worker
 /// threads, and returns the results in input order.
@@ -45,66 +56,178 @@ where
     if threads <= 1 || items.len() <= 1 {
         return items.into_iter().map(f).collect();
     }
+    parallel_map_on(&ThreadExecutor::new(threads), items, f)
+}
 
-    // One shared queue of (index, item); each worker drains it into a
-    // private (index, result) list, and the lists are merged and sorted
-    // back into input order at the end.
-    //
-    // Panic safety: a panic in `f` must reach the caller with its
-    // original payload. Workers run `f` under `catch_unwind`; the first
-    // payload is parked aside and re-thrown after the scope joins, and
-    // the abort flag stops the other workers from draining doomed work.
-    // Locks recover poisoned state with `into_inner` — an `expect` here
-    // would panic *during* the cleanup and mask the payload the caller
-    // actually needs to see.
+/// The work-queue protocol, generic over who schedules the workers.
+///
+/// One shared queue of (index, item); each worker drains it into a
+/// private (index, result) list, and the lists are merged and sorted
+/// back into input order at the end. The executor decides *when* each
+/// worker runs; the protocol is expressed as a step function with a
+/// yield point between claiming an item, computing it and publishing
+/// the result, so a simulated scheduler can interleave workers at every
+/// boundary that matters.
+///
+/// Panic safety (pinned by the tests below and swept across seeds in
+/// `tests/dst_engine.rs`): a panic in `f` must reach the caller with
+/// its original payload. Workers run `f` under `catch_unwind`; the
+/// first payload is parked aside and re-thrown after the executor
+/// returns, and the abort flag stops the other workers from draining
+/// doomed work. Locks recover poisoned state with `into_inner` — an
+/// `expect` here would panic *during* the cleanup and mask the payload
+/// the caller actually needs to see.
+pub fn parallel_map_on<T, R, F>(exec: &dyn Executor, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    struct WorkerState<T, R> {
+        /// Item claimed from the queue, not yet computed.
+        pending: Option<(usize, T)>,
+        /// Result computed, not yet published.
+        staged: Option<(usize, R)>,
+        /// Published results.
+        done: Vec<(usize, R)>,
+    }
+
+    let workers = exec.workers().max(1).min(items.len().max(1));
     let queue = Mutex::new(items.into_iter().enumerate());
     let aborted = AtomicBool::new(false);
     let panic_payload: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
-    let mut indexed: Vec<(usize, R)> = std::thread::scope(|scope| {
-        let workers: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut done = Vec::new();
-                    loop {
-                        if aborted.load(Ordering::Relaxed) {
-                            break done;
-                        }
-                        let next = queue.lock().unwrap_or_else(|e| e.into_inner()).next();
-                        match next {
-                            Some((i, item)) => match catch_unwind(AssertUnwindSafe(|| f(item))) {
-                                Ok(r) => done.push((i, r)),
-                                Err(payload) => {
-                                    aborted.store(true, Ordering::Relaxed);
-                                    panic_payload
-                                        .lock()
-                                        .unwrap_or_else(|e| e.into_inner())
-                                        .get_or_insert(payload);
-                                    break done;
-                                }
-                            },
-                            None => break done,
-                        }
-                    }
-                })
+    let states: Vec<Mutex<WorkerState<T, R>>> = (0..workers)
+        .map(|_| {
+            Mutex::new(WorkerState {
+                pending: None,
+                staged: None,
+                done: Vec::new(),
             })
-            .collect();
-        workers
-            .into_iter()
-            .flat_map(|w| {
-                // `f` panics are caught above; this backstop covers a
-                // panic outside `f` (e.g. allocation failure).
-                w.join().unwrap_or_else(|panic| resume_unwind(panic))
-            })
-            .collect()
-    });
+        })
+        .collect();
+
+    let step = |w: usize| -> StepOutcome {
+        let mut state = states[w].lock().unwrap_or_else(|e| e.into_inner());
+        // Publish phase: a computed result becomes visible.
+        if let Some(result) = state.staged.take() {
+            state.done.push(result);
+            return StepOutcome::Progress;
+        }
+        // Work phase: compute the claimed item.
+        if let Some((i, item)) = state.pending.take() {
+            return match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                Ok(r) => {
+                    state.staged = Some((i, r));
+                    StepOutcome::Progress
+                }
+                Err(payload) => {
+                    aborted.store(true, Ordering::Relaxed);
+                    panic_payload
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .get_or_insert(payload);
+                    StepOutcome::Done
+                }
+            };
+        }
+        // Poll phase: observe the abort flag or claim the next item.
+        if aborted.load(Ordering::Relaxed) {
+            return StepOutcome::Done;
+        }
+        match queue.lock().unwrap_or_else(|e| e.into_inner()).next() {
+            Some(claimed) => {
+                state.pending = Some(claimed);
+                StepOutcome::Progress
+            }
+            None => StepOutcome::Done,
+        }
+    };
+    exec.drive(workers, &step);
+
     if let Some(payload) = panic_payload
         .into_inner()
         .unwrap_or_else(|e| e.into_inner())
     {
         resume_unwind(payload);
     }
+    let mut indexed: Vec<(usize, R)> = states
+        .into_iter()
+        .flat_map(|m| {
+            let state = m.into_inner().unwrap_or_else(|e| e.into_inner());
+            debug_assert!(
+                state.pending.is_none() && state.staged.is_none(),
+                "a worker retired with in-flight work on the success path"
+            );
+            state.done
+        })
+        .collect();
     indexed.sort_unstable_by_key(|&(i, _)| i);
     indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// A cheap-clone, shareable executor for [`ExperimentOptions`]
+/// (`Arc<dyn Executor>` inside).
+///
+/// The default is the production thread pool sized to the machine; DST
+/// tests swap in a seeded [`streamsim_dst::SimExecutor`] to drive a
+/// whole experiment — prefill, replay fan-out, everything that goes
+/// through the options — under one reproducible schedule.
+///
+/// [`ExperimentOptions`]: crate::experiments::ExperimentOptions
+#[derive(Clone)]
+pub struct ExecutorHandle {
+    exec: Arc<dyn Executor + Send + Sync>,
+}
+
+impl ExecutorHandle {
+    /// Wraps an executor for sharing.
+    pub fn new(exec: impl Executor + Send + Sync + 'static) -> Self {
+        ExecutorHandle {
+            exec: Arc::new(exec),
+        }
+    }
+
+    /// Wraps an already-shared executor. Use this to keep a handle on a
+    /// [`streamsim_dst::SimExecutor`] so its recorded schedule can be
+    /// inspected after the run.
+    pub fn from_arc(exec: Arc<dyn Executor + Send + Sync>) -> Self {
+        ExecutorHandle { exec }
+    }
+
+    /// The production pool with an explicit thread count.
+    pub fn threads(threads: usize) -> Self {
+        ExecutorHandle::new(ThreadExecutor::new(threads))
+    }
+
+    /// The wrapped executor.
+    pub fn executor(&self) -> &(dyn Executor + Send + Sync) {
+        self.exec.as_ref()
+    }
+
+    /// [`parallel_map_on`] over this handle's executor.
+    pub fn parallel_map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        parallel_map_on(self.exec.as_ref(), items, f)
+    }
+}
+
+impl Default for ExecutorHandle {
+    /// The production pool sized by `available_parallelism`.
+    fn default() -> Self {
+        ExecutorHandle::new(ThreadExecutor::auto())
+    }
+}
+
+impl fmt::Debug for ExecutorHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExecutorHandle")
+            .field("workers", &self.exec.workers())
+            .finish()
+    }
 }
 
 #[cfg(test)]
@@ -210,6 +333,44 @@ mod tests {
         });
         let msg_owner = result.expect_err("the panic must propagate");
         assert!(payload_message(msg_owner.as_ref()).contains("solo boom"));
+    }
+
+    /// The DST scheduler runs the same protocol: results match the
+    /// serial reference under arbitrary seeded interleavings. The full
+    /// seed sweep lives in `tests/dst_engine.rs`; this is the in-crate
+    /// smoke.
+    #[test]
+    fn sim_executor_matches_serial_results() {
+        use streamsim_dst::SimExecutor;
+        let serial: Vec<i32> = (0..40).map(|i| i * 3).collect();
+        for seed in 0..8 {
+            let exec = SimExecutor::new(seed, 4);
+            let got = parallel_map_on(&exec, (0..40).collect(), |i: i32| i * 3);
+            assert_eq!(got, serial, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn sim_executor_panic_propagates_the_original_payload() {
+        let exec = streamsim_dst::SimExecutor::new(3, 3);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            parallel_map_on(&exec, (0..16).collect(), |i: i32| {
+                if i == 5 {
+                    panic!("sim boom on {i}");
+                }
+                i
+            })
+        }));
+        let payload = result.expect_err("the panic must propagate");
+        assert!(payload_message(payload.as_ref()).contains("sim boom on 5"));
+    }
+
+    #[test]
+    fn executor_handle_default_runs_and_is_debuggable() {
+        let handle = ExecutorHandle::default();
+        assert!(format!("{handle:?}").contains("workers"));
+        let out = handle.parallel_map((0..10).collect(), |i: i32| i + 1);
+        assert_eq!(out, (1..11).collect::<Vec<_>>());
     }
 
     /// After a worker panics, the abort flag stops the other workers

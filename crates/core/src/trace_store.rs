@@ -114,13 +114,35 @@ impl TraceStore {
         workloads: &[Box<dyn Workload>],
         options: &RecordOptions,
     ) -> Result<Vec<Arc<MissTrace>>, CacheConfigError> {
+        self.prefill_on(workloads, options, &streamsim_dst::ThreadExecutor::auto())
+    }
+
+    /// [`TraceStore::prefill`] on an explicit executor.
+    ///
+    /// This is the DST seam: tests hand in a seeded
+    /// [`streamsim_dst::SimExecutor`] so the concurrent recording of
+    /// cold cells — including a panic injected mid-`prefill` — replays
+    /// under one reproducible interleaving. Production callers go
+    /// through [`TraceStore::prefill`], which supplies the real thread
+    /// pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CacheConfigError`] (in workload order) if
+    /// `options` holds an invalid cache configuration.
+    pub fn prefill_on(
+        &self,
+        workloads: &[Box<dyn Workload>],
+        options: &RecordOptions,
+        exec: &dyn streamsim_dst::Executor,
+    ) -> Result<Vec<Arc<MissTrace>>, CacheConfigError> {
         streamsim_obs::count(
             streamsim_obs::Counter::TraceStorePrefills,
             workloads.len() as u64,
         );
         let refs: Vec<&dyn Workload> = workloads.iter().map(Box::as_ref).collect();
         let _span = streamsim_obs::span("prefill");
-        crate::parallel_map(refs, |w: &dyn Workload| self.record(w, options))
+        crate::parallel_map_on(exec, refs, |w: &dyn Workload| self.record(w, options))
             .into_iter()
             .collect()
     }

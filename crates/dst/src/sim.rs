@@ -1,0 +1,256 @@
+//! The DST virtual scheduler.
+//!
+//! [`SimExecutor`] drives the work-queue protocol on *one* OS thread,
+//! interleaving the simulated workers' steps in an order drawn from the
+//! in-tree xoshiro generator. Because every scheduling decision comes
+//! from a seeded PRNG — and the protocol's step granularity puts a
+//! yield point between claiming an item, computing it and publishing
+//! the result — a seed reproduces an entire concurrent execution
+//! exactly: the same workers claim the same items in the same order and
+//! abort at the same step. The chosen order is recorded and exposed via
+//! [`SimExecutor::schedule`], which is how tests assert "same
+//! interleaving" rather than merely "same answer".
+
+use std::sync::Mutex;
+
+use streamsim_prng::{Rng, SplitMix64, Xoshiro256StarStar};
+
+use crate::executor::{Executor, StepOutcome};
+use crate::fault::{FaultContext, FaultPlan};
+
+/// Separator pushed into the recorded schedule between two `drive`
+/// calls on the same executor (drivers run several `parallel_map`
+/// fan-outs per experiment).
+pub const DRIVE_BOUNDARY: u32 = u32::MAX;
+
+/// A seeded single-threaded scheduler over a pool of simulated workers.
+#[derive(Debug)]
+pub struct SimExecutor {
+    seed: u64,
+    workers: usize,
+    plan: FaultPlan,
+    context: FaultContext,
+    drives: Mutex<u64>,
+    schedule: Mutex<Vec<u32>>,
+}
+
+impl SimExecutor {
+    /// A fault-free scheduler with `workers` simulated workers.
+    pub fn new(seed: u64, workers: usize) -> Self {
+        SimExecutor::with_plan(seed, workers, FaultPlan::none())
+    }
+
+    /// A scheduler that also interprets `plan`'s scheduling faults and
+    /// serves its payload faults through [`SimExecutor::context`].
+    pub fn with_plan(seed: u64, workers: usize, plan: FaultPlan) -> Self {
+        SimExecutor {
+            seed,
+            workers: workers.max(1),
+            context: FaultContext::new(plan.clone()),
+            plan,
+            drives: Mutex::new(0),
+            schedule: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Expands a whole run configuration from one seed: a worker count
+    /// in `2..=5` and a [`FaultPlan::random`] sized for `items` input
+    /// items. This is the sweep harness's constructor — the printed
+    /// `STREAMSIM_DST_SEED` rebuilds schedule and faults alike.
+    pub fn from_seed(seed: u64, items: usize) -> Self {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(SplitMix64::new(seed).next());
+        let workers = rng.gen_range(2usize..=5);
+        let plan = FaultPlan::random(&mut rng, items, workers);
+        SimExecutor::with_plan(seed, workers, plan)
+    }
+
+    /// The seed every scheduling decision derives from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The fault plan this scheduler interprets.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The payload-fault handle for the code under test (panic and
+    /// sink-write faults).
+    pub fn context(&self) -> FaultContext {
+        self.context.clone()
+    }
+
+    /// The worker-step order chosen so far, with [`DRIVE_BOUNDARY`]
+    /// separating successive `drive` calls. Two runs from the same seed
+    /// over the same work produce identical schedules — byte-for-byte.
+    pub fn schedule(&self) -> Vec<u32> {
+        self.schedule
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Picks the next worker to step among the still-live ones,
+    /// honoring `starve:`/`slow:` faults.
+    fn choose(&self, rng: &mut Xoshiro256StarStar, live: &[bool]) -> usize {
+        if let Some(hog) = self.plan.starving_worker() {
+            if live.get(hog).copied().unwrap_or(false) {
+                return hog;
+            }
+        }
+        let runnable: Vec<usize> = (0..live.len()).filter(|&w| live[w]).collect();
+        let eager: Vec<usize> = runnable
+            .iter()
+            .copied()
+            .filter(|&w| !self.plan.slow_workers().any(|s| s == w))
+            .collect();
+        // A slow worker runs only when nothing else can (it still must
+        // run eventually or its claimed item would be lost).
+        let pool = if eager.is_empty() { &runnable } else { &eager };
+        *rng.choose(pool).expect("at least one live worker")
+    }
+}
+
+impl Executor for SimExecutor {
+    fn workers(&self) -> usize {
+        self.workers
+    }
+
+    fn drive(&self, workers: usize, step: &(dyn Fn(usize) -> StepOutcome + Sync)) {
+        if workers == 0 {
+            return;
+        }
+        // Each drive call on this executor gets its own derived stream
+        // so successive fan-outs in one experiment see fresh (but still
+        // seed-determined) interleavings.
+        let drive_index = {
+            let mut drives = self.drives.lock().unwrap_or_else(|e| e.into_inner());
+            let i = *drives;
+            *drives += 1;
+            i
+        };
+        let mut rng = Xoshiro256StarStar::seed_from_u64(
+            SplitMix64::new(self.seed.wrapping_add(drive_index)).next(),
+        );
+        let mut live = vec![true; workers];
+        let mut remaining = workers;
+        let mut trace = Vec::with_capacity(workers * 4);
+        while remaining > 0 {
+            let w = self.choose(&mut rng, &live);
+            trace.push(w as u32);
+            if step(w) == StepOutcome::Done {
+                live[w] = false;
+                remaining -= 1;
+            }
+        }
+        let mut schedule = self.schedule.lock().unwrap_or_else(|e| e.into_inner());
+        if !schedule.is_empty() {
+            schedule.push(DRIVE_BOUNDARY);
+        }
+        schedule.extend(trace);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// A step function that gives each worker a fixed budget of
+    /// Progress steps, checking the executor contract along the way.
+    fn budgeted(budgets: Vec<usize>) -> (Vec<AtomicUsize>, impl Fn(usize) -> StepOutcome) {
+        let counts: Vec<AtomicUsize> = budgets.iter().map(|_| AtomicUsize::new(0)).collect();
+        let shadow: Vec<AtomicUsize> = counts.iter().map(|_| AtomicUsize::new(0)).collect();
+        let step = move |w: usize| {
+            let stepped = shadow[w].fetch_add(1, Ordering::Relaxed);
+            assert!(stepped <= budgets[w], "worker {w} stepped after Done");
+            if stepped == budgets[w] {
+                StepOutcome::Done
+            } else {
+                StepOutcome::Progress
+            }
+        };
+        (counts, step)
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let run = || {
+            let exec = SimExecutor::new(0xD57, 4);
+            let (_, step) = budgeted(vec![3, 1, 4, 2]);
+            exec.drive(exec.workers(), &step);
+            exec.schedule()
+        };
+        let first = run();
+        assert_eq!(first, run());
+        // Sanity: the schedule interleaves (not a single worker's run),
+        // and every worker appears.
+        for w in 0..4u32 {
+            assert!(first.contains(&w), "worker {w} never scheduled");
+        }
+    }
+
+    #[test]
+    fn different_seeds_explore_different_interleavings() {
+        let run = |seed| {
+            let exec = SimExecutor::new(seed, 3);
+            let (_, step) = budgeted(vec![5, 5, 5]);
+            exec.drive(exec.workers(), &step);
+            exec.schedule()
+        };
+        let baseline = run(1);
+        assert!(
+            (2..40).any(|seed| run(seed) != baseline),
+            "39 seeds all produced one interleaving"
+        );
+    }
+
+    #[test]
+    fn starvation_hogs_the_scheduler() {
+        let exec = SimExecutor::with_plan(9, 3, FaultPlan::parse("starve:1").unwrap());
+        let (_, step) = budgeted(vec![2, 6, 2]);
+        exec.drive(exec.workers(), &step);
+        let schedule = exec.schedule();
+        // Worker 1 must occupy a full prefix (its budget + its Done step).
+        assert_eq!(&schedule[..7], &[1u32; 7], "schedule: {schedule:?}");
+    }
+
+    #[test]
+    fn slow_worker_runs_only_when_alone() {
+        let exec = SimExecutor::with_plan(11, 2, FaultPlan::parse("slow:1").unwrap());
+        let (_, step) = budgeted(vec![3, 3]);
+        exec.drive(exec.workers(), &step);
+        let schedule = exec.schedule();
+        // With worker 0 live, worker 1 is never chosen: all of 0's
+        // steps come first, then all of 1's.
+        assert_eq!(schedule, vec![0, 0, 0, 0, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn successive_drives_are_separated_and_derived() {
+        let exec = SimExecutor::new(21, 2);
+        for _ in 0..2 {
+            let (_, step) = budgeted(vec![2, 2]);
+            exec.drive(exec.workers(), &step);
+        }
+        let schedule = exec.schedule();
+        let boundaries = schedule.iter().filter(|&&w| w == DRIVE_BOUNDARY).count();
+        assert_eq!(boundaries, 1, "schedule: {schedule:?}");
+    }
+
+    #[test]
+    fn from_seed_is_reproducible_and_bounded() {
+        for seed in 0..64u64 {
+            let a = SimExecutor::from_seed(seed, 16);
+            let b = SimExecutor::from_seed(seed, 16);
+            assert_eq!(a.workers(), b.workers());
+            assert_eq!(a.plan(), b.plan());
+            assert!((2..=5).contains(&a.workers()));
+        }
+    }
+
+    #[test]
+    fn workers_clamp_to_one() {
+        assert_eq!(SimExecutor::new(0, 0).workers(), 1);
+    }
+}

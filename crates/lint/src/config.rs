@@ -12,6 +12,13 @@
 //! defaults, which is exactly the point: a seeded violation must fire
 //! under the production policy.
 
+/// The comment marker that declares a file a hot-loop module. Written
+/// as a line comment in the module itself (`// lint:hot-module — why`),
+/// so the hot list lives next to the hot loops instead of in a
+/// hand-maintained table here; [`crate::engine::lint_tree`] scans for
+/// it and applies `no-unwrap-hot` to every marked file.
+pub const HOT_MODULE_MARKER: &str = "lint:hot-module";
+
 /// Path-based applicability policy for the rule catalog.
 #[derive(Clone, Debug)]
 pub struct LintConfig {
@@ -21,12 +28,16 @@ pub struct LintConfig {
     pub wall_clock_sanctioned: Vec<String>,
     /// Prefixes (or exact files) sanctioned to read the environment:
     /// the config entry points (`STREAMSIM_LOG`, `STREAMSIM_QC_*`,
-    /// `STREAMSIM_BENCH_*` / `STREAMSIM_SCALE`).
+    /// `STREAMSIM_DST_*`, `STREAMSIM_BENCH_*` / `STREAMSIM_SCALE`).
     pub env_read_sanctioned: Vec<String>,
     /// Prefixes where `println!`/`print!` output is the product
     /// (binaries, examples, the bench harness's reports).
     pub print_sanctioned: Vec<String>,
-    /// Hot-loop modules where `.unwrap()`/`.expect(` need justification.
+    /// Hot-loop modules where `.unwrap()`/`.expect(` need
+    /// justification. Empty by default: the list is derived from the
+    /// [`HOT_MODULE_MARKER`] comments the tree itself carries (see
+    /// [`crate::engine::scan_hot_modules`]); entries added here apply
+    /// on top of the scan.
     pub hot_modules: Vec<String>,
 }
 
@@ -37,6 +48,7 @@ impl Default for LintConfig {
             env_read_sanctioned: vec![
                 "crates/obs/src/lib.rs".into(),
                 "crates/prng/src/quickcheck.rs".into(),
+                "crates/dst/src/sweep.rs".into(),
                 "crates/bench/".into(),
             ],
             print_sanctioned: vec![
@@ -45,11 +57,7 @@ impl Default for LintConfig {
                 "crates/bench/".into(),
                 "crates/lint/src/main.rs".into(),
             ],
-            hot_modules: vec![
-                "crates/cache/src/cache.rs".into(),
-                "crates/streams/src/system.rs".into(),
-                "crates/core/src/replay.rs".into(),
-            ],
+            hot_modules: Vec::new(),
         }
     }
 }
@@ -94,6 +102,24 @@ impl LintConfig {
     pub fn is_hot_module(&self, path: &str) -> bool {
         self.hot_modules.iter().any(|m| path == m.as_str())
     }
+
+    /// Whether `source` carries a [`HOT_MODULE_MARKER`] comment: a line
+    /// comment (`//` or `//!`) whose first word is the marker. Matching
+    /// on comment structure rather than the bare substring keeps this
+    /// module — which spells the marker out in a string literal — off
+    /// the hot list.
+    pub fn marks_hot_module(source: &str) -> bool {
+        source.lines().any(|line| {
+            let trimmed = line.trim_start();
+            let comment = trimmed
+                .strip_prefix("//!")
+                .or_else(|| trimmed.strip_prefix("//"));
+            matches!(
+                comment.map(str::trim_start),
+                Some(rest) if rest.split_whitespace().next() == Some(HOT_MODULE_MARKER)
+            )
+        })
+    }
 }
 
 #[cfg(test)]
@@ -111,6 +137,7 @@ mod tests {
         assert!(!c.env_read_applies("crates/obs/src/lib.rs"));
         assert!(c.env_read_applies("crates/obs/src/span.rs"));
         assert!(!c.env_read_applies("crates/prng/src/quickcheck.rs"));
+        assert!(!c.env_read_applies("crates/dst/src/sweep.rs"));
 
         assert!(!c.print_applies("src/bin/streamsim-report.rs"));
         assert!(c.print_applies("crates/core/src/replay.rs"));
@@ -118,8 +145,32 @@ mod tests {
         assert!(c.hash_applies("src/bin/streamsim-report.rs"));
         assert!(!c.hash_applies("examples/quickstart.rs"));
 
-        assert!(c.is_hot_module("crates/cache/src/cache.rs"));
-        assert!(!c.is_hot_module("crates/cache/src/stats.rs"));
+        // Hot modules come from the marker scan, not a built-in table.
+        assert!(c.hot_modules.is_empty());
+        let scanned = LintConfig {
+            hot_modules: vec!["crates/cache/src/cache.rs".into()],
+            ..LintConfig::default()
+        };
+        assert!(scanned.is_hot_module("crates/cache/src/cache.rs"));
+        assert!(!scanned.is_hot_module("crates/cache/src/stats.rs"));
+    }
+
+    #[test]
+    fn hot_module_marker_matches_comments_not_string_literals() {
+        assert!(LintConfig::marks_hot_module(
+            "// lint:hot-module — replay inner loop\npub fn f() {}\n"
+        ));
+        assert!(LintConfig::marks_hot_module("//! lint:hot-module\n"));
+        assert!(LintConfig::marks_hot_module("    // lint:hot-module\n"));
+        // The marker inside code or string literals does not mark.
+        assert!(!LintConfig::marks_hot_module(
+            "pub const M: &str = \"lint:hot-module\";\n"
+        ));
+        // Nor does a comment that merely mentions it mid-sentence.
+        assert!(!LintConfig::marks_hot_module(
+            "// see the lint:hot-module marker in cache.rs\n"
+        ));
+        assert!(!LintConfig::marks_hot_module("// lint:hot-modules\n"));
     }
 
     #[test]

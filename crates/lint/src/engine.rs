@@ -19,6 +19,11 @@ pub struct Report {
     pub files_scanned: usize,
     /// Every finding, violations and recorded suppressions alike.
     pub findings: Vec<Finding>,
+    /// The hot-loop modules in effect for this run: the caller's
+    /// configured entries plus every file carrying the
+    /// [`crate::config::HOT_MODULE_MARKER`] comment, sorted and
+    /// deduplicated.
+    pub hot_modules: Vec<String>,
 }
 
 impl Report {
@@ -90,29 +95,76 @@ fn collect_files(root: &Path, workspace: bool) -> io::Result<Vec<PathBuf>> {
     Ok(files)
 }
 
+/// Reads the lintable files under `root` as `(workspace-relative path,
+/// source)` pairs, sorted by path.
+fn read_files(root: &Path, workspace: bool) -> io::Result<Vec<(String, String)>> {
+    collect_files(root, workspace)?
+        .into_iter()
+        .map(|path| {
+            let rel: String = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            let source = std::fs::read_to_string(&path)?;
+            Ok((rel, source))
+        })
+        .collect()
+}
+
+/// The hot-loop modules under `root`: every `.rs` file carrying the
+/// [`crate::config::HOT_MODULE_MARKER`] comment, as sorted
+/// workspace-relative paths. This is how the hot list stays honest —
+/// the marker lives in the hot module itself, and [`lint_tree`] derives
+/// the list from the tree it is linting instead of a hand-maintained
+/// table.
+///
+/// # Errors
+///
+/// Returns the first I/O error hit while walking or reading files.
+pub fn scan_hot_modules(root: &Path, workspace: bool) -> io::Result<Vec<String>> {
+    Ok(read_files(root, workspace)?
+        .into_iter()
+        .filter(|(rel, source)| rel.ends_with(".rs") && LintConfig::marks_hot_module(source))
+        .map(|(rel, _)| rel)
+        .collect())
+}
+
 /// Lints every `.rs` and `Cargo.toml` under `root`.
+///
+/// The effective hot-module list is the caller's `config.hot_modules`
+/// plus the tree's own [`crate::config::HOT_MODULE_MARKER`] carriers
+/// (see [`scan_hot_modules`]); the result is recorded on the report.
 ///
 /// # Errors
 ///
 /// Returns the first I/O error hit while walking or reading files.
 pub fn lint_tree(root: &Path, workspace: bool, config: &LintConfig) -> io::Result<Report> {
-    let mut report = Report::default();
-    for path in collect_files(root, workspace)? {
-        let rel: String = path
-            .strip_prefix(root)
-            .unwrap_or(&path)
-            .components()
-            .map(|c| c.as_os_str().to_string_lossy())
-            .collect::<Vec<_>>()
-            .join("/");
-        let source = std::fs::read_to_string(&path)?;
+    let files = read_files(root, workspace)?;
+    let mut effective = config.clone();
+    effective.hot_modules.extend(
+        files
+            .iter()
+            .filter(|(rel, source)| rel.ends_with(".rs") && LintConfig::marks_hot_module(source))
+            .map(|(rel, _)| rel.clone()),
+    );
+    effective.hot_modules.sort();
+    effective.hot_modules.dedup();
+
+    let mut report = Report {
+        hot_modules: effective.hot_modules.clone(),
+        ..Report::default()
+    };
+    for (rel, source) in &files {
         report.files_scanned += 1;
         if rel.ends_with("Cargo.toml") {
-            report.findings.extend(check_manifest(&rel, &source));
+            report.findings.extend(check_manifest(rel, source));
         } else {
             report
                 .findings
-                .extend(check_rust_source(&rel, &source, config));
+                .extend(check_rust_source(rel, source, &effective));
         }
     }
     report
@@ -142,6 +194,7 @@ mod tests {
                 Finding::deny("todo-tag", "a.rs", 1, "x"),
                 Finding::allow("no-wall-clock", "b.rs", 2, "why"),
             ],
+            hot_modules: Vec::new(),
         };
         assert_eq!(report.deny_count(), 1);
         assert_eq!(report.allow_count(), 1);

@@ -41,8 +41,8 @@ pub mod findings;
 pub mod lexer;
 pub mod rules;
 
-pub use config::LintConfig;
-pub use engine::{lint_tree, Report};
+pub use config::{LintConfig, HOT_MODULE_MARKER};
+pub use engine::{lint_tree, scan_hot_modules, Report};
 pub use findings::{Finding, Level};
 pub use lexer::{lex, Token, TokenKind};
 pub use rules::{check_manifest, check_rust_source, RULES};

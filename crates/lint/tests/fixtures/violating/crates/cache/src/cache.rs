@@ -1,5 +1,7 @@
-//! Hot-module fixture: the path matches the configured hot-loop list, so
-//! the unwrap below must trip no-unwrap-hot.
+//! Hot-module fixture: the marker below puts this file on the scanned
+//! hot-loop list, so the unwrap must trip no-unwrap-hot.
+
+// lint:hot-module
 
 pub fn hot() -> u32 {
     "7".parse::<u32>().unwrap() // no-unwrap-hot

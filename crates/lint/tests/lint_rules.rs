@@ -122,16 +122,56 @@ fn ordering_seqcst_fires_and_suppresses() {
 #[test]
 fn no_unwrap_hot_fires_only_in_hot_modules() {
     let source = "pub fn f(o: Option<u8>) -> u8 { o.unwrap() }\n";
+    let hot = LintConfig {
+        hot_modules: vec!["crates/cache/src/cache.rs".into()],
+        ..LintConfig::default()
+    };
+    let denies_with = |path: &str, src: &str| -> Vec<String> {
+        check_rust_source(path, src, &hot)
+            .into_iter()
+            .filter(|f| f.level == Level::Deny)
+            .map(|f| f.rule.to_owned())
+            .collect()
+    };
     assert_eq!(
-        denies_at("crates/cache/src/cache.rs", source),
-        vec!["no-unwrap-hot".to_owned()]
-    );
-    assert_eq!(
-        denies_at("crates/streams/src/system.rs", source),
+        denies_with("crates/cache/src/cache.rs", source),
         vec!["no-unwrap-hot".to_owned()]
     );
     // The same code outside the hot list is quiet.
-    assert!(denies_at("crates/core/src/probe.rs", source).is_empty());
+    assert!(denies_with("crates/core/src/probe.rs", source).is_empty());
+
+    // A marker comment in the source puts a file on the hot list at
+    // whatever path — that is how the scan-derived list works.
+    let marked = format!("// lint:hot-module — fixture\n{source}");
+    assert_eq!(
+        denies_at("crates/core/src/probe.rs", &marked),
+        Vec::<String>::new(),
+        "check_rust_source alone does not scan markers; the engine does"
+    );
+}
+
+/// The hot-module list is derived from `lint:hot-module` markers in the
+/// actual crate tree — this pins the scan against the workspace so a
+/// marker added or dropped anywhere shows up here.
+#[test]
+fn hot_module_scan_matches_the_crate_tree() {
+    let workspace_root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let scanned = streamsim_lint::scan_hot_modules(&workspace_root, true).unwrap();
+    assert_eq!(
+        scanned,
+        vec![
+            "crates/cache/src/cache.rs".to_owned(),
+            "crates/core/src/replay.rs".to_owned(),
+            "crates/streams/src/system.rs".to_owned(),
+        ],
+        "hot-module markers moved; update this pin alongside the markers"
+    );
+    // lint_tree applies the same scan and records it on the report.
+    let report = lint_tree(&workspace_root, true, &config()).unwrap();
+    assert_eq!(report.hot_modules, scanned);
 }
 
 #[test]

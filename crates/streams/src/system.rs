@@ -1,5 +1,7 @@
 //! The multi-way stream buffer system (§3).
 
+// lint:hot-module — every L1 miss funnels through this module
+
 use streamsim_trace::{Addr, BlockAddr};
 
 use crate::buffer::StreamBuffer;

@@ -81,6 +81,19 @@ for f in "$obs_dir/run.jsonl" "$obs_dir/run.jsonl.events.jsonl"; do
     ./target/release/streamsim-report --diff "$f" "$f"
 done
 
+# Deterministic-simulation smoke: the full seed sweeps already ran as
+# part of `cargo test` above; this re-runs the DST engine suite in
+# single-seed replay mode twice. The pinned seed proves the
+# STREAMSIM_DST_SEED replay path stays wired end to end; the fresh
+# random seed gives every CI run one interleaving nobody has seen
+# before, and logging it makes a red run reproducible from the
+# transcript (see EXPERIMENTS.md, "Replaying a DST failure").
+echo "==> DST replay smoke (pinned seed)"
+STREAMSIM_DST_SEED=0xd575eed cargo test -q --offline --test dst_engine
+dst_seed=$(od -An -N8 -tu8 /dev/urandom | tr -d ' ')
+echo "==> DST replay smoke (fresh seed: STREAMSIM_DST_SEED=$dst_seed)"
+STREAMSIM_DST_SEED=$dst_seed cargo test -q --offline --test dst_engine
+
 # Perf smoke: the recording bench asserts the chunked/SoA hot loop is
 # byte-identical to the pre-PR reference implementation, then times
 # both. The enforce floor is deliberately far below the recorded

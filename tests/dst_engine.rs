@@ -1,0 +1,378 @@
+//! Deterministic simulation testing of the concurrent engine.
+//!
+//! Every test here sweeps seeds through [`streamsim_dst::SimExecutor`],
+//! driving the real work-queue protocol (`parallel_map_on`, trace-store
+//! prefill, artifact-sink flushing) under randomized but
+//! seed-reproducible interleavings with seed-derived fault plans. A
+//! failing sweep prints `STREAMSIM_DST_SEED=<n>`; re-running the same
+//! test with that variable set replays the identical schedule and
+//! faults — see EXPERIMENTS.md, "Replaying a DST failure".
+//!
+//! The invariants swept are the panic-safety contract the engine has
+//! promised since the observability PR: the original panic payload is
+//! never masked, the abort flag stops new work from being claimed, and
+//! results/artifacts are byte-identical regardless of interleaving.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use streamsim_core::experiments::ExperimentOptions;
+use streamsim_core::sink::col;
+use streamsim_core::{
+    parallel_map_on, render_json_lines, run_streams, Artifact, ArtifactSink, Cell, ExecutorHandle,
+    GuardedSink, JsonLinesSink, RecordOptions, TraceStore,
+};
+use streamsim_dst::{
+    sweep_with, Executor, Fault, FaultContext, FaultPlan, SimExecutor, ThreadExecutor,
+};
+use streamsim_prng::{Rng, SplitMix64, Xoshiro256StarStar};
+use streamsim_streams::StreamConfig;
+use streamsim_trace::Access;
+use streamsim_workloads::{generators::RandomGather, Suite, Workload};
+
+/// A cheap pure cell: the work every sweep maps over when the point is
+/// the scheduling, not the simulation.
+fn mix(i: u64) -> u64 {
+    SplitMix64::new(i).next()
+}
+
+/// Fault-free interleavings return byte-identical results, and one seed
+/// reproduces the exact schedule the scheduler chose.
+#[test]
+fn seeded_interleavings_match_serial_results() {
+    let items: Vec<u64> = (0..25).collect();
+    let reference: Vec<u64> = items.iter().map(|&i| mix(i)).collect();
+    sweep_with("interleavings_match_serial", 300, |seed| {
+        let workers = 2 + (seed % 5) as usize;
+        let exec = SimExecutor::new(seed, workers);
+        assert_eq!(parallel_map_on(&exec, items.clone(), mix), reference);
+
+        let again = SimExecutor::new(seed, workers);
+        assert_eq!(parallel_map_on(&again, items.clone(), mix), reference);
+        assert_eq!(
+            exec.schedule(),
+            again.schedule(),
+            "one seed must reproduce one schedule"
+        );
+    });
+}
+
+/// Seed-derived fault plans: an injected worker panic always reaches
+/// the caller with its original payload (never a poisoned-lock message)
+/// and the abort flag keeps other workers from claiming new items —
+/// at most their already-claimed in-flight item completes.
+#[test]
+fn injected_panics_propagate_unmasked_and_abort_work() {
+    const ITEMS: usize = 24;
+    let reference: Vec<usize> = (0..ITEMS).map(|i| i * 3).collect();
+    sweep_with("panic_payload_never_masked", 300, |seed| {
+        let exec = SimExecutor::from_seed(seed, ITEMS);
+        let ctx = exec.context();
+        let panic_items: Vec<usize> = exec
+            .plan()
+            .faults()
+            .iter()
+            .filter_map(|f| match f {
+                Fault::PanicOnItem { item } => Some(*item),
+                _ => None,
+            })
+            .collect();
+        let panicked = AtomicBool::new(false);
+        let after_panic = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            parallel_map_on(&exec, (0..ITEMS).collect::<Vec<usize>>(), |i| {
+                if panicked.load(Ordering::Relaxed) {
+                    after_panic.fetch_add(1, Ordering::Relaxed);
+                }
+                if ctx.panics_on(i) {
+                    panicked.store(true, Ordering::Relaxed);
+                }
+                ctx.maybe_panic(i);
+                i * 3
+            })
+        }));
+        match result {
+            Ok(out) => {
+                assert!(
+                    panic_items.is_empty(),
+                    "plan {} armed a panic that never fired",
+                    exec.plan()
+                );
+                assert_eq!(out, reference);
+            }
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .expect("injected panics carry a String payload");
+                assert!(
+                    panic_items
+                        .iter()
+                        .any(|k| msg == &format!("dst: injected panic at item {k}")),
+                    "masked payload under plan {}: {msg}",
+                    exec.plan()
+                );
+                // Abort honored: after the panic step, only items that
+                // were already claimed (at most one per other worker)
+                // may still run the closure.
+                let late = after_panic.load(Ordering::Relaxed);
+                assert!(
+                    late < exec.workers(),
+                    "{late} items ran after the abort with {} workers (plan {})",
+                    exec.workers(),
+                    exec.plan()
+                );
+            }
+        }
+    });
+}
+
+/// One seed determines the entire run — schedule, faults and outcome —
+/// so running it twice is byte-for-byte the same, success or failure.
+#[test]
+fn a_seed_reproduces_schedule_and_outcome_exactly() {
+    const ITEMS: usize = 18;
+    sweep_with("seed_reproduces_run", 150, |seed| {
+        let run = || {
+            let exec = SimExecutor::from_seed(seed, ITEMS);
+            let ctx = exec.context();
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                parallel_map_on(&exec, (0..ITEMS).collect::<Vec<usize>>(), |i| {
+                    ctx.maybe_panic(i);
+                    i as u64 * 7
+                })
+            }));
+            let outcome = result.map_err(|p| p.downcast_ref::<String>().cloned());
+            (exec.schedule(), outcome)
+        };
+        assert_eq!(run(), run(), "replay diverged");
+    });
+}
+
+/// A workload whose trace generation consults the fault context: the
+/// vehicle for injecting a panic *inside* a `TraceStore::prefill`.
+#[derive(Debug)]
+struct FaultyWorkload {
+    inner: Box<dyn Workload>,
+    index: usize,
+    ctx: FaultContext,
+}
+
+impl Workload for FaultyWorkload {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn suite(&self) -> Suite {
+        self.inner.suite()
+    }
+
+    fn description(&self) -> &str {
+        self.inner.description()
+    }
+
+    fn data_set_bytes(&self) -> u64 {
+        self.inner.data_set_bytes()
+    }
+
+    fn generate(&self, sink: &mut dyn FnMut(Access)) {
+        self.ctx.maybe_panic(self.index);
+        self.inner.generate(sink);
+    }
+
+    fn fingerprint(&self) -> String {
+        format!("faulty#{}|{}", self.index, self.inner.fingerprint())
+    }
+}
+
+fn small_gather(seed: u64) -> RandomGather {
+    RandomGather {
+        footprint: 1 << 14,
+        count: 1_500,
+        seed,
+    }
+}
+
+/// The acceptance criterion: a seeded DST run that injects a worker
+/// panic mid-`prefill` reproduces the identical failure — same
+/// interleaving, same store state, same payload — when re-run with the
+/// same seed (which is exactly what `STREAMSIM_DST_SEED` replays).
+#[test]
+fn a_panic_mid_prefill_replays_identically() {
+    const CELLS: usize = 8;
+    sweep_with("prefill_panic_replay", 12, |seed| {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let workers = rng.gen_range(2usize..=4);
+        let victim = rng.gen_range(0..CELLS);
+        let plan = FaultPlan::new(vec![Fault::PanicOnItem { item: victim }]);
+        let run = || {
+            let exec = SimExecutor::with_plan(seed, workers, plan.clone());
+            let ctx = exec.context();
+            let workloads: Vec<Box<dyn Workload>> = (0..CELLS)
+                .map(|i| {
+                    Box::new(FaultyWorkload {
+                        inner: Box::new(small_gather(i as u64)),
+                        index: i,
+                        ctx: ctx.clone(),
+                    }) as Box<dyn Workload>
+                })
+                .collect();
+            let store = TraceStore::new();
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                store.prefill_on(&workloads, &RecordOptions::default(), &exec)
+            }));
+            let payload = result
+                .expect_err("the injected mid-prefill panic must propagate")
+                .downcast_ref::<String>()
+                .cloned();
+            (
+                exec.schedule(),
+                payload,
+                store.len(),
+                store.misses(),
+                store.hits(),
+            )
+        };
+        let first = run();
+        assert_eq!(
+            first.1.as_deref(),
+            Some(format!("dst: injected panic at item {victim}").as_str()),
+            "masked payload"
+        );
+        assert_eq!(
+            first,
+            run(),
+            "mid-prefill failure did not replay identically"
+        );
+    });
+}
+
+/// A minimal driver-shaped artifact: per-cell stream hit rates over
+/// prefetched traces, rendered as JSON lines.
+struct MiniArtifact {
+    rows: Vec<(String, u64, f64)>,
+}
+
+impl Artifact for MiniArtifact {
+    fn artifact(&self) -> &'static str {
+        "dst_mini"
+    }
+
+    fn emit(&self, sink: &mut dyn ArtifactSink) {
+        sink.begin_table(
+            self.artifact(),
+            "hit_rate",
+            "DST mini driver",
+            &[
+                col("cell", "cell"),
+                col("fetches", "fetches"),
+                col("hit %", "hit_pct"),
+            ],
+        );
+        for (cell, fetches, rate) in &self.rows {
+            sink.row(&[
+                Cell::text(cell),
+                Cell::int(*fetches as i64, fetches.to_string()),
+                Cell::num(*rate, format!("{rate:.1}")),
+            ]);
+        }
+    }
+}
+
+/// An end-to-end record→replay→render pipeline produces byte-identical
+/// artifact lines (and identical trace-store provenance) whatever the
+/// interleaving — the property every table and figure in the repo
+/// relies on.
+#[test]
+fn artifacts_are_byte_identical_across_interleavings() {
+    let workloads = || -> Vec<Box<dyn Workload>> {
+        (0..6)
+            .map(|i| Box::new(small_gather(i)) as Box<dyn Workload>)
+            .collect()
+    };
+    let run = |exec: &dyn Executor| -> (Vec<String>, usize, u64, u64) {
+        let store = TraceStore::new();
+        let traces = store
+            .prefill_on(&workloads(), &RecordOptions::default(), exec)
+            .expect("valid L1");
+        let cells: Vec<(usize, Arc<streamsim_core::MissTrace>)> =
+            traces.into_iter().enumerate().collect();
+        let rows = parallel_map_on(exec, cells, |(i, trace)| {
+            let stats = run_streams(&trace, StreamConfig::paper_filtered(4).expect("valid"));
+            (
+                format!("cell{i}"),
+                trace.fetches(),
+                stats.hit_rate() * 100.0,
+            )
+        });
+        let lines = render_json_lines(&MiniArtifact { rows });
+        (lines, store.len(), store.misses(), store.hits())
+    };
+    let reference = run(&ThreadExecutor::new(3));
+    assert!(!reference.0.is_empty());
+    sweep_with("artifact_byte_identity", 8, |seed| {
+        let exec = SimExecutor::new(seed, 2 + (seed % 4) as usize);
+        assert_eq!(run(&exec), reference, "artifact bytes depend on scheduling");
+    });
+}
+
+/// Sink-write faults are fail-stop: whatever the interleaving that
+/// computed the rows, a failing flush leaves a clean prefix of the
+/// reference artifact — never a torn or reordered one.
+#[test]
+fn sink_faults_leave_a_clean_prefix_under_any_interleaving() {
+    const ROWS: usize = 16;
+    let reference = {
+        let rows: Vec<(String, u64, f64)> = (0..ROWS as u64)
+            .map(|i| (format!("cell{i}"), i, mix(i) as f64 % 100.0))
+            .collect();
+        render_json_lines(&MiniArtifact { rows })
+    };
+    sweep_with("sink_fault_prefix", 200, |seed| {
+        let exec = SimExecutor::from_seed(seed, ROWS);
+        let ctx = exec.context();
+        let rows = parallel_map_on(&exec, (0..ROWS as u64).collect::<Vec<u64>>(), |i| {
+            (format!("cell{i}"), i, mix(i) as f64 % 100.0)
+        });
+        let mut json = JsonLinesSink::new();
+        let failed_at = {
+            let mut guarded = GuardedSink::new(&mut json, |row| ctx.sink_write(row));
+            MiniArtifact { rows }.emit(&mut guarded);
+            guarded.error().map(|_| guarded.rows_written())
+        };
+        let expected_rows = exec
+            .plan()
+            .faults()
+            .iter()
+            .filter_map(|f| match f {
+                Fault::SinkWriteFail { row } => Some(*row),
+                _ => None,
+            })
+            .min()
+            .unwrap_or(ROWS)
+            .min(ROWS);
+        assert_eq!(
+            json.lines(),
+            &reference[..expected_rows],
+            "torn artifact under plan {} (failed_at {failed_at:?})",
+            exec.plan()
+        );
+    });
+}
+
+/// The experiment-options seam: a fan-out routed through
+/// `ExperimentOptions::parallel_map` actually runs on the configured
+/// executor (the schedule shows up on the shared `SimExecutor`).
+#[test]
+fn experiment_options_route_fanouts_through_the_executor() {
+    let sim = Arc::new(SimExecutor::new(42, 3));
+    let options = ExperimentOptions::quick().with_executor(ExecutorHandle::from_arc(
+        sim.clone() as Arc<dyn Executor + Send + Sync>
+    ));
+    let out = options.parallel_map((0..12u64).collect::<Vec<u64>>(), |i| i + 1);
+    assert_eq!(out, (1..13).collect::<Vec<u64>>());
+    assert!(
+        !sim.schedule().is_empty(),
+        "the fan-out bypassed the DST executor"
+    );
+}

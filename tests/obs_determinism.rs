@@ -6,10 +6,22 @@
 //! process (integration tests build one binary each), so it can mutate
 //! the global level without coordinating with other tests.
 
+use std::sync::{Mutex, MutexGuard};
+
 use streamsim_core::parallel_map_with_threads;
 use streamsim_obs as obs;
 
 const ITEMS: u64 = 32;
+
+/// Every test in this binary mutates the global observability state
+/// (level, event log, registry), so they serialize on this lock. A
+/// poisoned lock is recovered — the state is reset at the top of each
+/// test anyway.
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn hold_obs() -> MutexGuard<'static, ()> {
+    OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// One synthetic parallel "experiment": every item opens its own span,
 /// bumps a counter and declares items, from whichever worker thread the
@@ -42,6 +54,7 @@ fn deterministic_view(line: &str) -> String {
 
 #[test]
 fn drained_events_are_identical_across_thread_counts() {
+    let _guard = hold_obs();
     obs::set_level(obs::Level::Debug);
     let (events, registry) = run_round(1);
     let reference: Vec<String> = events.iter().map(|l| deterministic_view(l)).collect();
@@ -84,6 +97,7 @@ fn drained_events_are_identical_across_thread_counts() {
 /// driver invoked them.
 #[test]
 fn worker_spans_do_not_inherit_the_callers_path() {
+    let _guard = hold_obs();
     obs::set_level(obs::Level::Info);
     obs::reset();
     {
@@ -99,6 +113,66 @@ fn worker_spans_do_not_inherit_the_callers_path() {
     let snapshot = obs::registry_snapshot();
     let paths: Vec<&str> = snapshot.iter().map(|(p, _)| p.as_str()).collect();
     assert_eq!(paths, ["obsdet_driver", "obsdet_worker"]);
+    obs::set_level(obs::Level::Off);
+    obs::reset();
+}
+
+/// DST runs must not perturb provenance: a prefill driven by the
+/// single-threaded `SimExecutor` emits exactly the same counter rollups
+/// (and leaves the same trace-store state) as the real thread pool.
+///
+/// Only counter events are compared: span *paths* legitimately differ,
+/// because the simulated scheduler runs every worker step on the
+/// caller's thread, so the per-workload `record` span nests under the
+/// driver's open `prefill` span instead of starting a fresh stack.
+/// Counters are path-free exact sums, which is what run provenance is
+/// built on.
+#[test]
+fn sim_executor_prefill_emits_the_same_counters_as_threads() {
+    use streamsim_core::{RecordOptions, TraceStore};
+    use streamsim_dst::{Executor, SimExecutor, ThreadExecutor};
+    use streamsim_workloads::{generators::RandomGather, Workload};
+
+    let _guard = hold_obs();
+    obs::set_level(obs::Level::Debug);
+
+    let workloads = || -> Vec<Box<dyn Workload>> {
+        (0..6)
+            .map(|seed| {
+                Box::new(RandomGather {
+                    footprint: 1 << 14,
+                    count: 1_500,
+                    seed,
+                }) as Box<dyn Workload>
+            })
+            .collect()
+    };
+    let run = |exec: &dyn Executor| -> (Vec<String>, usize, u64, u64) {
+        obs::reset();
+        let store = TraceStore::new();
+        store
+            .prefill_on(&workloads(), &RecordOptions::default(), exec)
+            .expect("valid L1");
+        obs::emit_counter_events();
+        let counters = obs::drain_events()
+            .into_iter()
+            .filter(|line| line.contains("\"event\":\"counter\""))
+            .collect();
+        (counters, store.len(), store.misses(), store.hits())
+    };
+
+    let reference = run(&ThreadExecutor::new(3));
+    assert!(
+        !reference.0.is_empty(),
+        "prefill should emit counter rollups"
+    );
+    for seed in 0..3u64 {
+        let got = run(&SimExecutor::new(seed, 4));
+        assert_eq!(
+            got, reference,
+            "DST run perturbed provenance at seed {seed}"
+        );
+    }
     obs::set_level(obs::Level::Off);
     obs::reset();
 }

@@ -217,6 +217,83 @@ fn unit_run_hits_after_first_miss() {
     });
 }
 
+/// Replay observers produce byte-identical results whatever the chunk
+/// boundaries of the replay loop and whatever worker count — real
+/// threads or the seeded DST simulator — recorded the trace through the
+/// prefill fan-out.
+#[test]
+fn replay_is_invariant_to_chunking_and_worker_count() {
+    use streamsim::{
+        record_miss_trace, replay, replay_chunked, BlockSize, L2Observer, MissObserver,
+        RecordOptions, StreamObserver, TraceStore, Workload,
+    };
+    use streamsim_dst::{Executor, SimExecutor, ThreadExecutor};
+    use streamsim_workloads::generators::RandomGather;
+
+    check("replay_is_invariant_to_chunking_and_worker_count", |g| {
+        let footprint = 1u64 << g.gen_range(12u32..15);
+        let count = g.gen_range(200u64..1_500);
+        let seed = g.gen_range(0u64..1 << 32);
+        let gather = |s: u64| RandomGather {
+            footprint,
+            count,
+            seed: s,
+        };
+        let options = RecordOptions::default();
+        let stream_cfg = StreamConfig::paper_filtered(4).expect("valid");
+        let l2_cfg = CacheConfig::new(1 << 20, 2, BlockSize::new(64).unwrap()).expect("valid");
+        let observe =
+            |trace: &streamsim::MissTrace, chunk_len: Option<usize>| -> (String, String, u64) {
+                let mut streams = StreamObserver::new(stream_cfg);
+                let mut l2 = L2Observer::new(l2_cfg, None).expect("valid");
+                {
+                    let mut obs: [&mut dyn MissObserver; 2] = [&mut streams, &mut l2];
+                    match chunk_len {
+                        Some(len) => replay_chunked(trace, &mut obs, len),
+                        None => replay(trace, &mut obs),
+                    }
+                }
+                (
+                    format!("{:?}", streams.stats()),
+                    format!("{:?}", l2.stats()),
+                    trace.fetches(),
+                )
+            };
+
+        // Reference: a direct serial recording, replayed per-event.
+        let reference = {
+            let trace = record_miss_trace(&gather(seed), &options).expect("valid L1");
+            observe(&trace, None)
+        };
+
+        // Shuffled run: the same workload recorded through the prefill
+        // fan-out on an arbitrary executor (thread count 1–6, or the
+        // seeded simulator with 2–5 workers), replayed with arbitrary
+        // chunk boundaries (0 = one whole-trace chunk).
+        let workloads: Vec<Box<dyn Workload>> = (0..3)
+            .map(|i| Box::new(gather(seed.wrapping_add(i))) as Box<dyn Workload>)
+            .collect();
+        let exec: Box<dyn Executor> = if g.pick(&[false, true]) {
+            Box::new(SimExecutor::new(
+                g.gen_range(0u64..1 << 32),
+                g.gen_range(2usize..6),
+            ))
+        } else {
+            Box::new(ThreadExecutor::new(g.gen_range(1usize..7)))
+        };
+        let store = TraceStore::new();
+        let traces = store
+            .prefill_on(&workloads, &options, exec.as_ref())
+            .expect("valid L1");
+        let chunk_len = g.gen_range(0usize..traces[0].events().len() + 2);
+        assert_eq!(
+            observe(&traces[0], Some(chunk_len)),
+            reference,
+            "replay diverged (chunk_len {chunk_len})"
+        );
+    });
+}
+
 /// Writeback invalidation is conservative: it never *creates* hits.
 #[test]
 fn invalidation_only_removes_hits() {

@@ -310,6 +310,180 @@ fn diff_detects_identity_and_drift() {
 }
 
 #[test]
+fn diff_pairs_duplicate_key_rows_in_occurrence_order() {
+    let dir = std::env::temp_dir().join("streamsim-report-dupkey-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let a = dir.join("a.jsonl");
+    let b = dir.join("b.jsonl");
+    // Three rows sharing one key in `b`, two in `a`: occurrences pair
+    // first-with-first, so only the second occurrence registers as
+    // changed and the surplus third as added — not a cascade of
+    // positional mismatches.
+    std::fs::write(
+        &a,
+        concat!(
+            "{\"artifact\":\"t\",\"table\":\"x\",\"bench\":\"dup\",\"v\":1.0}\n",
+            "{\"artifact\":\"t\",\"table\":\"x\",\"bench\":\"dup\",\"v\":2.0}\n",
+        ),
+    )
+    .unwrap();
+    std::fs::write(
+        &b,
+        concat!(
+            "{\"artifact\":\"t\",\"table\":\"x\",\"bench\":\"dup\",\"v\":1.0}\n",
+            "{\"artifact\":\"t\",\"table\":\"x\",\"bench\":\"dup\",\"v\":9.0}\n",
+            "{\"artifact\":\"t\",\"table\":\"x\",\"bench\":\"dup\",\"v\":5.0}\n",
+        ),
+    )
+    .unwrap();
+    let out = report()
+        .args([
+            "--diff",
+            a.to_str().unwrap(),
+            b.to_str().unwrap(),
+            "--summary",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success(), "drift must exit nonzero");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        text.starts_with("t: 1 row(s) changed, 1 added, 0 removed, max |Δ| = 7.000e0"),
+        "{text}"
+    );
+
+    // The duplicate-occurrence label distinguishes the paired copies.
+    let plain = report()
+        .args(["--diff", a.to_str().unwrap(), b.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    let plain_text = String::from_utf8(plain.stdout).unwrap();
+    assert!(plain_text.contains("(#2): v: 2 != 9"), "{plain_text}");
+    assert!(plain_text.contains("(#3)"), "{plain_text}");
+
+    // Identical duplicate rows are not drift.
+    let same = report()
+        .args(["--diff", a.to_str().unwrap(), a.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(
+        same.status.success(),
+        "identical duplicates must diff clean"
+    );
+    for p in [&a, &b] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
+fn diff_reports_an_artifact_present_on_one_side_only() {
+    let dir = std::env::temp_dir().join("streamsim-report-oneside-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let a = dir.join("a.jsonl");
+    let b = dir.join("b.jsonl");
+    let shared =
+        "{\"artifact\":\"fig3\",\"table\":\"hit_rate\",\"bench\":\"mgrid\",\"hit_pct\":71.0}\n";
+    std::fs::write(&a, shared).unwrap();
+    std::fs::write(
+        &b,
+        format!(
+            "{shared}\
+             {{\"artifact\":\"fig8\",\"table\":\"depth\",\"bench\":\"mgrid\",\"hit_pct\":60.0}}\n\
+             {{\"artifact\":\"fig8\",\"table\":\"depth\",\"bench\":\"trfd\",\"hit_pct\":61.0}}\n"
+        ),
+    )
+    .unwrap();
+    let out = report()
+        .args([
+            "--diff",
+            a.to_str().unwrap(),
+            b.to_str().unwrap(),
+            "--summary",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success(), "a one-sided artifact is drift");
+    let text = String::from_utf8(out.stdout).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    // The shared fig3 row is clean, so only fig8 rolls up.
+    assert_eq!(lines.len(), 1, "{text}");
+    assert!(
+        lines[0].starts_with("fig8: 0 row(s) changed, 2 added, 0 removed"),
+        "{text}"
+    );
+
+    // Swapped operands: the same artifact reads as removed.
+    let swapped = report()
+        .args([
+            "--diff",
+            b.to_str().unwrap(),
+            a.to_str().unwrap(),
+            "--summary",
+        ])
+        .output()
+        .expect("binary runs");
+    let text = String::from_utf8(swapped.stdout).unwrap();
+    assert!(
+        text.starts_with("fig8: 0 row(s) changed, 0 added, 2 removed"),
+        "{text}"
+    );
+    for p in [&a, &b] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
+fn diff_tolerates_non_finite_values_only_when_both_sides_agree() {
+    let dir = std::env::temp_dir().join("streamsim-report-nonfinite-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let a = dir.join("a.jsonl");
+    let b = dir.join("b.jsonl");
+    // The sink renders NaN/inf as JSON null, and the parser maps an
+    // overflowing literal (1e999) to f64 infinity — both must diff
+    // clean when the two sides agree, and register as drift when only
+    // one side is non-finite.
+    let rows = |nan_field: &str, inf: &str| {
+        format!(
+            "{{\"artifact\":\"t\",\"table\":\"x\",\"bench\":\"nan\",\"v\":{nan_field}}}\n\
+             {{\"artifact\":\"t\",\"table\":\"x\",\"bench\":\"inf\",\"v\":{inf}}}\n"
+        )
+    };
+    std::fs::write(&a, rows("null", "1e999")).unwrap();
+    std::fs::write(&b, rows("null", "1e999")).unwrap();
+    let same = report()
+        .args(["--diff", a.to_str().unwrap(), b.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(
+        same.status.success(),
+        "matching non-finite values must diff clean: {}",
+        String::from_utf8_lossy(&same.stdout)
+    );
+
+    // null vs number and +inf vs finite are both real drift.
+    std::fs::write(&b, rows("71.0", "2.5")).unwrap();
+    let drift = report()
+        .args(["--diff", a.to_str().unwrap(), b.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(!drift.status.success(), "non-finite vs finite is drift");
+    let text = String::from_utf8(drift.stdout).unwrap();
+    assert!(text.contains("bench=nan"), "{text}");
+    assert!(text.contains("bench=inf"), "{text}");
+
+    // Opposite-signed infinities drift too (|Δ| is infinite).
+    std::fs::write(&b, rows("null", "-1e999")).unwrap();
+    let signs = report()
+        .args(["--diff", a.to_str().unwrap(), b.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(!signs.status.success(), "+inf vs -inf is drift");
+    for p in [&a, &b] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
 fn golden_scorecard_round_trips_through_diff() {
     // The regression gate from the README: two --json runs of the same
     // quick-scale scorecard must diff clean.
