@@ -126,93 +126,81 @@ pub fn run(options: &ExperimentOptions) -> Ablations {
         (w.name().to_owned(), trace_of(w.as_ref(), options))
     });
 
-    let depth = traces
-        .iter()
-        .map(|(name, trace)| {
-            let configs: Vec<StreamConfig> = DEPTHS
-                .iter()
-                .map(|&d| StreamConfig::new(10, d, Allocation::OnMiss).expect("valid"))
-                .collect();
-            let rates = replay_streams(trace, &configs)
-                .iter()
-                .map(|s| s.hit_rate())
-                .collect();
-            (name.clone(), rates)
-        })
-        .collect();
+    // Each family sweep replays one trace against a fused configuration
+    // family; the per-benchmark fan-out runs under the Executor seam so
+    // DST can drive its interleavings (tests/dst_engine.rs).
+    let depth = options.parallel_map(traces.clone(), |(name, trace)| {
+        let configs: Vec<StreamConfig> = DEPTHS
+            .iter()
+            .map(|&d| StreamConfig::new(10, d, Allocation::OnMiss).expect("valid"))
+            .collect();
+        let rates = replay_streams(&trace, &configs)
+            .iter()
+            .map(|s| s.hit_rate())
+            .collect();
+        (name, rates)
+    });
 
-    let match_policy = traces
-        .iter()
-        .map(|(name, trace)| {
-            let configs = [
-                StreamConfig::paper_basic(10).expect("valid"),
-                StreamConfig::new(10, 4, Allocation::OnMiss)
-                    .expect("valid")
-                    .with_match_policy(MatchPolicy::AnyEntry),
-            ];
-            let stats = replay_streams(trace, &configs);
-            (name.clone(), [stats[0].hit_rate(), stats[1].hit_rate()])
-        })
-        .collect();
+    let match_policy = options.parallel_map(traces.clone(), |(name, trace)| {
+        let configs = [
+            StreamConfig::paper_basic(10).expect("valid"),
+            StreamConfig::new(10, 4, Allocation::OnMiss)
+                .expect("valid")
+                .with_match_policy(MatchPolicy::AnyEntry),
+        ];
+        let stats = replay_streams(&trace, &configs);
+        (name, [stats[0].hit_rate(), stats[1].hit_rate()])
+    });
 
-    let filter_size = traces
-        .iter()
-        .map(|(name, trace)| {
-            let configs: Vec<StreamConfig> = FILTER_SIZES
-                .iter()
-                .map(|&entries| {
-                    StreamConfig::new(10, 2, Allocation::UnitFilter { entries }).expect("valid")
-                })
-                .collect();
-            let cells = replay_streams(trace, &configs)
-                .iter()
-                .map(|stats| (stats.hit_rate(), stats.extra_bandwidth()))
-                .collect();
-            (name.clone(), cells)
-        })
-        .collect();
+    let filter_size = options.parallel_map(traces.clone(), |(name, trace)| {
+        let configs: Vec<StreamConfig> = FILTER_SIZES
+            .iter()
+            .map(|&entries| {
+                StreamConfig::new(10, 2, Allocation::UnitFilter { entries }).expect("valid")
+            })
+            .collect();
+        let cells = replay_streams(&trace, &configs)
+            .iter()
+            .map(|stats| (stats.hit_rate(), stats.extra_bandwidth()))
+            .collect();
+        (name, cells)
+    });
 
-    let stride_scheme = traces
-        .iter()
-        .map(|(name, trace)| {
-            let configs = [
-                StreamConfig::paper_strided(10, 16).expect("valid"),
-                StreamConfig::new(
-                    10,
-                    2,
-                    Allocation::MinDelta {
-                        entries: 16,
-                        max_stride_words: 1 << 20,
-                    },
-                )
-                .expect("valid"),
-            ];
-            let stats = replay_streams(trace, &configs);
-            (name.clone(), [stats[0].hit_rate(), stats[1].hit_rate()])
-        })
-        .collect();
+    let stride_scheme = options.parallel_map(traces.clone(), |(name, trace)| {
+        let configs = [
+            StreamConfig::paper_strided(10, 16).expect("valid"),
+            StreamConfig::new(
+                10,
+                2,
+                Allocation::MinDelta {
+                    entries: 16,
+                    max_stride_words: 1 << 20,
+                },
+            )
+            .expect("valid"),
+        ];
+        let stats = replay_streams(&trace, &configs);
+        (name, [stats[0].hit_rate(), stats[1].hit_rate()])
+    });
 
     // Topology: the unified system and the partitioned variant observe
     // the same replay pass over the unified miss stream.
-    let topology = traces
-        .iter()
-        .map(|(name, trace)| {
-            let mut unified = StreamObserver::new(StreamConfig::paper_basic(10).expect("valid"));
-            let mut part = PartitionedObserver {
-                isys: StreamSystem::new(StreamConfig::paper_basic(2).expect("valid")),
-                dsys: StreamSystem::new(StreamConfig::paper_basic(8).expect("valid")),
-            };
-            replay(trace, &mut [&mut unified, &mut part]);
-            let (i, d) = (part.isys.stats(), part.dsys.stats());
-            let lookups = i.lookups + d.lookups;
-            let part_rate = if lookups == 0 {
-                0.0
-            } else {
-                (i.hits + d.hits) as f64 / lookups as f64
-            };
-            (name.clone(), [unified.stats().hit_rate(), part_rate])
-        })
-        .collect();
+    let topology = options.parallel_map(traces.clone(), |(name, trace)| {
+        let mut unified = StreamObserver::new(StreamConfig::paper_basic(10).expect("valid"));
+        let mut part = PartitionedObserver {
+            isys: StreamSystem::new(StreamConfig::paper_basic(2).expect("valid")),
+            dsys: StreamSystem::new(StreamConfig::paper_basic(8).expect("valid")),
+        };
+        replay(&trace, &mut [&mut unified, &mut part]);
+        let (i, d) = (part.isys.stats(), part.dsys.stats());
+        let lookups = i.lookups + d.lookups;
+        let part_rate = if lookups == 0 {
+            0.0
+        } else {
+            (i.hits + d.hits) as f64 / lookups as f64
+        };
+        (name, [unified.stats().hit_rate(), part_rate])
+    });
 
     // L1 replacement policy: re-record each miss trace under random,
     // LRU and tree-PLRU primaries and compare stream hit rates. The
@@ -240,15 +228,12 @@ pub fn run(options: &ExperimentOptions) -> Ablations {
 
     // Set-sampling validation: the paper's Table 4 estimator against
     // full simulation of a 1 MB L2 — both observers share one pass.
-    let sampling = traces
-        .iter()
-        .map(|(name, trace)| {
-            let cfg = CacheConfig::new(1 << 20, 2, trace.l1_block()).expect("valid L2");
-            let cells = [(cfg, None), (cfg, Some(SetSampling::new(2, 1)))];
-            let stats = replay_l2(trace, &cells).expect("valid");
-            (name.clone(), stats[0].hit_rate(), stats[1].hit_rate())
-        })
-        .collect();
+    let sampling = options.parallel_map(traces, |(name, trace)| {
+        let cfg = CacheConfig::new(1 << 20, 2, trace.l1_block()).expect("valid L2");
+        let cells = [(cfg, None), (cfg, Some(SetSampling::new(2, 1)))];
+        let stats = replay_l2(&trace, &cells).expect("valid");
+        (name, stats[0].hit_rate(), stats[1].hit_rate())
+    });
 
     // Victim buffer: Jouppi's original front end — a direct-mapped data
     // cache with a 16-entry victim cache, backed by ten stream buffers

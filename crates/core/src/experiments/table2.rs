@@ -12,7 +12,7 @@ use streamsim_streams::{StreamConfig, StreamStats};
 
 use crate::experiments::{miss_traces, ExperimentOptions};
 use crate::sink::{col, Artifact, ArtifactSink, Cell};
-use crate::{paper, run_streams};
+use crate::{paper, replay_streams};
 
 /// One benchmark's bandwidth accounting.
 #[derive(Clone, Debug)]
@@ -46,16 +46,13 @@ impl Table2 {
 
 /// Runs the experiment.
 pub fn run(options: &ExperimentOptions) -> Table2 {
-    let rows = miss_traces(options)
-        .into_iter()
-        .map(|(name, trace)| Row {
-            name,
-            stats: run_streams(
-                &trace,
-                StreamConfig::paper_basic(10).expect("ten streams is valid"),
-            ),
-        })
-        .collect();
+    let config = StreamConfig::paper_basic(10).expect("ten streams is valid");
+    let rows = options.parallel_map(miss_traces(options), move |(name, trace)| Row {
+        name,
+        stats: replay_streams(&trace, &[config])
+            .pop()
+            .expect("one config in, one stats out"),
+    });
     Table2 { rows }
 }
 

@@ -61,7 +61,8 @@ mod trace_store;
 pub use miss_trace::{record_miss_trace, run_l2, run_streams, MissEvent, MissTrace, RecordOptions};
 pub use profile::ProfileArtifact;
 pub use replay::{
-    replay, replay_chunked, replay_l2, replay_streams, L2Observer, MissObserver, StreamObserver,
+    replay, replay_chunked, replay_l2, replay_streams, FusedStreamObserver, L2Observer,
+    MissObserver, MixedGeometry, StreamObserver, REPLAY_CHUNK_EVENTS,
 };
 pub use runner::{parallel_map, parallel_map_on, parallel_map_with_threads, ExecutorHandle};
 pub use sink::{

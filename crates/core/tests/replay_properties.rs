@@ -7,11 +7,12 @@ use streamsim_prng::Rng;
 
 use streamsim_cache::{CacheConfig, Replacement, SetSampling};
 use streamsim_core::{
-    record_miss_trace, replay, replay_l2, replay_streams, run_l2, run_streams, L2Observer,
-    RecordOptions, StreamObserver, TraceStore,
+    record_miss_trace, replay, replay_chunked, replay_l2, replay_streams, run_l2, run_streams,
+    FusedStreamObserver, L2Observer, MissEvent, MissObserver, RecordOptions, StreamObserver,
+    TraceStore,
 };
 use streamsim_streams::StreamConfig;
-use streamsim_trace::{Access, AccessKind, Addr, BlockSize};
+use streamsim_trace::{Access, AccessKind, Addr, BlockSize, WordSize};
 use streamsim_workloads::combinators::RecordedTrace;
 
 fn tiny_l1() -> RecordOptions {
@@ -111,6 +112,138 @@ fn multi_l2_replay_equals_independent_passes() {
             .collect();
         assert_eq!(shared, independent);
     });
+}
+
+/// A family of stream configurations sharing one randomized geometry —
+/// the shape [`FusedStreamObserver`] accepts — covering every allocation
+/// policy and both match policies.
+fn shared_geometry_family(g: &mut Gen) -> Vec<StreamConfig> {
+    use streamsim_streams::{Allocation, MatchPolicy};
+    let block = BlockSize::new(g.pick(&[16u64, 32, 64])).unwrap();
+    let word = WordSize::new(g.pick(&[4u64, 8])).unwrap();
+    g.vec(1usize..6, |g| {
+        let allocation = match g.gen_range(0u32..4) {
+            0 => Allocation::OnMiss,
+            1 => Allocation::UnitFilter {
+                entries: g.gen_range(1usize..12),
+            },
+            2 => Allocation::UnitAndStrideFilters {
+                unit_entries: g.gen_range(1usize..12),
+                stride_entries: g.gen_range(1usize..12),
+                czone_bits: g.gen_range(8u32..24),
+            },
+            _ => Allocation::MinDelta {
+                entries: g.gen_range(1usize..8),
+                max_stride_words: g.gen_range(1i64..(1 << 16)),
+            },
+        };
+        let policy = if g.gen_bool(0.5) {
+            MatchPolicy::HeadOnly
+        } else {
+            MatchPolicy::AnyEntry
+        };
+        StreamConfig::new(g.gen_range(1usize..8), g.gen_range(1usize..5), allocation)
+            .expect("parameters drawn from valid ranges")
+            .with_block(block)
+            .with_word(word)
+            .with_match_policy(policy)
+    })
+}
+
+/// Replays `trace` into one observer per config, delivering events one at
+/// a time — the unfused, unbatched reference semantics.
+fn per_event_stream_passes(
+    trace: &streamsim_core::MissTrace,
+    configs: &[StreamConfig],
+) -> Vec<streamsim_core::StreamStats> {
+    configs
+        .iter()
+        .map(|&c| {
+            let mut o = StreamObserver::new(c);
+            for event in trace.events() {
+                match *event {
+                    MissEvent::Fetch { addr, kind } => o.on_fetch(addr, kind),
+                    MissEvent::Writeback { base } => o.on_writeback(base),
+                }
+            }
+            o.finish();
+            o.stats()
+        })
+        .collect()
+}
+
+/// A fused family replayed in arbitrary (often misaligned) chunk sizes is
+/// byte-identical to independent per-event observers: both the fusion and
+/// the batching are pure delivery mechanics.
+#[test]
+fn fused_replay_matches_independent_observers_at_any_chunk_size() {
+    check_with(
+        "fused_replay_matches_independent_observers_at_any_chunk_size",
+        32,
+        |g| {
+            let trace = accesses(g, 400);
+            let w = RecordedTrace::new("prop", trace);
+            let rec = record_miss_trace(&w, &tiny_l1()).unwrap();
+            let configs = shared_geometry_family(g);
+
+            let mut fused = FusedStreamObserver::new(&configs).expect("one shared geometry");
+            let chunk = g.gen_range(1usize..80);
+            replay_chunked(&rec, &mut [&mut fused], chunk);
+
+            assert_eq!(fused.stats(), per_event_stream_passes(&rec, &configs));
+        },
+    );
+}
+
+/// Two fused replays of the same family at different chunk sizes agree
+/// exactly: no observable state leaks across chunk boundaries.
+#[test]
+fn chunk_boundaries_are_invisible_to_fused_families() {
+    check_with(
+        "chunk_boundaries_are_invisible_to_fused_families",
+        32,
+        |g| {
+            let trace = accesses(g, 400);
+            let w = RecordedTrace::new("prop", trace);
+            let rec = record_miss_trace(&w, &tiny_l1()).unwrap();
+            let configs = shared_geometry_family(g);
+
+            let mut coarse = FusedStreamObserver::new(&configs).unwrap();
+            let mut fine = FusedStreamObserver::new(&configs).unwrap();
+            replay_chunked(&rec, &mut [&mut coarse], g.gen_range(100usize..500));
+            replay_chunked(&rec, &mut [&mut fine], g.gen_range(1usize..10));
+            assert_eq!(coarse.stats(), fine.stats());
+        },
+    );
+}
+
+/// A family with mismatched geometries cannot fuse; [`replay_streams`]
+/// must fall back to independent observers with identical results.
+#[test]
+fn mixed_geometry_families_fall_back_without_changing_results() {
+    check_with(
+        "mixed_geometry_families_fall_back_without_changing_results",
+        32,
+        |g| {
+            let trace = accesses(g, 400);
+            let w = RecordedTrace::new("prop", trace);
+            let rec = record_miss_trace(&w, &tiny_l1()).unwrap();
+
+            let mut configs = shared_geometry_family(g);
+            // Force a geometry mismatch: no family member uses 256-byte
+            // blocks.
+            let odd = StreamConfig::paper_basic(g.gen_range(1usize..5))
+                .unwrap()
+                .with_block(BlockSize::new(256).unwrap());
+            configs.push(odd);
+
+            assert!(FusedStreamObserver::new(&configs).is_err());
+            assert_eq!(
+                replay_streams(&rec, &configs),
+                per_event_stream_passes(&rec, &configs)
+            );
+        },
+    );
 }
 
 /// Mixing stream and L2 observers in one pass changes nothing either:

@@ -165,7 +165,11 @@ fn hot_module_scan_matches_the_crate_tree() {
         vec![
             "crates/cache/src/cache.rs".to_owned(),
             "crates/core/src/replay.rs".to_owned(),
+            "crates/streams/src/buffer.rs".to_owned(),
+            "crates/streams/src/czone.rs".to_owned(),
+            "crates/streams/src/scan.rs".to_owned(),
             "crates/streams/src/system.rs".to_owned(),
+            "crates/streams/src/unit_filter.rs".to_owned(),
         ],
         "hot-module markers moved; update this pin alongside the markers"
     );

@@ -1,19 +1,29 @@
 //! A single FIFO stream buffer (the paper's Figure 2).
+//!
+//! The entry queue is a fixed ring of 16-byte slots indexed by a head
+//! pointer: each slot is a block tag plus a meta word that packs the
+//! valid flag (bit 63) over the prefetch issue time. Two slots share a
+//! cache line where the previous `VecDeque` of 24-byte entry structs
+//! straddled them, and the ring's wrap is one predictable conditional
+//! subtract instead of the deque's masked capacity arithmetic. The
+//! pre-restructuring layout survives verbatim as
+//! `reference::RefStreamBuffer` so the replay bench compares against
+//! the genuine original.
 
-use std::collections::VecDeque;
+// lint:hot-module — every stream hit, refill and write-back probe lands here
 
 use streamsim_trace::{Addr, BlockAddr, BlockSize};
 
-/// One prefetched entry: a cache-block tag plus a valid bit and the
-/// logical time its prefetch was issued. The data itself is not modelled
-/// (hit-rate studies need only tags); the issue time supports the §8
-/// timing analysis — a hit whose prefetch was issued only moments ago may
-/// still be waiting on memory.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-struct Entry {
-    block: BlockAddr,
-    valid: bool,
-    issued_at: u64,
+/// Valid flag inside [`Slot::meta`]. The low 63 bits hold the issue
+/// time, a per-run lookup count that cannot plausibly overflow them.
+const VALID_BIT: u64 = 1 << 63;
+
+/// One ring slot: a prefetched block tag and its packed metadata.
+#[derive(Clone, Copy, Debug)]
+struct Slot {
+    block: u64,
+    /// Bit 63: valid. Bits 0..63: logical time the prefetch was issued.
+    meta: u64,
 }
 
 /// Effects of (re)allocating a stream buffer, for bandwidth accounting.
@@ -48,13 +58,24 @@ pub(crate) struct ConsumeEffects {
 /// behaviours are captured here by the signed `stride_bytes` set at
 /// allocation.
 ///
+/// The FIFO holds tags only (hit-rate studies do not model the data);
+/// each slot also records a valid flag and the logical time its prefetch
+/// was issued, which supports the §8 timing analysis — a hit whose
+/// prefetch was issued only moments ago may still be waiting on memory.
+///
 /// Buffers are driven by [`crate::StreamSystem`]; the public surface is
 /// read-only inspection.
 #[derive(Clone, Debug)]
 pub struct StreamBuffer {
     depth: usize,
     block: BlockSize,
-    entries: VecDeque<Entry>,
+    /// Ring storage: logical FIFO position `i` lives at slot
+    /// `(head + i) % depth`, positions `0..len` are live. Slots past
+    /// `len` hold stale values that are overwritten before they can be
+    /// read.
+    slots: Box<[Slot]>,
+    head: usize,
+    len: usize,
     /// Byte address the adder will prefetch next.
     next_prefetch: Addr,
     stride_bytes: i64,
@@ -67,6 +88,12 @@ pub struct StreamBuffer {
     active: bool,
     run_hits: u64,
     lru_stamp: u64,
+    /// One-bit-per-block Bloom summary of every block enqueued since the
+    /// last flush (bit `index & 63`). Never a false negative: consumed or
+    /// invalidated entries leave their bits set (a false positive costs
+    /// one real scan), so a clear bit proves the block is not buffered —
+    /// the write-back fast path the system's mirror array relies on.
+    bloom: u64,
 }
 
 impl StreamBuffer {
@@ -76,7 +103,9 @@ impl StreamBuffer {
         StreamBuffer {
             depth,
             block,
-            entries: VecDeque::with_capacity(depth),
+            slots: vec![Slot { block: 0, meta: 0 }; depth].into_boxed_slice(),
+            head: 0,
+            len: 0,
             next_prefetch: Addr::new(0),
             stride_bytes: block.bytes() as i64,
             last_queued_block: BlockAddr::from_index(0),
@@ -84,7 +113,28 @@ impl StreamBuffer {
             active: false,
             run_hits: 0,
             lru_stamp: 0,
+            bloom: 0,
         }
+    }
+
+    /// Physical slot of logical FIFO position `pos`. `head + pos` never
+    /// reaches `2 * depth`, so one conditional subtract replaces a
+    /// modulo.
+    #[inline(always)]
+    fn slot(&self, pos: usize) -> usize {
+        let s = self.head + pos;
+        if s >= self.depth {
+            s - self.depth
+        } else {
+            s
+        }
+    }
+
+    /// Valid entries among logical positions `0..upto`.
+    fn count_valid(&self, upto: usize) -> u64 {
+        (0..upto)
+            .filter(|&i| self.slots[self.slot(i)].meta & VALID_BIT != 0)
+            .count() as u64
     }
 
     /// Whether the buffer currently holds an allocated stream.
@@ -99,17 +149,18 @@ impl StreamBuffer {
 
     /// Number of entries currently buffered (valid or invalidated).
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.len
     }
 
     /// Whether the buffer holds no entries.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len == 0
     }
 
     /// The block at the head of the FIFO, if any (valid entries only).
     pub fn head_block(&self) -> Option<BlockAddr> {
-        self.entries.front().filter(|e| e.valid).map(|e| e.block)
+        (self.len > 0 && self.slots[self.head].meta & VALID_BIT != 0)
+            .then(|| BlockAddr::from_index(self.slots[self.head].block))
     }
 
     /// Hits supplied since the last allocation.
@@ -121,21 +172,29 @@ impl StreamBuffer {
         self.lru_stamp
     }
 
+    /// The block Bloom summary (see the field doc). A block whose
+    /// `1 << (index & 63)` bit is clear is definitely not buffered.
+    pub(crate) fn block_bloom(&self) -> u64 {
+        self.bloom
+    }
+
     pub(crate) fn touch(&mut self, stamp: u64) {
         self.lru_stamp = stamp;
     }
 
     /// Whether the valid head entry matches `block`.
-    pub(crate) fn head_matches(&self, block: BlockAddr) -> bool {
+    #[cfg(test)]
+    fn head_matches(&self, block: BlockAddr) -> bool {
         self.head_block() == Some(block)
     }
 
     /// Position of the first valid entry matching `block`, for the
     /// any-entry ablation policy.
     pub(crate) fn match_position(&self, block: BlockAddr) -> Option<usize> {
-        self.entries
-            .iter()
-            .position(|e| e.valid && e.block == block)
+        (0..self.len).find(|&i| {
+            let s = self.slots[self.slot(i)];
+            s.meta & VALID_BIT != 0 && s.block == block.index()
+        })
     }
 
     /// Issues one prefetch at logical time `now`, de-duplicating blocks
@@ -154,11 +213,13 @@ impl StreamBuffer {
             }
             self.next_prefetch = advanced;
             if target != self.last_queued_block {
-                self.entries.push_back(Entry {
-                    block: target,
-                    valid: true,
-                    issued_at: now,
-                });
+                let s = self.slot(self.len);
+                self.slots[s] = Slot {
+                    block: target.index(),
+                    meta: VALID_BIT | now,
+                };
+                self.len += 1;
+                self.bloom |= 1 << (target.index() & 63);
                 self.last_queued_block = target;
                 return true;
             }
@@ -178,9 +239,11 @@ impl StreamBuffer {
         now: u64,
     ) -> AllocationEffects {
         assert!(stride_bytes != 0, "a stream cannot have stride zero");
-        let flushed = self.entries.iter().filter(|e| e.valid).count() as u64;
+        let flushed = self.count_valid(self.len);
         let previous_run = self.run_hits;
-        self.entries.clear();
+        self.head = 0;
+        self.len = 0;
+        self.bloom = 0;
         self.run_hits = 0;
         self.exhausted = false;
         self.stride_bytes = stride_bytes;
@@ -190,7 +253,7 @@ impl StreamBuffer {
             self.exhausted = true; // saturated immediately
         }
         let mut issued = 0;
-        while self.entries.len() < self.depth && self.refill_one(now) {
+        while self.len < self.depth && self.refill_one(now) {
             issued += 1;
         }
         self.active = true;
@@ -205,24 +268,20 @@ impl StreamBuffer {
     /// the primary cache, entries ahead of it are discarded, and the adder
     /// streams new prefetches into the freed slots.
     pub(crate) fn consume(&mut self, pos: usize, now: u64) -> ConsumeEffects {
-        debug_assert!(self.entries.get(pos).is_some_and(|e| e.valid));
-        let mut skipped = 0;
-        for _ in 0..pos {
-            let e = self.entries.pop_front().expect("pos is in range");
-            if e.valid {
-                skipped += 1;
-            }
-        }
-        let matched = self.entries.pop_front().expect("pos is in range");
+        debug_assert!(pos < self.len && self.slots[self.slot(pos)].meta & VALID_BIT != 0);
+        let skipped = self.count_valid(pos);
+        let matched_issue = self.slots[self.slot(pos)].meta & !VALID_BIT;
+        self.head = self.slot(pos + 1);
+        self.len -= pos + 1;
         self.run_hits += 1;
         let mut issued = 0;
-        while self.entries.len() < self.depth && self.refill_one(now) {
+        while self.len < self.depth && self.refill_one(now) {
             issued += 1;
         }
         ConsumeEffects {
             skipped,
             issued,
-            lead: now.saturating_sub(matched.issued_at).max(1),
+            lead: now.saturating_sub(matched_issue).max(1),
         }
     }
 
@@ -230,9 +289,10 @@ impl StreamBuffer {
     /// on its way to memory). Returns the number of entries invalidated.
     pub(crate) fn invalidate(&mut self, block: BlockAddr) -> u64 {
         let mut count = 0;
-        for e in &mut self.entries {
-            if e.valid && e.block == block {
-                e.valid = false;
+        for i in 0..self.len {
+            let s = self.slot(i);
+            if self.slots[s].meta & VALID_BIT != 0 && self.slots[s].block == block.index() {
+                self.slots[s].meta &= !VALID_BIT;
                 count += 1;
             }
         }
@@ -242,9 +302,11 @@ impl StreamBuffer {
     /// Ends the simulation for this buffer: returns the number of valid
     /// (never consumed) entries and the final run length, then goes idle.
     pub(crate) fn retire(&mut self) -> (u64, u64) {
-        let dead = self.entries.iter().filter(|e| e.valid).count() as u64;
+        let dead = self.count_valid(self.len);
         let run = self.run_hits;
-        self.entries.clear();
+        self.head = 0;
+        self.len = 0;
+        self.bloom = 0;
         self.run_hits = 0;
         self.active = false;
         (dead, run)
@@ -393,5 +455,19 @@ mod tests {
         b.allocate(Addr::new(0), 32, 0);
         assert!(!b.head_matches(block_of(64)), "second entry is not head");
         assert!(!b.head_matches(block_of(0)), "allocation target not held");
+    }
+
+    #[test]
+    fn ring_wraps_cleanly_under_sustained_consumption() {
+        // Enough consumes to wrap the head pointer through the ring
+        // several times; logical FIFO order must be preserved throughout.
+        let mut b = buf(3);
+        b.allocate(Addr::new(0), 32, 0);
+        for i in 1..=20u64 {
+            assert!(b.head_matches(block_of(32 * i)), "head at iteration {i}");
+            let fx = b.consume(0, i);
+            assert_eq!(fx.skipped, 0);
+            assert_eq!(b.len(), 3);
+        }
     }
 }

@@ -17,11 +17,22 @@
 //! stride and the filter entry is freed. The czone size trades off
 //! detection ability (Figure 9): too small and three strided references
 //! never share a partition; too large and unrelated streams collide.
+//!
+//! The per-partition FSM entries are stored as structure-of-arrays — the
+//! tags in their own flat `Vec<u64>` probed by the branchless
+//! [`scan::find_first`](crate::scan::find_first), with the last address,
+//! stride guess and FSM state in parallel arrays touched only on a tag
+//! hit. The tag scan runs on every miss that falls through the unit
+//! filter, so only the 8 bytes per partition it actually compares stay in
+//! the scanned cache lines. Tags are unique (one FSM per partition), so
+//! first-match order is equivalent to any-match here; the parallel arrays
+//! shift together on eviction to preserve the paper's FIFO.
 
-use std::collections::VecDeque;
+// lint:hot-module — probed on every miss that falls through the unit filter
 
 use streamsim_trace::WordAddr;
 
+use crate::scan;
 use crate::FilterStats;
 
 /// State of a partition's stride-verification FSM (Figure 7).
@@ -35,15 +46,6 @@ pub enum FsmState {
     Meta2,
 }
 
-#[derive(Clone, Copy, Debug)]
-struct CzoneEntry {
-    tag: u64,
-    last_addr: WordAddr,
-    /// Candidate stride in words; meaningful in `Meta2`.
-    stride: i64,
-    state: FsmState,
-}
-
 /// The non-unit-stride filter: a history buffer of active partitions, each
 /// with the FSM state needed to verify a constant stride.
 ///
@@ -51,7 +53,13 @@ struct CzoneEntry {
 /// and reported as signed word deltas; the caller scales them to bytes.
 #[derive(Clone, Debug)]
 pub struct CzoneFilter {
-    entries: VecDeque<CzoneEntry>,
+    /// Partition tags; index 0 = oldest. The only array the scan touches.
+    tags: Vec<u64>,
+    /// Word index of the partition's most recent miss.
+    last: Vec<u64>,
+    /// Candidate stride in words; meaningful in `Meta2`.
+    strides: Vec<i64>,
+    states: Vec<FsmState>,
     capacity: usize,
     czone_bits: u32,
     stats: FilterStats,
@@ -86,7 +94,10 @@ impl CzoneFilter {
             "czone size must be between 1 and 62 bits"
         );
         CzoneFilter {
-            entries: VecDeque::with_capacity(capacity),
+            tags: Vec::with_capacity(capacity),
+            last: Vec::with_capacity(capacity),
+            strides: Vec::with_capacity(capacity),
+            states: Vec::with_capacity(capacity),
             capacity,
             czone_bits,
             stats: FilterStats::default(),
@@ -99,6 +110,14 @@ impl CzoneFilter {
         self.czone_bits
     }
 
+    /// Removes the partition at `pos` from all four parallel arrays.
+    fn evict(&mut self, pos: usize) {
+        self.tags.remove(pos);
+        self.last.remove(pos);
+        self.strides.remove(pos);
+        self.states.remove(pos);
+    }
+
     /// Presents a missed word address. Returns `Some(stride_words)` when
     /// three consecutive misses in one partition have a verified constant
     /// stride — the caller should allocate a stream — and the entry is
@@ -106,9 +125,9 @@ impl CzoneFilter {
     pub fn lookup(&mut self, word: WordAddr) -> Option<i64> {
         self.stats.lookups += 1;
         let tag = word.czone_tag(self.czone_bits);
-        if let Some(pos) = self.entries.iter().position(|e| e.tag == tag) {
-            let entry = &mut self.entries[pos];
-            let delta = word.delta(entry.last_addr);
+        let pos = scan::find_first(&self.tags, tag);
+        if pos != usize::MAX {
+            let delta = word.delta(WordAddr::from_index(self.last[pos]));
             if delta == 0 {
                 // Two misses to the same word (e.g. re-miss after
                 // eviction): no stride information, keep waiting.
@@ -117,37 +136,35 @@ impl CzoneFilter {
             // Every arm below advances (or restarts) the partition's FSM.
             self.counters
                 .add(streamsim_obs::Counter::CzoneTransitions, 1);
-            match entry.state {
+            match self.states[pos] {
                 FsmState::Meta1 => {
-                    entry.stride = delta;
-                    entry.last_addr = word;
-                    entry.state = FsmState::Meta2;
+                    self.strides[pos] = delta;
+                    self.last[pos] = word.index();
+                    self.states[pos] = FsmState::Meta2;
                     None
                 }
                 FsmState::Meta2 => {
-                    if delta == entry.stride {
+                    if delta == self.strides[pos] {
                         // Stride verified: free the entry and allocate.
-                        self.entries.remove(pos);
+                        self.evict(pos);
                         self.stats.allocations += 1;
                         Some(delta)
                     } else {
-                        entry.stride = delta;
-                        entry.last_addr = word;
+                        self.strides[pos] = delta;
+                        self.last[pos] = word.index();
                         None
                     }
                 }
             }
         } else {
-            if self.entries.len() == self.capacity {
-                self.entries.pop_front();
+            if self.tags.len() == self.capacity {
+                self.evict(0);
                 self.stats.evictions += 1;
             }
-            self.entries.push_back(CzoneEntry {
-                tag,
-                last_addr: word,
-                stride: 0,
-                state: FsmState::Meta1,
-            });
+            self.tags.push(tag);
+            self.last.push(word.index());
+            self.strides.push(0);
+            self.states.push(FsmState::Meta1);
             self.stats.insertions += 1;
             self.counters
                 .add(streamsim_obs::Counter::CzoneTransitions, 1);
@@ -162,12 +179,12 @@ impl CzoneFilter {
 
     /// Number of partitions currently tracked.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.tags.len()
     }
 
     /// Whether no partitions are tracked.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.tags.is_empty()
     }
 }
 
@@ -274,6 +291,21 @@ mod tests {
         f.lookup(w(0x110));
         f.lookup(w(0x120));
         assert_eq!(f.lookup(w(0x130)), Some(0x10));
+    }
+
+    #[test]
+    fn eviction_keeps_the_parallel_arrays_in_step() {
+        // Fill to capacity, verify a middle partition's stride, then make
+        // sure the surviving partitions' FSM state moved with their tags.
+        let mut f = CzoneFilter::new(3, 8);
+        f.lookup(w(0x100)); // partition 1, META1
+        f.lookup(w(0x900)); // partition 9, META1
+        f.lookup(w(0x110)); // partition 1, META2 stride 0x10
+        f.lookup(w(0x910)); // partition 9, META2 stride 0x10
+        assert_eq!(f.lookup(w(0x120)), Some(0x10)); // frees partition 1
+        assert_eq!(f.len(), 1);
+        // Partition 9 must still be in META2 with stride 0x10.
+        assert_eq!(f.lookup(w(0x920)), Some(0x10));
     }
 
     #[test]

@@ -56,6 +56,8 @@ mod buffer;
 mod config;
 mod czone;
 mod min_delta;
+pub mod reference;
+mod scan;
 mod stats;
 mod system;
 mod unit_filter;

@@ -1,14 +1,30 @@
 //! The multi-way stream buffer system (§3).
+//!
+//! The hot lookup state is kept as structure-of-arrays alongside the
+//! buffers, mirroring the `SetAssocCache` rebuild: a flat `Vec<u64>` of
+//! head-block tags (with [`IDLE_HEAD`] marking idle buffers and
+//! invalidated heads) scanned branchlessly on every miss, and a flat
+//! `Vec<u64>` of packed replacement keys (`active` in the top bit over
+//! the LRU stamp) so the victim choice is one branchless min-scan. The
+//! `StreamBuffer`s remain the source of truth; the arrays are mirrors
+//! refreshed at the few points a buffer's head or recency can change.
 
 // lint:hot-module — every L1 miss funnels through this module
 
-use streamsim_trace::{Addr, BlockAddr};
+use streamsim_trace::{Addr, BlockAddr, WordAddr};
 
 use crate::buffer::StreamBuffer;
 use crate::czone::CzoneFilter;
 use crate::min_delta::MinDeltaDetector;
+use crate::scan;
 use crate::unit_filter::UnitStrideFilter;
 use crate::{Allocation, MatchPolicy, StreamConfig, StreamStats};
+
+/// Sentinel head tag for a buffer with no valid head (idle, empty or an
+/// invalidated front entry). Collides with a real block index only for
+/// the very top block of the address space at the smallest block size,
+/// which no configuration reaches; a debug assertion pins this.
+const IDLE_HEAD: u64 = u64::MAX;
 
 /// Result of presenting a primary-cache miss to the stream system.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -28,6 +44,29 @@ impl StreamOutcome {
     pub const fn is_hit(self) -> bool {
         matches!(self, StreamOutcome::Hit)
     }
+}
+
+/// The head tag mirrored into the scan array for `buffer`.
+fn head_tag(buffer: &StreamBuffer) -> u64 {
+    if !buffer.is_active() {
+        return IDLE_HEAD;
+    }
+    match buffer.head_block() {
+        Some(head) => {
+            debug_assert_ne!(head.index(), IDLE_HEAD, "head tag collides with sentinel");
+            head.index()
+        }
+        None => IDLE_HEAD,
+    }
+}
+
+/// The replacement key mirrored into the victim-scan array for `buffer`:
+/// idle buffers sort below every active one, ties broken by LRU stamp —
+/// the exact order of the `(is_active, lru_stamp)` tuple it replaces.
+fn lru_key(buffer: &StreamBuffer) -> u64 {
+    let stamp = buffer.lru_stamp();
+    debug_assert!(stamp < 1 << 63, "LRU stamp overflows the packed key");
+    ((buffer.is_active() as u64) << 63) | stamp
 }
 
 /// A multi-way set of stream buffers with LRU reallocation and the
@@ -61,6 +100,16 @@ impl StreamOutcome {
 pub struct StreamSystem {
     config: StreamConfig,
     buffers: Vec<StreamBuffer>,
+    /// Mirror of each buffer's valid head block ([`IDLE_HEAD`] if none);
+    /// the only array the head-only match scan touches.
+    head_tags: Vec<u64>,
+    /// Mirror of each buffer's packed replacement key (see [`lru_key`]).
+    lru_keys: Vec<u64>,
+    /// Mirror of each buffer's block Bloom summary
+    /// ([`StreamBuffer::block_bloom`]): the write-back path tests one bit
+    /// per buffer here and only walks the entries of buffers that might
+    /// hold the block — most write-backs touch nothing.
+    entry_blooms: Vec<u64>,
     clock: u64,
     unit_filter: Option<UnitStrideFilter>,
     czone: Option<CzoneFilter>,
@@ -81,7 +130,7 @@ impl StreamSystem {
     /// counts to `counters` — scoped handles give per-system attribution
     /// when many systems replay one trace side by side.
     pub fn with_counters(config: StreamConfig, counters: streamsim_obs::Counters) -> Self {
-        let buffers = (0..config.num_streams())
+        let buffers: Vec<StreamBuffer> = (0..config.num_streams())
             .map(|_| StreamBuffer::new(config.depth(), config.block()))
             .collect();
         let (unit_filter, czone, min_delta) = match config.allocation() {
@@ -117,6 +166,9 @@ impl StreamSystem {
             ),
         };
         StreamSystem {
+            head_tags: vec![IDLE_HEAD; buffers.len()],
+            lru_keys: buffers.iter().map(lru_key).collect(),
+            entry_blooms: vec![0; buffers.len()],
             config,
             buffers,
             clock: 0,
@@ -144,20 +196,44 @@ impl StreamSystem {
         &self.buffers
     }
 
+    /// Refreshes the scan mirrors for the buffer at `idx` after any
+    /// operation that may have changed its head or recency.
+    fn refresh(&mut self, idx: usize) {
+        self.head_tags[idx] = head_tag(&self.buffers[idx]);
+        self.lru_keys[idx] = lru_key(&self.buffers[idx]);
+        self.entry_blooms[idx] = self.buffers[idx].block_bloom();
+    }
+
     /// Presents one primary-cache miss to the streams.
     pub fn on_l1_miss(&mut self, addr: Addr) -> StreamOutcome {
+        let block = addr.block(self.config.block());
+        let word = addr.word(self.config.word());
+        self.on_l1_miss_decoded(addr, block, word)
+    }
+
+    /// Like [`StreamSystem::on_l1_miss`], with the block and word of
+    /// `addr` already decoded — the replay engine's fused observer splits
+    /// each address once and feeds every system sharing that geometry.
+    pub fn on_l1_miss_decoded(
+        &mut self,
+        addr: Addr,
+        block: BlockAddr,
+        word: WordAddr,
+    ) -> StreamOutcome {
         debug_assert!(!self.finalized, "stream system already finalized");
+        debug_assert_eq!(block, addr.block(self.config.block()), "mismatched block");
+        debug_assert_eq!(word, addr.word(self.config.word()), "mismatched word");
         self.stats.lookups += 1;
         self.clock += 1;
-        let block = addr.block(self.config.block());
 
         // All buffers are compared in parallel in hardware; find a match.
+        // Head-only matching (the common case) is one branchless scan over
+        // the mirrored head tags.
         let matched = match self.config.match_policy() {
-            MatchPolicy::HeadOnly => self
-                .buffers
-                .iter()
-                .position(|b| b.is_active() && b.head_matches(block))
-                .map(|i| (i, 0)),
+            MatchPolicy::HeadOnly => {
+                let idx = scan::find_first(&self.head_tags, block.index());
+                (idx != usize::MAX).then_some((idx, 0))
+            }
             MatchPolicy::AnyEntry => self
                 .buffers
                 .iter()
@@ -171,6 +247,7 @@ impl StreamSystem {
             let clock = self.clock;
             let fx = self.buffers[idx].consume(pos, clock);
             self.buffers[idx].touch(clock);
+            self.refresh(idx);
             self.stats.hits += 1;
             self.stats.prefetches_used += 1;
             self.stats.prefetches_skipped += fx.skipped;
@@ -181,7 +258,6 @@ impl StreamSystem {
 
         // Stream miss: consult the allocation policy.
         let unit_stride = self.config.block().bytes() as i64;
-        let word = addr.word(self.config.word());
         let stride_bytes = match self.config.allocation() {
             Allocation::OnMiss => Some(unit_stride),
             Allocation::UnitFilter { .. } => self
@@ -233,18 +309,14 @@ impl StreamSystem {
     }
 
     fn allocate(&mut self, addr: Addr, stride_bytes: i64) {
-        // LRU replacement among the buffers; idle buffers first.
-        let idx = self
-            .buffers
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, b)| (b.is_active(), b.lru_stamp()))
-            .map(|(i, _)| i)
-            // lint:allow(no-unwrap-hot, StreamConfig validates buffer count >= 1 so the iterator is never empty)
-            .expect("at least one stream buffer");
+        // LRU replacement among the buffers; idle buffers first. The packed
+        // keys make the old (is_active, lru_stamp) min_by_key a branchless
+        // min-scan with the same first-minimum tie-breaking.
+        let idx = scan::min_index(&self.lru_keys);
         let clock = self.clock;
         let fx = self.buffers[idx].allocate(addr, stride_bytes, clock);
         self.buffers[idx].touch(clock);
+        self.refresh(idx);
         self.stats.allocations += 1;
         self.counters
             .add(streamsim_obs::Counter::StreamAllocations, 1);
@@ -256,8 +328,19 @@ impl StreamSystem {
     /// A dirty block is being written back to memory: invalidate any stale
     /// copies buffered in the streams.
     pub fn on_writeback(&mut self, block: BlockAddr) {
-        for b in &mut self.buffers {
-            self.stats.prefetches_invalidated += b.invalidate(block);
+        // A clear Bloom bit proves the buffer never enqueued this block
+        // since its last flush, so only plausible holders are walked.
+        let bit = 1u64 << (block.index() & 63);
+        for i in 0..self.buffers.len() {
+            if self.entry_blooms[i] & bit == 0 {
+                continue;
+            }
+            let invalidated = self.buffers[i].invalidate(block);
+            if invalidated > 0 {
+                // The head may have been the invalidated entry.
+                self.head_tags[i] = head_tag(&self.buffers[i]);
+            }
+            self.stats.prefetches_invalidated += invalidated;
         }
     }
 
@@ -267,8 +350,9 @@ impl StreamSystem {
         if self.finalized {
             return;
         }
-        for b in &mut self.buffers {
-            let (dead, run) = b.retire();
+        for i in 0..self.buffers.len() {
+            let (dead, run) = self.buffers[i].retire();
+            self.refresh(i);
             self.stats.prefetches_dead += dead;
             self.stats.lengths.record_run(run);
         }
@@ -433,6 +517,28 @@ mod tests {
         let stats = sys.stats();
         assert_eq!(stats.prefetches_invalidated, 1);
         assert!(stats.prefetch_accounting_balances());
+    }
+
+    #[test]
+    fn decoded_entry_point_matches_the_plain_one() {
+        let cfg = StreamConfig::paper_strided(4, 16).unwrap();
+        let mut plain = StreamSystem::new(cfg);
+        let mut decoded = StreamSystem::new(cfg);
+        let addrs: Vec<u64> = (0..200u64)
+            .map(|i| (i * 0x2497 + (i % 7) * 0x40000) & 0xf_ffff)
+            .collect();
+        for &raw in &addrs {
+            let addr = Addr::new(raw);
+            let block = addr.block(cfg.block());
+            let word = addr.word(cfg.word());
+            assert_eq!(
+                plain.on_l1_miss(addr),
+                decoded.on_l1_miss_decoded(addr, block, word)
+            );
+        }
+        plain.finalize();
+        decoded.finalize();
+        assert_eq!(plain.stats(), decoded.stats());
     }
 
     #[test]

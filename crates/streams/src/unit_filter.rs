@@ -6,11 +6,21 @@
 //! at block `a`. A stream is allocated only when a miss *hits* the filter —
 //! i.e. when the preceding block missed in the recent past, indicating two
 //! misses to consecutive cache blocks and hence a promising stream.
+//!
+//! The predictions live in a flat ring of block indices probed with
+//! [`scan::find_first`](crate::scan::find_first) over its two contiguous
+//! segments: the filter is probed on *every* primary miss that reaches
+//! allocation, so the scan is as hot as the stream-head lookup itself,
+//! and the ring makes the common capacity eviction a head increment
+//! instead of a whole-array memmove. First-match order matters — the
+//! history may legitimately hold the same predicted block twice (two
+//! recent misses at `a - 1`), and the paper's FIFO frees the oldest.
 
-use std::collections::VecDeque;
+// lint:hot-module — probed on every filtered allocation decision during replay
 
 use streamsim_trace::BlockAddr;
 
+use crate::scan;
 use crate::FilterStats;
 
 /// History buffer detecting misses to consecutive cache blocks.
@@ -33,9 +43,11 @@ use crate::FilterStats;
 /// ```
 #[derive(Clone, Debug)]
 pub(crate) struct UnitStrideFilter {
-    /// Expected-next blocks; front = oldest.
-    entries: VecDeque<BlockAddr>,
-    capacity: usize,
+    /// Predicted-next block indices in a ring: logical position `i`
+    /// (0 = oldest) lives at `(head + i) % capacity`.
+    predictions: Box<[u64]>,
+    head: usize,
+    len: usize,
     stats: FilterStats,
     counters: streamsim_obs::Counters,
 }
@@ -49,11 +61,39 @@ impl UnitStrideFilter {
     pub(crate) fn with_counters(capacity: usize, counters: streamsim_obs::Counters) -> Self {
         assert!(capacity > 0, "filter needs at least one entry");
         UnitStrideFilter {
-            entries: VecDeque::with_capacity(capacity),
-            capacity,
+            predictions: vec![0; capacity].into_boxed_slice(),
+            head: 0,
+            len: 0,
             stats: FilterStats::default(),
             counters,
         }
+    }
+
+    /// Physical slot of logical position `pos` (one conditional subtract;
+    /// `head + pos` never reaches twice the capacity).
+    #[inline(always)]
+    fn slot(&self, pos: usize) -> usize {
+        let s = self.head + pos;
+        if s >= self.predictions.len() {
+            s - self.predictions.len()
+        } else {
+            s
+        }
+    }
+
+    /// Oldest-first position of `needle`, scanning the ring's two
+    /// contiguous segments, or `usize::MAX` if absent.
+    fn find(&self, needle: u64) -> usize {
+        let first_len = (self.predictions.len() - self.head).min(self.len);
+        let pos = scan::find_first(&self.predictions[self.head..self.head + first_len], needle);
+        if pos != usize::MAX {
+            return pos;
+        }
+        let wrapped = scan::find_first(&self.predictions[..self.len - first_len], needle);
+        if wrapped != usize::MAX {
+            return first_len + wrapped;
+        }
+        usize::MAX
     }
 
     /// Presents a missed block. Returns `true` when a stream should be
@@ -62,18 +102,31 @@ impl UnitStrideFilter {
     /// successor block is recorded, displacing the oldest entry if full.
     pub(crate) fn lookup(&mut self, block: BlockAddr) -> bool {
         self.stats.lookups += 1;
-        if let Some(pos) = self.entries.iter().position(|&b| b == block) {
-            self.entries.remove(pos);
+        let pos = self.find(block.index());
+        if pos != usize::MAX {
+            // Free the hit entry, preserving the order of the survivors:
+            // shift the younger side down one logical position. Streaming
+            // hits match the newest prediction, so this loop almost never
+            // iterates.
+            for i in pos..self.len - 1 {
+                self.predictions[self.slot(i)] = self.predictions[self.slot(i + 1)];
+            }
+            self.len -= 1;
             self.stats.allocations += 1;
             self.counters
                 .add(streamsim_obs::Counter::UnitFilterAccepts, 1);
             return true;
         }
-        if self.entries.len() == self.capacity {
-            self.entries.pop_front();
+        if self.len == self.predictions.len() {
+            // Dropping the oldest is what the old `Vec::remove(0)`
+            // memmove did; here it is one head increment.
+            self.head = self.slot(1);
+            self.len -= 1;
             self.stats.evictions += 1;
         }
-        self.entries.push_back(block.next());
+        let tail = self.slot(self.len);
+        self.predictions[tail] = block.next().index();
+        self.len += 1;
         self.stats.insertions += 1;
         self.counters
             .add(streamsim_obs::Counter::UnitFilterRejects, 1);
@@ -86,7 +139,7 @@ impl UnitStrideFilter {
 
     #[cfg(test)]
     fn len(&self) -> usize {
-        self.entries.len()
+        self.len
     }
 }
 
@@ -153,6 +206,18 @@ mod tests {
         assert!(!f.lookup(b(49)));
         assert!(!f.lookup(b(48)));
         assert_eq!(f.stats().allocations, 0);
+    }
+
+    #[test]
+    fn duplicate_predictions_free_the_oldest_first() {
+        // Two misses at block 9 both predict 10; a hit at 10 must free only
+        // the older entry (first match), leaving the second prediction live.
+        let mut f = UnitStrideFilter::new(4);
+        assert!(!f.lookup(b(9)));
+        assert!(!f.lookup(b(9)));
+        assert!(f.lookup(b(10)), "first prediction hits");
+        assert!(f.lookup(b(10)), "second prediction still present");
+        assert!(!f.lookup(b(10)), "both freed now");
     }
 
     #[test]

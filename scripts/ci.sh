@@ -106,4 +106,13 @@ echo "==> recording bench smoke (enforce >= 1.15x)"
 STREAMSIM_BENCH_SAMPLES=3 STREAMSIM_BENCH_WARMUP=1 STREAMSIM_BENCH_ENFORCE=1.15 \
     cargo bench --offline -p streamsim-bench --bench recording
 
+# Same contract for the replay hot loop: the bench pins byte-identity
+# of the fused/SoA delivery path against the frozen pre-PR reference
+# (per-event fan-out into `ReferenceStreamSystem`), then times both.
+# The recorded aggregate speedup lives in BENCH_replay.json; the floor
+# here sits well below it for the same noise-tolerance reason.
+echo "==> replay bench smoke (enforce >= 1.3x)"
+STREAMSIM_BENCH_SAMPLES=3 STREAMSIM_BENCH_WARMUP=1 STREAMSIM_BENCH_ENFORCE=1.3 \
+    cargo bench --offline -p streamsim-bench --bench replay
+
 echo "==> tier-1 gate passed"

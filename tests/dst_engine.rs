@@ -20,8 +20,9 @@ use std::sync::Arc;
 use streamsim_core::experiments::ExperimentOptions;
 use streamsim_core::sink::col;
 use streamsim_core::{
-    parallel_map_on, render_json_lines, run_streams, Artifact, ArtifactSink, Cell, ExecutorHandle,
-    GuardedSink, JsonLinesSink, RecordOptions, TraceStore,
+    parallel_map_on, render_json_lines, replay_streams, run_streams, Artifact, ArtifactSink, Cell,
+    ExecutorHandle, GuardedSink, JsonLinesSink, MissEvent, MissObserver, RecordOptions,
+    StreamObserver, TraceStore,
 };
 use streamsim_dst::{
     sweep_with, Executor, Fault, FaultContext, FaultPlan, SimExecutor, ThreadExecutor,
@@ -313,6 +314,78 @@ fn artifacts_are_byte_identical_across_interleavings() {
     sweep_with("artifact_byte_identity", 8, |seed| {
         let exec = SimExecutor::new(seed, 2 + (seed % 4) as usize);
         assert_eq!(run(&exec), reference, "artifact bytes depend on scheduling");
+    });
+}
+
+/// The fused replay path feeding a driver-shaped artifact is
+/// byte-identical to unfused per-event observers, under every seeded
+/// interleaving of the work queue: neither the batching, the fusion nor
+/// the scheduling of cells across workers may leak into artifact bytes.
+#[test]
+fn fused_and_unfused_replays_render_identical_artifacts() {
+    let family = [
+        StreamConfig::paper_basic(4).expect("valid"),
+        StreamConfig::paper_filtered(4).expect("valid"),
+        StreamConfig::paper_strided(4, 16).expect("valid"),
+    ];
+    let workloads = || -> Vec<Box<dyn Workload>> {
+        (0..5)
+            .map(|i| Box::new(small_gather(i)) as Box<dyn Workload>)
+            .collect()
+    };
+    let pipeline = |exec: &dyn Executor, fused: bool| -> (Vec<String>, usize, u64, u64) {
+        let store = TraceStore::new();
+        let traces = store
+            .prefill_on(&workloads(), &RecordOptions::default(), exec)
+            .expect("valid L1");
+        let cells: Vec<(usize, Arc<streamsim_core::MissTrace>)> =
+            traces.into_iter().enumerate().collect();
+        let per_cell = parallel_map_on(exec, cells, |(i, trace)| {
+            let stats = if fused {
+                replay_streams(&trace, &family)
+            } else {
+                // Unfused reference: independent observers fed one event
+                // at a time.
+                family
+                    .iter()
+                    .map(|&c| {
+                        let mut o = StreamObserver::new(c);
+                        for event in trace.events() {
+                            match *event {
+                                MissEvent::Fetch { addr, kind } => o.on_fetch(addr, kind),
+                                MissEvent::Writeback { base } => o.on_writeback(base),
+                            }
+                        }
+                        o.finish();
+                        o.stats()
+                    })
+                    .collect()
+            };
+            stats
+                .into_iter()
+                .enumerate()
+                .map(|(j, s)| {
+                    (
+                        format!("cell{i}/cfg{j}"),
+                        trace.fetches(),
+                        s.hit_rate() * 100.0,
+                    )
+                })
+                .collect::<Vec<_>>()
+        });
+        let rows = per_cell.into_iter().flatten().collect();
+        let lines = render_json_lines(&MiniArtifact { rows });
+        (lines, store.len(), store.misses(), store.hits())
+    };
+    let reference = pipeline(&ThreadExecutor::new(3), false);
+    assert!(!reference.0.is_empty());
+    sweep_with("fused_unfused_artifact_identity", 8, |seed| {
+        let exec = SimExecutor::new(seed, 2 + (seed % 4) as usize);
+        assert_eq!(
+            pipeline(&exec, true),
+            reference,
+            "fused replay artifact bytes diverged from the unfused reference"
+        );
     });
 }
 
