@@ -7,8 +7,10 @@
 //! entire evaluation section.
 //!
 //! Set `STREAMSIM_SCALE=quick` to run the reduced inputs (useful when
-//! smoke-testing the harness itself), and `STREAMSIM_SAMPLING=paper` to
-//! enable the paper's 10 000-on / 90 000-off time sampling.
+//! smoke-testing the harness itself), `STREAMSIM_SAMPLING=paper` to
+//! enable the paper's 10 000-on / 90 000-off time sampling, and
+//! `STREAMSIM_PRESCREEN=1` to let the analytical model prune sweeps to
+//! the predicted Pareto frontier before simulating.
 //!
 //! The `micro` target uses the in-tree [`timing`] harness instead of an
 //! experiment driver; see that module for its output format and knobs.
@@ -32,6 +34,7 @@ pub fn options_from_env() -> ExperimentOptions {
     ExperimentOptions {
         scale,
         sampling,
+        prescreen: std::env::var("STREAMSIM_PRESCREEN").as_deref() == Ok("1"),
         store: Default::default(),
         executor: Default::default(),
     }

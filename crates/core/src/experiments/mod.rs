@@ -20,6 +20,7 @@
 //! | [`scorecard`] | machine-checked paper-vs-measured verdicts |
 //! | [`cpi`] | estimated memory CPI / execution-time extension |
 //! | [`topology`] | §3 stream placement: from memory (paper) vs from an L2 (Jouppi) |
+//! | [`sweep`] | whole design-space sweep with an optional analytical pre-screen |
 //!
 //! Every driver takes [`ExperimentOptions`]; [`Scale::Quick`] runs
 //! reduced inputs for smoke tests, [`Scale::Paper`] the paper-sized
@@ -35,6 +36,7 @@ pub mod fig9;
 pub mod latency;
 pub mod multiprogramming;
 pub mod scorecard;
+pub mod sweep;
 pub mod table1;
 pub mod table2;
 pub mod table3;
@@ -50,7 +52,12 @@ use crate::sink::Artifact;
 use crate::{ExecutorHandle, MissTrace, RecordOptions, TraceStore};
 
 /// Every experiment driver's artifact name, in report order.
-pub const ARTIFACT_NAMES: [&str; 16] = [
+///
+/// `sweep` is the whole-design-space driver; it is listed here (so it
+/// can be selected by name and `--prescreen` applies to it) but a
+/// default `streamsim-report` run excludes it — the full grid is ~60×
+/// the cost of any single figure.
+pub const ARTIFACT_NAMES: [&str; 17] = [
     "table1",
     "table2",
     "table3",
@@ -67,7 +74,18 @@ pub const ARTIFACT_NAMES: [&str; 16] = [
     "scorecard",
     "cpi",
     "topology",
+    "sweep",
 ];
+
+/// Artifacts a no-selection `streamsim-report` run regenerates: all of
+/// [`ARTIFACT_NAMES`] except the on-demand `sweep`.
+pub fn default_artifacts() -> Vec<&'static str> {
+    ARTIFACT_NAMES
+        .iter()
+        .copied()
+        .filter(|&n| n != "sweep")
+        .collect()
+}
 
 /// Runs one experiment driver by artifact name, returning its result as
 /// a sink-ready [`Artifact`]. Returns `None` for unknown names (see
@@ -94,6 +112,7 @@ pub fn run_artifact(name: &str, options: &ExperimentOptions) -> Option<Box<dyn A
         "scorecard" => Box::new(scorecard::run(options)),
         "cpi" => Box::new(cpi::run(options)),
         "topology" => Box::new(topology::run(options)),
+        "sweep" => Box::new(sweep::run(options)),
         _ => return None,
     };
     Some(artifact)
@@ -124,6 +143,12 @@ pub struct ExperimentOptions {
     pub sampling: Option<(u64, u64)>,
     /// The shared store of recorded miss traces.
     pub store: TraceStore,
+    /// Pre-screen configuration sweeps with the analytical model: score
+    /// every cell in closed form from memoized locality profiles and
+    /// simulate only the predicted Pareto frontier plus a tolerance
+    /// band (see [`sweep`]). Off by default — drivers that don't sweep
+    /// ignore it.
+    pub prescreen: bool,
     /// The executor every concurrent fan-out in this run goes through —
     /// trace-store prefills and the drivers' (cell × config) sweeps
     /// alike. Defaults to the production thread pool; DST tests swap in

@@ -48,6 +48,7 @@
 
 pub mod chart;
 pub mod experiments;
+pub mod locality;
 mod miss_trace;
 pub mod paper;
 mod profile;
@@ -58,6 +59,7 @@ pub mod sink;
 mod system;
 mod trace_store;
 
+pub use locality::{l2_geometry, profile_trace, stream_geometry};
 pub use miss_trace::{record_miss_trace, run_l2, run_streams, MissEvent, MissTrace, RecordOptions};
 pub use profile::ProfileArtifact;
 pub use replay::{

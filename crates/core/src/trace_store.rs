@@ -51,6 +51,9 @@ pub struct TraceStore {
 #[derive(Debug, Default)]
 struct Inner {
     traces: Mutex<BTreeMap<String, Arc<MissTrace>>>,
+    /// Locality profiles, keyed like `traces`: one extra recording-time
+    /// pass per (workload, L1) cell serves every model query after it.
+    profiles: Mutex<BTreeMap<String, Arc<streamsim_model::LocalityProfile>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -147,6 +150,62 @@ impl TraceStore {
             .collect()
     }
 
+    /// The locality profile of `workload`'s miss trace under `options`,
+    /// computed (and memoized) on first request.
+    ///
+    /// The trace itself comes from [`TraceStore::record`], so the first
+    /// profile request for a cold cell records and then profiles; every
+    /// later request — any driver or pre-screened sweep holding this
+    /// store — returns the stored `Arc` without touching the trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheConfigError`] if either cache configuration in
+    /// `options` is invalid.
+    pub fn profile(
+        &self,
+        workload: &dyn Workload,
+        options: &RecordOptions,
+    ) -> Result<Arc<streamsim_model::LocalityProfile>, CacheConfigError> {
+        let key = Self::key(workload, options);
+        if let Some(profile) = self.inner.profiles.lock().expect("store lock").get(&key) {
+            return Ok(Arc::clone(profile));
+        }
+        // Profiling runs outside the lock (it walks the whole trace);
+        // racing threads both profile and one result wins, harmlessly,
+        // because profiling is deterministic.
+        let trace = self.record(workload, options)?;
+        let profile = Arc::new(crate::locality::profile_trace(&trace));
+        let mut map = self.inner.profiles.lock().expect("store lock");
+        Ok(Arc::clone(map.entry(key).or_insert(profile)))
+    }
+
+    /// Profiles every `(workload, options)` cell in parallel on an
+    /// explicit executor, returning profiles in workload order.
+    ///
+    /// Like [`TraceStore::prefill_on`], this is a DST seam: the
+    /// pre-screened sweep goes through it with the run's executor, and
+    /// the determinism property tests swap in a seeded
+    /// [`streamsim_dst::SimExecutor`] to pin that profiles are
+    /// byte-identical under any interleaving.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CacheConfigError`] (in workload order) if
+    /// `options` holds an invalid cache configuration.
+    pub fn profiles_on(
+        &self,
+        workloads: &[Box<dyn Workload>],
+        options: &RecordOptions,
+        exec: &dyn streamsim_dst::Executor,
+    ) -> Result<Vec<Arc<streamsim_model::LocalityProfile>>, CacheConfigError> {
+        let refs: Vec<&dyn Workload> = workloads.iter().map(Box::as_ref).collect();
+        let _span = streamsim_obs::span("profile_pass");
+        crate::parallel_map_on(exec, refs, |w: &dyn Workload| self.profile(w, options))
+            .into_iter()
+            .collect()
+    }
+
     /// Number of distinct traces currently stored.
     pub fn len(&self) -> usize {
         self.inner.traces.lock().expect("store lock").len()
@@ -167,9 +226,10 @@ impl TraceStore {
         self.inner.misses.load(Ordering::Relaxed)
     }
 
-    /// Drops every stored trace (counters are kept).
+    /// Drops every stored trace and profile (counters are kept).
     pub fn clear(&self) {
         self.inner.traces.lock().expect("store lock").clear();
+        self.inner.profiles.lock().expect("store lock").clear();
     }
 }
 
@@ -271,6 +331,46 @@ mod tests {
         }
         assert_eq!(store.misses(), 2);
         assert_eq!(store.hits(), 2);
+    }
+
+    #[test]
+    fn profiles_are_memoized_alongside_traces() {
+        let store = TraceStore::new();
+        let w = SequentialSweep::default();
+        let opts = RecordOptions::default();
+        let a = store.profile(&w, &opts).unwrap();
+        let b = store.profile(&w, &opts).unwrap();
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "second request is served from the store"
+        );
+        // The underlying trace was recorded exactly once and profiling
+        // matches a fresh pass over it.
+        assert_eq!(store.misses(), 1);
+        let trace = store.record(&w, &opts).unwrap();
+        assert_eq!(*a, crate::locality::profile_trace(&trace));
+    }
+
+    #[test]
+    fn profiles_on_matches_serial_profiling() {
+        let store = TraceStore::new();
+        let workloads: Vec<Box<dyn Workload>> = vec![
+            Box::new(SequentialSweep::default()),
+            Box::new(RandomGather {
+                footprint: 1 << 16,
+                count: 5_000,
+                seed: 7,
+            }),
+        ];
+        let opts = RecordOptions::default();
+        let profiles = store
+            .profiles_on(&workloads, &opts, &streamsim_dst::ThreadExecutor::auto())
+            .unwrap();
+        assert_eq!(profiles.len(), 2);
+        for (w, p) in workloads.iter().zip(&profiles) {
+            let serial = store.profile(w.as_ref(), &opts).unwrap();
+            assert!(Arc::ptr_eq(p, &serial), "{}", w.name());
+        }
     }
 
     #[test]

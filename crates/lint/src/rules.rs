@@ -5,7 +5,9 @@
 //! catalog enforces the workspace's prose contracts:
 //!
 //! * **Determinism** — `no-hash-collections` (randomized iteration
-//!   order has no place in simulation state or report plumbing),
+//!   order has no place in simulation state or report plumbing; the
+//!   rule also tracks in-file `use … as` and `type … =` aliases, so
+//!   every use of the alias is flagged on its own line),
 //!   `no-wall-clock` (the monotonic/wall clock belongs to
 //!   `streamsim-obs` and the timing harness only), `no-env-read`
 //!   (environment is configuration; it enters through sanctioned
@@ -360,8 +362,82 @@ pub fn check_rust_source(path: &str, source: &str, config: &LintConfig) -> Vec<F
     findings
 }
 
+/// One in-file alias of a hash collection: `use … HashMap as Map;` or
+/// `type Map = HashMap<…>;`. The declaration line is already flagged by
+/// the base ident check; tracking the alias closes the laundering hole
+/// where every *use* of `Map` would otherwise slip through with a
+/// single suppression on the declaration.
+struct HashAlias {
+    /// The aliased original (`HashMap` or `HashSet`).
+    original: String,
+    /// Line of the declaring `use`/`type` item.
+    decl_line: u32,
+    /// Code-token index of the alias ident in the declaration, so the
+    /// declaration itself is not double-flagged.
+    decl_ci: usize,
+}
+
+/// Collects `use … as` / `type … =` aliases of `HashMap`/`HashSet`.
+fn hash_aliases(view: &FileView<'_>) -> BTreeMap<String, HashAlias> {
+    let mut aliases = BTreeMap::new();
+    let n = view.code.len();
+    for ci in 0..n {
+        if view.tok(ci).kind != TokenKind::Ident {
+            continue;
+        }
+        match view.text(ci) {
+            // `… HashMap as Map` — covers plain `use`, `pub use`
+            // re-exports and grouped imports alike.
+            word @ ("HashMap" | "HashSet")
+                if ci + 2 < n
+                    && view.is_ident(ci + 1, "as")
+                    && view.tok(ci + 2).kind == TokenKind::Ident =>
+            {
+                aliases.insert(
+                    view.text(ci + 2).to_owned(),
+                    HashAlias {
+                        original: word.to_owned(),
+                        decl_line: view.tok(ci).line,
+                        decl_ci: ci + 2,
+                    },
+                );
+            }
+            // `type Map = HashMap<…>;` — scan the right-hand side up
+            // to the terminating semicolon.
+            "type"
+                if ci + 3 < n
+                    && view.tok(ci + 1).kind == TokenKind::Ident
+                    && view.is_punct(ci + 2, "=") =>
+            {
+                let mut j = ci + 3;
+                while j < n && !view.is_punct(j, ";") {
+                    if view.is_ident(j, "HashMap") || view.is_ident(j, "HashSet") {
+                        aliases.insert(
+                            view.text(ci + 1).to_owned(),
+                            HashAlias {
+                                original: view.text(j).to_owned(),
+                                decl_line: view.tok(ci).line,
+                                decl_ci: ci + 1,
+                            },
+                        );
+                        break;
+                    }
+                    j += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    aliases
+}
+
 /// The token-stream rules (everything except to-do tagging).
 fn code_rules(view: &FileView<'_>, path: &str, config: &LintConfig, out: &mut Vec<Finding>) {
+    let aliases = if config.hash_applies(path) {
+        hash_aliases(view)
+    } else {
+        BTreeMap::new()
+    };
     let n = view.code.len();
     for ci in 0..n {
         if view.tok(ci).kind != TokenKind::Ident {
@@ -495,7 +571,26 @@ fn code_rules(view: &FileView<'_>, path: &str, config: &LintConfig, out: &mut Ve
                     ),
                 ));
             }
-            _ => {}
+            word => {
+                // Uses of an in-file alias of HashMap/HashSet (the
+                // declaration site is flagged by the arms above; every
+                // use of the alias inherits the same randomized
+                // iteration order and is flagged on its own line).
+                if let Some(alias) = aliases.get(word) {
+                    if ci != alias.decl_ci {
+                        out.push(Finding::deny(
+                            "no-hash-collections",
+                            path,
+                            line,
+                            format!(
+                                "{word} aliases {} (declared on line {}) and iterates in \
+                                 RandomState order; use BTreeMap/BTreeSet or a seeded hasher",
+                                alias.original, alias.decl_line
+                            ),
+                        ));
+                    }
+                }
+            }
         }
     }
 }

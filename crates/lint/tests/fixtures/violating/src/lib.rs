@@ -3,7 +3,17 @@
 //! workspace and only walked by the lint's own tests.
 
 use std::collections::HashMap; // no-hash-collections
+use std::collections::HashSet as FastSet; // no-hash-collections (decl)
 use std::time::Instant; // no-wall-clock
+
+type Lookup = HashMap<u32, u32>; // no-hash-collections (HashMap ident)
+
+pub fn aliased() {
+    let mut s = FastSet::new(); // no-hash-collections (alias use)
+    s.insert(1u32);
+    let mut l = Lookup::new(); // no-hash-collections (alias use)
+    l.insert(1, 2);
+}
 
 // TODO without a tag trips todo-tag on this fixture line.
 pub fn naughty() {

@@ -64,6 +64,55 @@ fn no_hash_collections_fires_and_suppresses() {
 }
 
 #[test]
+fn hash_aliases_are_tracked_through_use_as() {
+    // The declaration fires once (on the HashSet ident); each use of
+    // the alias fires on its own line — a single suppression on the
+    // `use` cannot launder the whole file.
+    let source = "use std::collections::HashSet as FastSet;\n\
+                  pub fn f() { let _s: FastSet<u8> = FastSet::default(); }\n";
+    let findings = check_rust_source("crates/core/src/probe.rs", source, &config());
+    let lines: Vec<u32> = findings
+        .iter()
+        .filter(|f| f.level == Level::Deny)
+        .map(|f| {
+            assert_eq!(f.rule, "no-hash-collections");
+            f.line
+        })
+        .collect();
+    assert_eq!(lines, vec![1, 2, 2], "decl once, each alias use once");
+}
+
+#[test]
+fn hash_aliases_are_tracked_through_type_aliases() {
+    let source = "type Lookup = std::collections::HashMap<u32, u32>;\n\
+                  pub fn f() -> Lookup { Lookup::new() }\n";
+    let findings = check_rust_source("crates/core/src/probe.rs", source, &config());
+    let lines: Vec<u32> = findings
+        .iter()
+        .filter(|f| f.level == Level::Deny)
+        .map(|f| {
+            assert_eq!(f.rule, "no-hash-collections");
+            f.line
+        })
+        .collect();
+    assert_eq!(lines, vec![1, 2, 2], "decl once, each alias use once");
+}
+
+#[test]
+fn hash_aliases_are_tracked_through_re_exports() {
+    // A `pub use … as` re-export is still a declaration; uses of the
+    // re-exported name in the same file are flagged.
+    let source = "pub use std::collections::HashMap as Map;\n\
+                  pub fn f() { let _m: Map<u8, u8> = Map::new(); }\n";
+    let fired = denies(source);
+    assert_eq!(
+        fired,
+        vec!["no-hash-collections".to_owned(); 3],
+        "re-export decl + two uses"
+    );
+}
+
+#[test]
 fn no_wall_clock_fires_and_suppresses() {
     fires_and_suppresses(
         "no-wall-clock",
@@ -316,7 +365,10 @@ fn violating_fixture_trips_every_rule() {
             "rule {rule} never fired on the violating fixture; fired: {by_rule:?}"
         );
     }
-    assert_eq!(by_rule["no-hash-collections"], 3);
+    assert_eq!(
+        by_rule["no-hash-collections"], 7,
+        "3 direct idents + 2 alias declarations + 2 alias uses"
+    );
     assert_eq!(by_rule["no-wall-clock"], 3);
     assert_eq!(by_rule["hermetic-deps"], 3);
     assert_eq!(

@@ -1,0 +1,194 @@
+//! A stack-distance histogram: exact at small distances, logarithmic
+//! with linear sub-buckets above.
+//!
+//! Secondary-cache capacities of interest span ~2^9 to ~2^17 blocks.
+//! Distances below [`DistHist::EXACT`] are counted exactly; above that
+//! each power-of-two octave is split into [`DistHist::SUBS`] equal
+//! sub-buckets (≤ ~6 % relative resolution), and queries interpolate
+//! linearly inside a partially covered bucket.
+
+/// Histogram of LRU stack distances.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DistHist {
+    /// Counts for distances `0..EXACT`.
+    exact: Vec<u64>,
+    /// Counts for distances `>= EXACT`, bucketed per octave/sub-bucket.
+    coarse: Vec<u64>,
+    /// First-touch accesses (no previous access; infinite distance).
+    cold: u64,
+    /// Total recorded finite distances.
+    total: u64,
+}
+
+impl DistHist {
+    /// Distances below this are counted exactly.
+    pub const EXACT: u64 = 4096;
+    /// Sub-buckets per power-of-two octave above the exact range.
+    pub const SUBS: usize = 16;
+    /// First octave covered by the coarse buckets (`log2(EXACT)`).
+    const FIRST_OCTAVE: u32 = Self::EXACT.trailing_zeros();
+
+    /// An empty histogram.
+    pub fn new() -> Self {
+        DistHist {
+            exact: vec![0; Self::EXACT as usize],
+            coarse: vec![0; (64 - Self::FIRST_OCTAVE as usize) * Self::SUBS],
+            cold: 0,
+            total: 0,
+        }
+    }
+
+    /// The coarse bucket index for a distance `>= EXACT`, plus the
+    /// bucket's `[lo, hi)` distance range.
+    fn coarse_bucket(d: u64) -> (usize, u64, u64) {
+        debug_assert!(d >= Self::EXACT);
+        let octave = 63 - d.leading_zeros();
+        let width = (1u64 << octave) / Self::SUBS as u64;
+        let sub = ((d - (1 << octave)) / width) as usize;
+        let idx = (octave - Self::FIRST_OCTAVE) as usize * Self::SUBS + sub;
+        let lo = (1 << octave) + sub as u64 * width;
+        (idx, lo, lo + width)
+    }
+
+    /// Records a finite stack distance.
+    pub fn record(&mut self, d: u64) {
+        self.total += 1;
+        if d < Self::EXACT {
+            self.exact[d as usize] += 1;
+        } else {
+            let (idx, _, _) = Self::coarse_bucket(d);
+            self.coarse[idx] += 1;
+        }
+    }
+
+    /// Records a first touch (cold / infinite distance).
+    pub fn record_cold(&mut self) {
+        self.cold += 1;
+    }
+
+    /// Cold (first-touch) accesses recorded.
+    pub fn cold(&self) -> u64 {
+        self.cold
+    }
+
+    /// Finite distances recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// All recorded accesses (finite + cold).
+    pub fn accesses(&self) -> u64 {
+        self.total + self.cold
+    }
+
+    /// Estimated number of recorded distances strictly below `limit`.
+    ///
+    /// Exact below [`DistHist::EXACT`]; above, a partially covered
+    /// coarse bucket contributes linearly.
+    pub fn count_below(&self, limit: u64) -> f64 {
+        let exact_end = limit.min(Self::EXACT) as usize;
+        let mut n: f64 = self.exact[..exact_end].iter().map(|&c| c as f64).sum();
+        if limit > Self::EXACT {
+            let (cut, cut_lo, cut_hi) = Self::coarse_bucket(limit.min(u64::MAX >> 1));
+            for (idx, &c) in self.coarse.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                if idx < cut {
+                    n += c as f64;
+                } else if idx == cut {
+                    n += c as f64 * (limit - cut_lo) as f64 / (cut_hi - cut_lo) as f64;
+                }
+            }
+        }
+        n
+    }
+
+    /// Visits every non-empty bucket as `(representative distance,
+    /// count)` — the representative is the bucket midpoint. Used by the
+    /// set-associative hit model, which needs a weighted sum over the
+    /// distance distribution rather than a plain CDF query.
+    pub fn for_each_bucket(&self, mut f: impl FnMut(f64, u64)) {
+        for (d, &c) in self.exact.iter().enumerate() {
+            if c > 0 {
+                f(d as f64, c);
+            }
+        }
+        for (idx, &c) in self.coarse.iter().enumerate() {
+            if c > 0 {
+                let octave = Self::FIRST_OCTAVE + (idx / Self::SUBS) as u32;
+                let width = (1u64 << octave) / Self::SUBS as u64;
+                let lo = (1u64 << octave) + (idx % Self::SUBS) as u64 * width;
+                f(lo as f64 + width as f64 / 2.0, c);
+            }
+        }
+    }
+}
+
+impl Default for DistHist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_range_is_exact() {
+        let mut h = DistHist::new();
+        for d in [0, 1, 1, 5, 4095] {
+            h.record(d);
+        }
+        h.record_cold();
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.cold(), 1);
+        assert_eq!(h.accesses(), 6);
+        assert_eq!(h.count_below(1), 1.0);
+        assert_eq!(h.count_below(2), 3.0);
+        assert_eq!(h.count_below(4095), 4.0);
+        assert_eq!(h.count_below(4096), 5.0);
+        assert_eq!(h.count_below(u64::MAX >> 2), 5.0);
+    }
+
+    #[test]
+    fn coarse_buckets_interpolate() {
+        let mut h = DistHist::new();
+        // 8192..8192+512 is one sub-bucket of the 2^13 octave
+        // (width 8192/16 = 512).
+        for _ in 0..100 {
+            h.record(8192);
+        }
+        assert_eq!(h.count_below(8192), 0.0);
+        assert_eq!(h.count_below(8704), 100.0, "bucket fully covered");
+        let half = h.count_below(8448);
+        assert!((half - 50.0).abs() < 1e-9, "half-covered bucket: {half}");
+    }
+
+    #[test]
+    fn coarse_resolution_is_within_a_bucket() {
+        let mut h = DistHist::new();
+        h.record(1_000_000);
+        // The true distance lies in its bucket: counting below anything
+        // past the bucket end sees the whole count.
+        assert_eq!(h.count_below(2_000_000), 1.0);
+        assert_eq!(h.count_below(500_000), 0.0);
+    }
+
+    #[test]
+    fn bucket_walk_recovers_total() {
+        let mut h = DistHist::new();
+        for d in [3, 700, 5000, 12345, 1 << 20] {
+            h.record(d);
+        }
+        let mut n = 0;
+        let mut weighted = 0.0;
+        h.for_each_bucket(|rep, c| {
+            n += c;
+            weighted += rep * c as f64;
+        });
+        assert_eq!(n, 5);
+        assert!(weighted > 0.0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Pareto-frontier selection over (hit rate, extra bandwidth)
+//! objective pairs, plus the tolerance-banded pruning rule the
+//! pre-screened sweep relies on.
+//!
+//! The sweep maximizes hit rate and minimizes extra bandwidth. A cell
+//! `p` is *dominated* by `q` when `q` is at least as good on both axes
+//! and strictly better on one. Pruning with predicted scores uses a
+//! relaxed rule: `p` is dropped only when some `q` beats it by more
+//! than a band on *both* axes. If the band is at least twice the
+//! model's worst-case per-axis error, every true-frontier cell
+//! survives pruning: for a true-frontier `p` and any `q`, the true
+//! scores satisfy `q.hit <= p.hit or q.eb >= p.eb` (up to ties), so the
+//! predicted gap can exceed the band on both axes only if the model
+//! erred by more than half the band on some axis — a contradiction.
+
+/// One sweep cell's objective pair.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Objectives {
+    /// Stream hit rate — higher is better.
+    pub hit: f64,
+    /// Extra-bandwidth fraction — lower is better.
+    pub eb: f64,
+}
+
+/// Per-axis pruning slack.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Band {
+    /// Slack on the hit-rate axis.
+    pub hit: f64,
+    /// Slack on the extra-bandwidth axis.
+    pub eb: f64,
+}
+
+/// Marks the exact Pareto frontier: `true` for every cell no other
+/// cell strictly dominates. Ties survive on both sides (two identical
+/// points are both frontier members). O(n²), deterministic.
+pub fn frontier(cells: &[Objectives]) -> Vec<bool> {
+    cells
+        .iter()
+        .map(|p| {
+            !cells
+                .iter()
+                .any(|q| q.hit >= p.hit && q.eb <= p.eb && (q.hit > p.hit || q.eb < p.eb))
+        })
+        .collect()
+}
+
+/// Marks the cells to keep under banded pruning: a cell is dropped
+/// only when some other cell exceeds it by more than `band.hit` on hit
+/// rate *and* undercuts it by more than `band.eb` on bandwidth.
+/// Zero bands reduce to keeping everything non-strictly-dominated on
+/// both axes (a superset of [`frontier`]).
+pub fn keep_with_band(cells: &[Objectives], band: Band) -> Vec<bool> {
+    cells
+        .iter()
+        .map(|p| {
+            !cells.iter().any(|q| {
+                q.hit >= p.hit + band.hit
+                    && q.eb <= p.eb - band.eb
+                    // Strictness on one axis keeps ties (and, at zero
+                    // band, the cell itself) from pruning a cell.
+                    && (q.hit > p.hit || q.eb < p.eb)
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn o(hit: f64, eb: f64) -> Objectives {
+        Objectives { hit, eb }
+    }
+
+    #[test]
+    fn frontier_marks_non_dominated() {
+        let cells = [
+            o(0.9, 0.5), // frontier: best hit
+            o(0.5, 0.1), // frontier: best eb
+            o(0.7, 0.3), // frontier: in between
+            o(0.6, 0.4), // dominated by (0.7, 0.3)
+            o(0.5, 0.5), // dominated
+        ];
+        assert_eq!(frontier(&cells), [true, true, true, false, false]);
+    }
+
+    #[test]
+    fn ties_stay_on_the_frontier() {
+        let cells = [o(0.8, 0.2), o(0.8, 0.2), o(0.1, 0.9)];
+        assert_eq!(frontier(&cells), [true, true, false]);
+    }
+
+    #[test]
+    fn band_keeps_near_frontier_cells() {
+        let cells = [
+            o(0.80, 0.20), // frontier
+            o(0.79, 0.21), // within band of the frontier point
+            o(0.50, 0.60), // far off
+        ];
+        let band = Band {
+            hit: 0.05,
+            eb: 0.05,
+        };
+        assert_eq!(keep_with_band(&cells, band), [true, true, false]);
+        // With zero band the near cell is still kept only if not
+        // strictly beaten on both axes — here it is beaten.
+        let tight = keep_with_band(&cells, Band { hit: 0.0, eb: 0.0 });
+        assert_eq!(tight, [true, false, false]);
+    }
+
+    #[test]
+    fn banded_keep_is_superset_of_frontier() {
+        let cells: Vec<Objectives> = (0..50)
+            .map(|i| {
+                let x = i as f64 / 50.0;
+                o(x, (1.0 - x) * (0.5 + 0.5 * ((i * 7919 % 13) as f64 / 13.0)))
+            })
+            .collect();
+        let f = frontier(&cells);
+        let k = keep_with_band(
+            &cells,
+            Band {
+                hit: 0.02,
+                eb: 0.02,
+            },
+        );
+        for (i, (&on_f, &kept)) in f.iter().zip(k.iter()).enumerate() {
+            assert!(!on_f || kept, "frontier cell {i} pruned");
+        }
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        assert!(frontier(&[]).is_empty());
+        assert!(keep_with_band(&[], Band { hit: 0.1, eb: 0.1 }).is_empty());
+    }
+}

@@ -115,4 +115,15 @@ echo "==> replay bench smoke (enforce >= 1.3x)"
 STREAMSIM_BENCH_SAMPLES=3 STREAMSIM_BENCH_WARMUP=1 STREAMSIM_BENCH_ENFORCE=1.3 \
     cargo bench --offline -p streamsim-bench --bench replay
 
+# Model-validation smoke: the analytical fast path's contract, asserted
+# before any timing inside the bench — the pre-screened sweep must
+# reproduce the full sweep's Pareto frontier exactly (byte-identical
+# measurements on every frontier cell) while simulating at most a
+# quarter of the grid. One sample is enough: each sample replays the
+# full thousand-cell sweep once. The recorded speedup lives in
+# BENCH_model.json; the floor sits well below it for noise tolerance.
+echo "==> model bench smoke (enforce >= 3x)"
+STREAMSIM_BENCH_ENFORCE=3 \
+    cargo bench --offline -p streamsim-bench --bench model
+
 echo "==> tier-1 gate passed"

@@ -8,6 +8,7 @@
 //! OPTIONS:
 //!   --quick           run reduced inputs (smoke test)
 //!   --sampling        enable the paper's 10k-on/90k-off time sampling
+//!   --prescreen       prune sweeps to the model-predicted Pareto frontier
 //!   --profile         time the engine phases; append a per-phase table
 //!   --out <FILE>      write the text report to FILE instead of stdout
 //!   --json <FILE>     additionally write one JSON line per table row to FILE
@@ -16,11 +17,20 @@
 //!   --list            list experiment names and exit
 //!   -h, --help        show this help
 //!
-//! EXPERIMENTS (default: all):
+//! EXPERIMENTS (default: all but `sweep`):
 //!   table1 table2 table3 table4 fig3 fig5 fig8 fig9
 //!   ablations baselines latency traffic multiprogramming scorecard cpi
-//!   topology
+//!   topology sweep
 //! ```
+//!
+//! `sweep` scores the whole stream-buffer design space (~1000 cells) and
+//! must be selected by name — it costs roughly sixty single figures.
+//! With `--prescreen`, the analytical model in `streamsim-model` scores
+//! every cell in closed form first and only the predicted Pareto
+//! frontier (plus a tolerance band) is simulated; the emitted artifact
+//! then carries a `prescreen` marker table recording the pruning, and
+//! `--diff` reports rows absent behind such a marker as *skipped by
+//! model* — informational, not drift.
 //!
 //! Every experiment runs against one shared trace store, so the full
 //! report simulates each (benchmark, L1 configuration) pair exactly
@@ -65,6 +75,10 @@ enum DriftKind {
     Added,
     /// The row exists only in the first file.
     Removed,
+    /// The row exists in one file only because the other file's run
+    /// pre-screened the artifact with the analytical model (it carries
+    /// a `prescreen` marker table). Informational — not drift.
+    Skipped,
 }
 
 /// One drift finding, carrying enough structure for the `--summary`
@@ -128,6 +142,17 @@ fn is_provenance_row(fields: &[(String, JsonValue)]) -> bool {
     })
 }
 
+/// Whether a row is an analytical pre-screen marker (`table` =
+/// `prescreen`): it declares that the run deliberately pruned the
+/// artifact's grid, so rows missing from that file are *skipped by
+/// model*, not removed by a code change. Marker rows describe the
+/// pruning run itself and stay out of the row comparison.
+fn is_prescreen_marker(fields: &[(String, JsonValue)]) -> bool {
+    fields
+        .iter()
+        .any(|(k, v)| k == "table" && matches!(v, JsonValue::Text(s) if s == "prescreen"))
+}
+
 /// The `artifact` field of a row, for the `--summary` grouping.
 fn artifact_of(fields: &[(String, JsonValue)]) -> String {
     fields
@@ -152,9 +177,10 @@ type Row = (String, usize, Vec<(String, JsonValue)>);
 /// exists in only one file are reported as such. Provenance is invisible
 /// here: `manifest`/`profile` rows and `run_*` keys are skipped.
 fn diff_reports(path_a: &str, path_b: &str) -> Result<Vec<DriftRecord>, String> {
-    let read = |path: &str| -> Result<Vec<Row>, String> {
+    let read = |path: &str| -> Result<(Vec<Row>, BTreeSet<String>), String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         let mut rows = Vec::new();
+        let mut prescreened = BTreeSet::new();
         let mut occurrences: BTreeMap<String, usize> = BTreeMap::new();
         for (i, line) in text.lines().enumerate() {
             if line.trim().is_empty() {
@@ -165,16 +191,20 @@ fn diff_reports(path_a: &str, path_b: &str) -> Result<Vec<DriftRecord>, String> 
             if is_provenance_row(&fields) {
                 continue;
             }
+            if is_prescreen_marker(&fields) {
+                prescreened.insert(artifact_of(&fields));
+                continue;
+            }
             let key = row_key(&fields);
             let occ = occurrences.entry(key.clone()).or_insert(0);
             rows.push((key, *occ, fields));
             *occ += 1;
         }
-        Ok(rows)
+        Ok((rows, prescreened))
     };
 
-    let a = read(path_a)?;
-    let b = read(path_b)?;
+    let (a, prescreened_a) = read(path_a)?;
+    let (b, prescreened_b) = read(path_b)?;
     let mut drift: Vec<DriftRecord> = Vec::new();
 
     let label = |key: &str, occ: usize| {
@@ -199,11 +229,20 @@ fn diff_reports(path_a: &str, path_b: &str) -> Result<Vec<DriftRecord>, String> 
     for (key, occ, fa) in &a {
         let row = label(key, *occ);
         let Some(fb) = index_b.get(&(key.as_str(), *occ)) else {
+            let artifact = artifact_of(fa);
+            let (kind, message) = if prescreened_b.contains(&artifact) {
+                (
+                    DriftKind::Skipped,
+                    format!("{row}: skipped by model pre-screen in {path_b}"),
+                )
+            } else {
+                (DriftKind::Removed, format!("{row}: only in {path_a}"))
+            };
             drift.push(DriftRecord {
-                artifact: artifact_of(fa),
-                kind: DriftKind::Removed,
+                artifact,
+                kind,
                 delta: None,
-                message: format!("{row}: only in {path_a}"),
+                message,
                 row,
             });
             continue;
@@ -252,11 +291,20 @@ fn diff_reports(path_a: &str, path_b: &str) -> Result<Vec<DriftRecord>, String> 
     for (key, occ, fb) in &b {
         if !matched.contains_key(&(key.as_str(), *occ)) {
             let row = label(key, *occ);
+            let artifact = artifact_of(fb);
+            let (kind, message) = if prescreened_a.contains(&artifact) {
+                (
+                    DriftKind::Skipped,
+                    format!("{row}: skipped by model pre-screen in {path_a}"),
+                )
+            } else {
+                (DriftKind::Added, format!("{row}: only in {path_b}"))
+            };
             drift.push(DriftRecord {
-                artifact: artifact_of(fb),
-                kind: DriftKind::Added,
+                artifact,
+                kind,
                 delta: None,
-                message: format!("{row}: only in {path_b}"),
+                message,
                 row,
             });
         }
@@ -272,6 +320,7 @@ fn summarize_drift(drift: &[DriftRecord]) -> Vec<String> {
         changed_rows: BTreeSet<&'a str>,
         added: usize,
         removed: usize,
+        skipped: usize,
         max_delta: f64,
     }
     let mut agg: BTreeMap<&str, ArtifactDrift<'_>> = BTreeMap::new();
@@ -286,6 +335,7 @@ fn summarize_drift(drift: &[DriftRecord]) -> Vec<String> {
             }
             DriftKind::Added => entry.added += 1,
             DriftKind::Removed => entry.removed += 1,
+            DriftKind::Skipped => entry.skipped += 1,
         }
     }
     agg.into_iter()
@@ -295,8 +345,13 @@ fn summarize_drift(drift: &[DriftRecord]) -> Vec<String> {
             } else {
                 "-".to_owned()
             };
+            let skipped = if d.skipped > 0 {
+                format!(", {} skipped by model", d.skipped)
+            } else {
+                String::new()
+            };
             format!(
-                "{artifact}: {} row(s) changed, {} added, {} removed, max |Δ| = {max}",
+                "{artifact}: {} row(s) changed, {} added, {} removed, max |Δ| = {max}{skipped}",
                 d.changed_rows.len(),
                 d.added,
                 d.removed,
@@ -347,6 +402,7 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--quick" => options.scale = Scale::Quick,
             "--sampling" => options.sampling = Some((10_000, 90_000)),
+            "--prescreen" => options.prescreen = true,
             "--profile" => profile = true,
             "--summary" => summary = true,
             "--out" => match args.next() {
@@ -379,9 +435,11 @@ fn main() -> ExitCode {
             "-h" | "--help" => {
                 println!(
                     "streamsim-report: regenerate the evaluation of Palacharla & Kessler \
-                     (ISCA 1994)\n\nUSAGE: streamsim-report [--quick] [--sampling] [--profile] \
-                     [--out FILE] [--json FILE] [--list] [EXPERIMENT...]\n       \
-                     streamsim-report --diff A.jsonl B.jsonl [--summary]\n\nEXPERIMENTS: {}",
+                     (ISCA 1994)\n\nUSAGE: streamsim-report [--quick] [--sampling] [--prescreen] \
+                     [--profile] [--out FILE] [--json FILE] [--list] [EXPERIMENT...]\n       \
+                     streamsim-report --diff A.jsonl B.jsonl [--summary]\n\nEXPERIMENTS: {}\n\n\
+                     `sweep` (the ~1000-cell design-space grid) must be selected by name; \
+                     --prescreen prunes it to the model-predicted Pareto frontier.",
                     ARTIFACT_NAMES.join(" ")
                 );
                 return ExitCode::SUCCESS;
@@ -410,8 +468,27 @@ fn main() -> ExitCode {
                         println!("{}", d.message);
                     }
                 }
-                eprintln!("{} drifting row(s) between {a} and {b}", drift.len());
-                ExitCode::FAILURE
+                let skipped = drift
+                    .iter()
+                    .filter(|d| d.kind == DriftKind::Skipped)
+                    .count();
+                let real = drift.len() - skipped;
+                if real == 0 {
+                    // Model pruning is deliberate, not drift: a pruned
+                    // run diffs clean against its full-sweep golden.
+                    eprintln!("{skipped} row(s) skipped by model pre-screen; no drift between {a} and {b}");
+                    ExitCode::SUCCESS
+                } else {
+                    eprintln!(
+                        "{real} drifting row(s) between {a} and {b}{}",
+                        if skipped > 0 {
+                            format!(" ({skipped} skipped by model)")
+                        } else {
+                            String::new()
+                        }
+                    );
+                    ExitCode::FAILURE
+                }
             }
             Err(e) => {
                 eprintln!("error: {e}");
@@ -421,7 +498,12 @@ fn main() -> ExitCode {
     }
 
     if selected.is_empty() {
-        selected = ARTIFACT_NAMES.iter().map(|s| (*s).to_owned()).collect();
+        // The default run regenerates the paper's artifacts; the
+        // whole-design-space `sweep` is on-demand only.
+        selected = experiments::default_artifacts()
+            .into_iter()
+            .map(str::to_owned)
+            .collect();
     }
 
     // `--profile` needs the span registry filling; honour a stronger

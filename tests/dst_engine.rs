@@ -449,3 +449,65 @@ fn experiment_options_route_fanouts_through_the_executor() {
         "the fan-out bypassed the DST executor"
     );
 }
+
+/// The model seam: locality profiles computed through
+/// `TraceStore::profiles_on` are byte-identical whatever executor
+/// drives the pass — a serial thread pool, wide pools, or seeded
+/// simulated schedules — and so are the predictions scored from them.
+/// This is what lets a pre-screened sweep run its profile pass on the
+/// experiment's executor without perturbing which cells get pruned.
+#[test]
+fn model_profiles_are_byte_identical_across_executors() {
+    use streamsim_model::{predict_streams, AllocModel, StreamGeometry};
+
+    let workloads = || -> Vec<Box<dyn Workload>> {
+        (0..6)
+            .map(|seed| Box::new(small_gather(seed)) as Box<dyn Workload>)
+            .collect()
+    };
+    let options = RecordOptions::default();
+    // A fresh store per run: nothing is shared, so agreement means the
+    // profiles really are a pure function of the workloads.
+    let profiles = |exec: &dyn Executor| {
+        let store = TraceStore::new();
+        store
+            .profiles_on(&workloads(), &options, exec)
+            .expect("valid L1")
+    };
+    let geom = StreamGeometry {
+        num_streams: 4,
+        depth: 2,
+        alloc: AllocModel::UnitStride {
+            entries: 16,
+            czone_bits: 12,
+        },
+    };
+    let score = |profiles: &[Arc<streamsim_model::LocalityProfile>]| -> Vec<(u64, u64)> {
+        profiles
+            .iter()
+            .map(|p| {
+                let e = predict_streams(p, geom);
+                (e.hit_rate.to_bits(), e.extra_bandwidth.to_bits())
+            })
+            .collect()
+    };
+
+    let reference = profiles(&ThreadExecutor::new(1));
+    let reference_scores = score(&reference);
+    for threads in [4, 8] {
+        let got = profiles(&ThreadExecutor::new(threads));
+        assert_eq!(got, reference, "profiles diverged at {threads} threads");
+        assert_eq!(format!("{got:?}"), format!("{reference:?}"));
+        assert_eq!(score(&got), reference_scores);
+    }
+    sweep_with("model_profiles_identical", 25, |seed| {
+        let workers = 2 + (seed % 4) as usize;
+        let got = profiles(&SimExecutor::new(seed, workers));
+        assert_eq!(got, reference, "profiles diverged at seed {seed}");
+        assert_eq!(
+            score(&got),
+            reference_scores,
+            "predictions diverged at seed {seed}"
+        );
+    });
+}

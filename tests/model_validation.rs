@@ -1,0 +1,377 @@
+//! Validation harness for the analytical model (`streamsim-model`).
+//!
+//! Every predictor is swept against the simulator it approximates, on
+//! all fifteen paper kernels at quick scale: the Figure 3 stream-count
+//! grid, the Table 1/2 policy configurations, the depth axis, the
+//! strided (czone) grid, and a set of secondary-cache geometries. Each
+//! grid asserts a stated per-metric tolerance — on the per-benchmark
+//! worst case and, tighter, on the across-benchmark mean that the
+//! pre-screened sweep actually scores.
+//!
+//! The final test pins `experiments::sweep::PRESCREEN_BAND`'s pruning
+//! contract from predictions alone: banded pruning of the full grid
+//! keeps every predicted-frontier cell while discarding at least three
+//! quarters of the cells. That the survivors also reproduce the
+//! *measured* frontier exactly is asserted against simulation by the
+//! reduced-grid sweep test and the model bench.
+//!
+//! `print_model_errors` (ignored by default) prints the measured error
+//! table for re-calibrating the tolerances after a model change:
+//! `cargo test --release --test model_validation -- --ignored --nocapture`
+
+use std::sync::{Arc, OnceLock};
+
+use streamsim::experiments::sweep::{DEPTHS, PRESCREEN_BAND};
+use streamsim::experiments::{miss_traces, ExperimentOptions};
+use streamsim::{
+    l2_geometry, profile_trace, replay_streams, run_l2, stream_geometry, Allocation, BlockSize,
+    CacheConfig, MissTrace, StreamConfig,
+};
+use streamsim_model::{predict_l2, predict_streams, LocalityProfile};
+
+/// Worst single-benchmark hit-rate error allowed on any stream grid.
+/// The outliers are filtered policies on spec77 (re-traversals whose
+/// resumed runs hit in the simulator but re-establish in the model) and
+/// strided fftpde at a 16-bit czone; both are under-predictions.
+const HIT_TOL: f64 = 0.35;
+/// Worst single-benchmark extra-bandwidth error allowed (fraction of
+/// fetches, the paper's closed-form EB).
+const EB_TOL: f64 = 0.35;
+/// Worst across-benchmark mean hit-rate error allowed (the quantity the
+/// pre-screen ranks cells by).
+const MEAN_HIT_TOL: f64 = 0.05;
+/// Worst across-benchmark mean extra-bandwidth error allowed.
+const MEAN_EB_TOL: f64 = 0.04;
+/// Worst single-geometry secondary-cache local-hit-rate error allowed.
+/// Deliberately loose: the Poisson set-occupancy approximation misses
+/// set-skew conflicts in small direct-mapped caches (bdna, dyfesm at
+/// 64 KB/1-way). The L2 predictor is not part of the sweep pre-screen;
+/// the across-geometry mean stays tight (~0.03).
+const L2_HIT_TOL: f64 = 0.50;
+
+struct Bench {
+    name: String,
+    trace: Arc<MissTrace>,
+    profile: LocalityProfile,
+}
+
+/// The fifteen quick-scale paper kernels, recorded and profiled once
+/// per test process.
+fn corpus() -> &'static [Bench] {
+    static CORPUS: OnceLock<Vec<Bench>> = OnceLock::new();
+    CORPUS.get_or_init(|| {
+        let options = ExperimentOptions::quick();
+        miss_traces(&options)
+            .into_iter()
+            .map(|(name, trace)| {
+                let profile = profile_trace(&trace);
+                Bench {
+                    name,
+                    trace,
+                    profile,
+                }
+            })
+            .collect()
+    })
+}
+
+/// Measured-vs-predicted errors over one grid of stream configurations.
+#[derive(Debug, Default)]
+struct GridErrors {
+    /// Worst per-(benchmark, config) |Δ hit rate|.
+    max_hit: f64,
+    /// Worst per-(benchmark, config) |Δ EB|.
+    max_eb: f64,
+    /// Worst per-config |Δ mean-across-benchmarks hit rate|.
+    mean_hit: f64,
+    /// Worst per-config |Δ mean-across-benchmarks EB|.
+    mean_eb: f64,
+}
+
+fn stream_grid_errors(configs: &[StreamConfig]) -> GridErrors {
+    let benches = corpus();
+    let n = benches.len() as f64;
+    let mut errors = GridErrors::default();
+    let mut mean_measured = vec![(0.0f64, 0.0f64); configs.len()];
+    let mut mean_predicted = vec![(0.0f64, 0.0f64); configs.len()];
+    for bench in benches {
+        let stats = replay_streams(&bench.trace, configs);
+        for (i, (config, s)) in configs.iter().zip(&stats).enumerate() {
+            let geom = stream_geometry(&bench.profile, config)
+                .expect("validation grids stay inside the modelled space");
+            let est = predict_streams(&bench.profile, geom);
+            let hit = s.hit_rate();
+            let eb = s.extra_bandwidth_paper_formula(config.depth());
+            errors.max_hit = errors.max_hit.max((est.hit_rate - hit).abs());
+            errors.max_eb = errors.max_eb.max((est.extra_bandwidth - eb).abs());
+            mean_measured[i].0 += hit / n;
+            mean_measured[i].1 += eb / n;
+            mean_predicted[i].0 += est.hit_rate / n;
+            mean_predicted[i].1 += est.extra_bandwidth / n;
+        }
+    }
+    for (m, p) in mean_measured.iter().zip(&mean_predicted) {
+        errors.mean_hit = errors.mean_hit.max((p.0 - m.0).abs());
+        errors.mean_eb = errors.mean_eb.max((p.1 - m.1).abs());
+    }
+    errors
+}
+
+/// The Figure 3 axis: basic (allocate-on-miss) buffers, 1–10 streams.
+fn fig3_grid() -> Vec<StreamConfig> {
+    (1..=10)
+        .map(|n| StreamConfig::paper_basic(n).unwrap())
+        .collect()
+}
+
+/// The Table 1/2 policy set: basic, unit-filtered and czone-strided
+/// buffers at the paper's configuration points.
+fn table_grid() -> Vec<StreamConfig> {
+    vec![
+        StreamConfig::paper_basic(4).unwrap(),
+        StreamConfig::paper_filtered(4).unwrap(),
+        StreamConfig::paper_filtered(8).unwrap(),
+        StreamConfig::paper_strided(8, 12).unwrap(),
+        StreamConfig::paper_strided(8, 16).unwrap(),
+    ]
+}
+
+/// The depth axis at the paper's stream count.
+fn depth_grid() -> Vec<StreamConfig> {
+    DEPTHS
+        .iter()
+        .map(|&d| StreamConfig::new(4, d, Allocation::OnMiss).unwrap())
+        .collect()
+}
+
+/// Secondary-cache geometries spanning the model's reuse granularities
+/// (1x, 2x and 4x the L1 block).
+fn l2_grid() -> Vec<CacheConfig> {
+    vec![
+        CacheConfig::new(64 * 1024, 1, BlockSize::new(32).unwrap()).unwrap(),
+        CacheConfig::new(256 * 1024, 2, BlockSize::new(64).unwrap()).unwrap(),
+        CacheConfig::new(1024 * 1024, 4, BlockSize::new(128).unwrap()).unwrap(),
+    ]
+}
+
+fn l2_grid_errors() -> (f64, f64) {
+    let benches = corpus();
+    let n = benches.len() as f64;
+    let mut max_hit = 0.0f64;
+    let mut mean_hit = 0.0f64;
+    for config in l2_grid() {
+        let geom = l2_geometry(&config);
+        let mut mean_measured = 0.0;
+        let mut mean_predicted = 0.0;
+        for bench in benches {
+            let stats = run_l2(&bench.trace, config, None).unwrap();
+            let est = predict_l2(&bench.profile, geom);
+            max_hit = max_hit.max((est.hit_rate - stats.hit_rate()).abs());
+            mean_measured += stats.hit_rate() / n;
+            mean_predicted += est.hit_rate / n;
+        }
+        mean_hit = mean_hit.max((mean_predicted - mean_measured).abs());
+    }
+    (max_hit, mean_hit)
+}
+
+#[test]
+fn fig3_grid_within_tolerance() {
+    let e = stream_grid_errors(&fig3_grid());
+    assert!(e.max_hit <= HIT_TOL, "{e:?}");
+    assert!(e.max_eb <= EB_TOL, "{e:?}");
+    assert!(e.mean_hit <= MEAN_HIT_TOL, "{e:?}");
+    assert!(e.mean_eb <= MEAN_EB_TOL, "{e:?}");
+}
+
+#[test]
+fn table_grids_within_tolerance() {
+    let e = stream_grid_errors(&table_grid());
+    assert!(e.max_hit <= HIT_TOL, "{e:?}");
+    assert!(e.max_eb <= EB_TOL, "{e:?}");
+    assert!(e.mean_hit <= MEAN_HIT_TOL, "{e:?}");
+    assert!(e.mean_eb <= MEAN_EB_TOL, "{e:?}");
+}
+
+#[test]
+fn depth_grid_within_tolerance() {
+    let e = stream_grid_errors(&depth_grid());
+    assert!(e.max_hit <= HIT_TOL, "{e:?}");
+    assert!(e.max_eb <= EB_TOL, "{e:?}");
+    assert!(e.mean_hit <= MEAN_HIT_TOL, "{e:?}");
+    assert!(e.mean_eb <= MEAN_EB_TOL, "{e:?}");
+}
+
+#[test]
+fn l2_grid_within_tolerance() {
+    let (max_hit, _mean) = l2_grid_errors();
+    assert!(max_hit <= L2_HIT_TOL, "max |Δ l2 hit| = {max_hit}");
+}
+
+/// The pre-screen's pruning contract, checked from predictions alone
+/// (no simulation): scoring the full 975-cell grid in closed form and
+/// pruning with [`PRESCREEN_BAND`] keeps every predicted-frontier cell
+/// (the banded keep is a superset of the zero-band frontier) while
+/// discarding at least three quarters of the grid. Frontier *fidelity*
+/// — that the survivors reproduce the measured frontier exactly — is
+/// asserted against simulation by the reduced-grid test in
+/// `crates/core/src/experiments/sweep.rs` and, at full scale, by the
+/// model bench (`BENCH_model.json`); the `print_model_errors`
+/// calibration aid reports both numbers per candidate band.
+#[test]
+fn prescreen_band_prunes_most_of_the_grid_but_never_its_frontier() {
+    use streamsim_model::{frontier, keep_with_band, Objectives};
+    let grid = streamsim::experiments::sweep::cells();
+    let benches = corpus();
+    let n = benches.len() as f64;
+    let predicted: Vec<Objectives> = grid
+        .iter()
+        .map(|cell| {
+            let mut o = Objectives { hit: 0.0, eb: 0.0 };
+            for bench in benches {
+                let geom = stream_geometry(&bench.profile, &cell.config).unwrap();
+                let est = predict_streams(&bench.profile, geom);
+                o.hit += est.hit_rate / n;
+                o.eb += est.extra_bandwidth / n;
+            }
+            o
+        })
+        .collect();
+    let keep = keep_with_band(&predicted, PRESCREEN_BAND);
+    let kept = keep.iter().filter(|&&k| k).count();
+    assert!(
+        kept * 4 <= grid.len(),
+        "pre-screen keeps {kept} of {} cells — more than a quarter",
+        grid.len()
+    );
+    for (i, &on_frontier) in frontier(&predicted).iter().enumerate() {
+        assert!(
+            !on_frontier || keep[i],
+            "predicted-frontier cell {} pruned",
+            grid[i].label
+        );
+    }
+}
+
+/// Prints, for candidate pruning bands, how many of the full grid's
+/// cells survive the pre-screen, and whether the survivors' measured
+/// Pareto frontier matches the full grid's (one full-grid simulation,
+/// then each band is a cheap mask over the same measurements).
+fn prescreen_survivors() {
+    use streamsim_model::{frontier, keep_with_band, Band, Objectives};
+    let grid = streamsim::experiments::sweep::cells();
+    let benches = corpus();
+    let n = benches.len() as f64;
+    let configs: Vec<StreamConfig> = grid.iter().map(|c| c.config).collect();
+    let mut predicted = vec![Objectives { hit: 0.0, eb: 0.0 }; grid.len()];
+    let mut measured = vec![Objectives { hit: 0.0, eb: 0.0 }; grid.len()];
+    for bench in benches {
+        let stats = replay_streams(&bench.trace, &configs);
+        for (i, cell) in grid.iter().enumerate() {
+            let geom = stream_geometry(&bench.profile, &cell.config).unwrap();
+            let est = predict_streams(&bench.profile, geom);
+            predicted[i].hit += est.hit_rate / n;
+            predicted[i].eb += est.extra_bandwidth / n;
+            measured[i].hit += stats[i].hit_rate() / n;
+            measured[i].eb += stats[i].extra_bandwidth_paper_formula(cell.depth) / n;
+        }
+    }
+    let full_frontier: Vec<&str> = frontier(&measured)
+        .iter()
+        .zip(&grid)
+        .filter_map(|(&f, c)| f.then_some(c.label.as_str()))
+        .collect();
+    println!("  measured frontier: {} cells", full_frontier.len());
+    for (bh, be) in [
+        (PRESCREEN_BAND.hit, PRESCREEN_BAND.eb),
+        (0.05, 0.04),
+        (0.02, 0.02),
+        (0.015, 0.015),
+        (0.01, 0.01),
+        (0.0075, 0.0075),
+        (0.005, 0.005),
+        (0.0025, 0.0025),
+    ] {
+        let keep = keep_with_band(&predicted, Band { hit: bh, eb: be });
+        let kept = keep.iter().filter(|&&k| k).count();
+        let sub: Vec<Objectives> = measured
+            .iter()
+            .zip(&keep)
+            .filter_map(|(&m, &k)| k.then_some(m))
+            .collect();
+        let sub_cells: Vec<&str> = grid
+            .iter()
+            .zip(&keep)
+            .filter_map(|(c, &k)| k.then_some(c.label.as_str()))
+            .collect();
+        let sub_frontier: Vec<&str> = frontier(&sub)
+            .iter()
+            .zip(&sub_cells)
+            .filter_map(|(&f, &c)| f.then_some(c))
+            .collect();
+        println!(
+            "  band ({bh:.2}, {be:.2}): {kept} of {} cells kept, frontier {}",
+            grid.len(),
+            if sub_frontier == full_frontier {
+                "reproduced exactly".to_owned()
+            } else {
+                format!(
+                    "DIVERGED ({} vs {} cells)",
+                    sub_frontier.len(),
+                    full_frontier.len()
+                )
+            }
+        );
+    }
+}
+
+/// Prints the full error table for re-calibrating the tolerances.
+#[test]
+#[ignore = "calibration aid; run with --ignored --nocapture"]
+fn print_model_errors() {
+    for (name, grid) in [
+        ("fig3", fig3_grid()),
+        ("tables", table_grid()),
+        ("depths", depth_grid()),
+    ] {
+        println!("{name}: {:?}", stream_grid_errors(&grid));
+    }
+    let (l2_max, l2_mean) = l2_grid_errors();
+    println!("l2: max_hit {l2_max:.4} mean_hit {l2_mean:.4}");
+    prescreen_survivors();
+    for (i, config) in table_grid().iter().enumerate() {
+        for bench in corpus() {
+            let geom = stream_geometry(&bench.profile, config).unwrap();
+            let est = predict_streams(&bench.profile, geom);
+            let s = replay_streams(&bench.trace, std::slice::from_ref(config));
+            let dh = (est.hit_rate - s[0].hit_rate()).abs();
+            let de =
+                (est.extra_bandwidth - s[0].extra_bandwidth_paper_formula(config.depth())).abs();
+            if dh > 0.10 || de > 0.20 {
+                println!(
+                    "  tables[{i}] {:<12} dhit {dh:.3} ({:.3} vs {:.3}) deb {de:.3}",
+                    bench.name,
+                    est.hit_rate,
+                    s[0].hit_rate()
+                );
+            }
+        }
+    }
+    for config in l2_grid() {
+        let geom = l2_geometry(&config);
+        for bench in corpus() {
+            let stats = run_l2(&bench.trace, config, None).unwrap();
+            let est = predict_l2(&bench.profile, geom);
+            let d = (est.hit_rate - stats.hit_rate()).abs();
+            if d > 0.10 {
+                println!(
+                    "  l2 {:?} {:<12} dhit {d:.3} ({:.3} vs {:.3})",
+                    geom,
+                    bench.name,
+                    est.hit_rate,
+                    stats.hit_rate()
+                );
+            }
+        }
+    }
+}

@@ -25,6 +25,7 @@ fn list_prints_all_experiments() {
         "latency",
         "traffic",
         "multiprogramming",
+        "sweep",
     ] {
         assert!(text.contains(name), "missing {name} in {text}");
     }
@@ -263,6 +264,89 @@ fn diff_ignores_provenance_and_summarizes_per_artifact() {
         .expect("binary runs");
     assert!(out.status.success());
     for p in [&a, &b] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
+fn diff_reports_prescreened_rows_as_skipped_not_drift() {
+    let dir = std::env::temp_dir().join("streamsim-report-prescreen-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let full = dir.join("full.jsonl");
+    let pruned = dir.join("pruned.jsonl");
+    // A full sweep next to a model-pruned one: the pruned file carries
+    // the `prescreen` marker table, so its missing cell reads as
+    // "skipped by model", not as a removed row, and the diff is clean.
+    std::fs::write(
+        &full,
+        concat!(
+            "{\"artifact\":\"sweep\",\"table\":\"cells\",\"cell\":\"onmiss n=1 d=1\",\"hit_pct\":10.0}\n",
+            "{\"artifact\":\"sweep\",\"table\":\"cells\",\"cell\":\"unit16 n=8 d=2\",\"hit_pct\":80.0}\n",
+        ),
+    )
+    .unwrap();
+    std::fs::write(
+        &pruned,
+        concat!(
+            "{\"artifact\":\"sweep\",\"table\":\"cells\",\"cell\":\"unit16 n=8 d=2\",\"hit_pct\":80.0}\n",
+            "{\"artifact\":\"sweep\",\"table\":\"prescreen\",\"mode\":\"prescreen\",\"cells_total\":975,\"cells_simulated\":1}\n",
+        ),
+    )
+    .unwrap();
+    let out = report()
+        .args(["--diff", full.to_str().unwrap(), pruned.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "model pruning must not register as drift: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("skipped by model"), "{text}");
+
+    // Swapped operands: the surplus full-sweep row is still a skip.
+    let swapped = report()
+        .args([
+            "--diff",
+            pruned.to_str().unwrap(),
+            full.to_str().unwrap(),
+            "--summary",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(swapped.status.success(), "skips are symmetric");
+    let text = String::from_utf8(swapped.stdout).unwrap();
+    assert!(
+        text.starts_with(
+            "sweep: 0 row(s) changed, 0 added, 0 removed, max |Δ| = -, 1 skipped by model"
+        ),
+        "{text}"
+    );
+
+    // A surviving cell that drifts is still a failure, and the marker
+    // only shields the artifact it belongs to.
+    std::fs::write(
+        &pruned,
+        concat!(
+            "{\"artifact\":\"sweep\",\"table\":\"cells\",\"cell\":\"unit16 n=8 d=2\",\"hit_pct\":79.0}\n",
+            "{\"artifact\":\"sweep\",\"table\":\"prescreen\",\"mode\":\"prescreen\",\"cells_total\":975,\"cells_simulated\":1}\n",
+            "{\"artifact\":\"fig3\",\"table\":\"hit_rate\",\"bench\":\"mgrid\",\"hit_pct\":71.0}\n",
+        ),
+    )
+    .unwrap();
+    let drift = report()
+        .args(["--diff", full.to_str().unwrap(), pruned.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(!drift.status.success(), "surviving-cell drift must fail");
+    let text = String::from_utf8(drift.stdout).unwrap();
+    assert!(text.contains("hit_pct: 80 != 79"), "{text}");
+    assert!(
+        text.contains("only in"),
+        "fig3 has no marker, so its extra row is real drift: {text}"
+    );
+    for p in [&full, &pruned] {
         std::fs::remove_file(p).ok();
     }
 }
