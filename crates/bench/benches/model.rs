@@ -135,20 +135,38 @@ fn main() {
         frontier_cells
     );
 
-    let summary = format!(
-        "{{\n  \"benchmark\": \"model\",\n  \"scale\": \"quick\",\n  \
-         \"samples\": {samples},\n  \"cells_total\": {},\n  \
-         \"cells_simulated\": {},\n  \"simulated_fraction\": {fraction:.4},\n  \
-         \"frontier_cells\": {frontier_cells},\n  \
-         \"frontier_reproduced_exactly\": true,\n  \
-         \"full\": {{\"total_ns\": {full_ns}}},\n  \
-         \"prescreen\": {{\"total_ns\": {pre_ns}}},\n  \
-         \"speedup\": {speedup:.3},\n  \
-         \"note\": \"recording amortized in a shared prefilled store as the \
-         report driver does; the cold profile pass is inside the fast \
-         path's measurement\"\n}}\n",
-        pruned.cells_total, pruned.cells_simulated
+    // The shared streamsim-bench-v2 artifact: one flat summary row the
+    // perf ledger ingests (full sweep is the reference, the pruned sweep
+    // the current path), then the provenance note as its own row.
+    let config_text = format!(
+        "model quick cells {} frontier {frontier_cells}",
+        pruned.cells_total
     );
+    let header = streamsim_bench::bench_summary_line(
+        "model",
+        "quick",
+        samples,
+        &config_text,
+        pruned.cells_simulated as u64,
+        "cells",
+        &[
+            ("reference_ns", full_ns as f64),
+            ("current_ns", pre_ns as f64),
+            ("cells_total", pruned.cells_total as f64),
+            ("cells_simulated", pruned.cells_simulated as f64),
+            ("simulated_fraction", (fraction * 1e4).round() / 1e4),
+            ("frontier_cells", frontier_cells as f64),
+            ("speedup", (speedup * 1e3).round() / 1e3),
+        ],
+    );
+    let note_line = streamsim_bench::bench_detail_line(
+        "model",
+        "note",
+        "\"frontier_reproduced_exactly\":true,\"text\":\"recording amortized in a \
+         shared prefilled store as the report driver does; the cold profile pass \
+         is inside the fast path's measurement\"",
+    );
+    let summary = format!("{header}\n{note_line}\n");
 
     if std::env::var("STREAMSIM_BENCH_WRITE").as_deref() == Ok("1") {
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_model.json");

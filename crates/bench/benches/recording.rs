@@ -271,27 +271,42 @@ fn main() {
         cur_rate / 1e6
     );
 
+    // The shared streamsim-bench-v2 artifact: one flat summary row the
+    // perf ledger ingests, then one detail row per workload.
+    let config_text = format!("recording quick {record:?}");
+    let header = streamsim_bench::bench_summary_line(
+        "recording",
+        "quick",
+        samples,
+        &config_text,
+        total_refs,
+        "refs",
+        &[
+            ("reference_ns", total_ref_ns as f64),
+            ("current_ns", total_cur_ns as f64),
+            ("refs_per_sec", (cur_rate * 10.0).round() / 10.0),
+            (
+                "ns_per_ref",
+                (total_cur_ns as f64 / total_refs as f64 * 1e3).round() / 1e3,
+            ),
+            ("speedup", (speedup * 1e3).round() / 1e3),
+        ],
+    );
     let rows: Vec<String> = per_workload
         .iter()
         .map(|(name, refs, ref_ns, cur_ns)| {
-            format!(
-                "    {{\"name\":\"{name}\",\"refs\":{refs},\"reference_ns\":{ref_ns},\
-                 \"current_ns\":{cur_ns},\"speedup\":{:.3}}}",
-                *ref_ns as f64 / *cur_ns as f64
+            streamsim_bench::bench_detail_line(
+                "recording",
+                "workload",
+                &format!(
+                    "\"name\":\"{name}\",\"refs\":{refs},\"reference_ns\":{ref_ns},\
+                     \"current_ns\":{cur_ns},\"speedup\":{:.3}",
+                    *ref_ns as f64 / *cur_ns as f64
+                ),
             )
         })
         .collect();
-    let summary = format!(
-        "{{\n  \"benchmark\": \"recording\",\n  \"scale\": \"quick\",\n  \
-         \"samples\": {samples},\n  \"total_refs\": {total_refs},\n  \
-         \"reference\": {{\"total_ns\": {total_ref_ns}, \"refs_per_sec\": {ref_rate:.1}, \
-         \"ns_per_ref\": {:.3}}},\n  \
-         \"current\": {{\"total_ns\": {total_cur_ns}, \"refs_per_sec\": {cur_rate:.1}, \
-         \"ns_per_ref\": {:.3}}},\n  \"speedup\": {speedup:.3},\n  \"per_workload\": [\n{}\n  ]\n}}\n",
-        total_ref_ns as f64 / total_refs as f64,
-        total_cur_ns as f64 / total_refs as f64,
-        rows.join(",\n")
-    );
+    let summary = format!("{header}\n{}\n", rows.join("\n"));
 
     if std::env::var("STREAMSIM_BENCH_WRITE").as_deref() == Ok("1") {
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_recording.json");

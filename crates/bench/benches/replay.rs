@@ -327,8 +327,8 @@ fn main() {
         let fam_speedup = fam_ref as f64 / fam_cur as f64;
         println!("bench replay/family/{family}: speedup {fam_speedup:.2}x");
         family_lines.push(format!(
-            "    {{\"family\":\"{family}\",\"reference_ns\":{fam_ref},\
-             \"current_ns\":{fam_cur},\"speedup\":{fam_speedup:.3}}}"
+            "\"family\":\"{family}\",\"reference_ns\":{fam_ref},\
+             \"current_ns\":{fam_cur},\"speedup\":{fam_speedup:.3}"
         ));
         if fam_speedup < 2.0 {
             below_target.push(format!("{family} ({fam_speedup:.2}x)"));
@@ -366,31 +366,58 @@ fn main() {
         ));
     }
 
-    let row_lines: Vec<String> = rows
+    // The shared streamsim-bench-v2 artifact: one flat summary row the
+    // perf ledger ingests, then family and cell detail rows. The honest
+    // per-machine note travels as its own row so the summary stays
+    // purely numeric.
+    let config_text = format!("replay quick families {families:?}");
+    let header = streamsim_bench::bench_summary_line(
+        "replay",
+        "quick",
+        samples,
+        &config_text,
+        total_deliveries,
+        "deliveries",
+        &[
+            ("reference_ns", total_ref_ns as f64),
+            ("current_ns", total_cur_ns as f64),
+            ("deliveries_per_sec", (cur_rate * 10.0).round() / 10.0),
+            ("speedup", (speedup * 1e3).round() / 1e3),
+        ],
+    );
+    let note_line = streamsim_bench::bench_detail_line(
+        "replay",
+        "note",
+        &format!("\"text\":{}", streamsim_obs::json_escape(&note)),
+    );
+    let family_rows: Vec<String> = family_lines
+        .iter()
+        .map(|fields| streamsim_bench::bench_detail_line("replay", "family", fields))
+        .collect();
+    let cell_rows: Vec<String> = rows
         .iter()
         .map(|r| {
-            format!(
-                "    {{\"workload\":\"{}\",\"family\":\"{}\",\"cells\":{},\
-                 \"deliveries\":{},\"reference_ns\":{},\"current_ns\":{},\"speedup\":{:.3}}}",
-                r.workload,
-                r.family,
-                r.cells,
-                r.deliveries,
-                r.ref_ns,
-                r.cur_ns,
-                r.ref_ns as f64 / r.cur_ns as f64
+            streamsim_bench::bench_detail_line(
+                "replay",
+                "cell",
+                &format!(
+                    "\"workload\":\"{}\",\"family\":\"{}\",\"cells\":{},\
+                     \"deliveries\":{},\"reference_ns\":{},\"current_ns\":{},\"speedup\":{:.3}",
+                    r.workload,
+                    r.family,
+                    r.cells,
+                    r.deliveries,
+                    r.ref_ns,
+                    r.cur_ns,
+                    r.ref_ns as f64 / r.cur_ns as f64
+                ),
             )
         })
         .collect();
     let summary = format!(
-        "{{\n  \"benchmark\": \"replay\",\n  \"scale\": \"quick\",\n  \
-         \"samples\": {samples},\n  \"total_deliveries\": {total_deliveries},\n  \
-         \"reference\": {{\"total_ns\": {total_ref_ns}, \"deliveries_per_sec\": {ref_rate:.1}}},\n  \
-         \"current\": {{\"total_ns\": {total_cur_ns}, \"deliveries_per_sec\": {cur_rate:.1}}},\n  \
-         \"speedup\": {speedup:.3},\n  \"note\": \"{note}\",\n  \
-         \"per_family\": [\n{}\n  ],\n  \"per_cell\": [\n{}\n  ]\n}}\n",
-        family_lines.join(",\n"),
-        row_lines.join(",\n")
+        "{header}\n{note_line}\n{}\n{}\n",
+        family_rows.join("\n"),
+        cell_rows.join("\n")
     );
 
     if std::env::var("STREAMSIM_BENCH_WRITE").as_deref() == Ok("1") {

@@ -61,7 +61,7 @@ mod trace_store;
 
 pub use locality::{l2_geometry, profile_trace, stream_geometry};
 pub use miss_trace::{record_miss_trace, run_l2, run_streams, MissEvent, MissTrace, RecordOptions};
-pub use profile::ProfileArtifact;
+pub use profile::{ProfileArtifact, ProfilePhase};
 pub use replay::{
     replay, replay_chunked, replay_l2, replay_streams, FusedStreamObserver, L2Observer,
     MissObserver, MixedGeometry, StreamObserver, REPLAY_CHUNK_EVENTS,

@@ -130,6 +130,10 @@ pub fn record_miss_trace(
     // pass runs over contiguous slices.
     {
         let mut consume = |chunk: &[Access]| {
+            // One relaxed load per ~4096-ref chunk when disabled; the
+            // chunk-size distribution is workload-derived, so it is
+            // deterministic across runs and thread counts.
+            streamsim_obs::record_hist(streamsim_obs::HistId::RecordChunkRefs, chunk.len() as u64);
             for &access in chunk {
                 match l1.access(access) {
                     AccessOutcome::Hit | AccessOutcome::Bypassed => {}

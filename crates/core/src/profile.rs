@@ -1,7 +1,8 @@
-//! The `--profile` artifact: per-phase wall clock and throughput.
+//! The `--profile` artifact: per-phase wall clock, throughput and
+//! latency quantiles.
 //!
 //! [`ProfileArtifact`] snapshots the observability span registry
-//! ([`streamsim_obs::registry_snapshot`]) and renders it through the
+//! ([`streamsim_obs::registry_hists`]) and renders it through the
 //! ordinary [`Artifact`](crate::Artifact) machinery, so a profiling run
 //! emits its timing table exactly like any paper table — aligned text
 //! in the report, one flat JSON object per phase under `--json`.
@@ -11,13 +12,48 @@
 //! a `parallel_map` worker, whose span stack starts empty). The profile
 //! aggregates by *leaf* name so each engine phase — `record`, `replay`,
 //! `report` — accumulates into one row regardless of which thread did
-//! the work.
+//! the work. Since obs v2 every registry entry carries a log-linear
+//! duration histogram; merging those histograms is bucket-wise addition
+//! (deterministic regardless of thread count), and the merged
+//! distribution yields the `p50`/`p90`/`p99`/`max` columns.
 
 use std::collections::BTreeMap;
 
-use streamsim_obs::PhaseStat;
+use streamsim_obs::{Hist, PhaseStat};
 
 use crate::sink::{col, Artifact, ArtifactSink, Cell};
+
+/// One aggregated profile row: an engine phase with its total stat and
+/// per-call duration quantiles (nanoseconds; rendered as milliseconds).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProfilePhase {
+    /// Leaf phase name (`record`, `replay`, `report`, ...).
+    pub name: String,
+    /// Aggregate calls / wall clock / items across every path ending in
+    /// this leaf.
+    pub stat: PhaseStat,
+    /// Median per-call duration in nanoseconds.
+    pub p50_ns: u64,
+    /// 90th-percentile per-call duration in nanoseconds.
+    pub p90_ns: u64,
+    /// 99th-percentile per-call duration in nanoseconds.
+    pub p99_ns: u64,
+    /// Longest single call in nanoseconds.
+    pub max_ns: u64,
+}
+
+impl ProfilePhase {
+    fn from_hist(name: String, stat: PhaseStat, hist: &Hist) -> Self {
+        ProfilePhase {
+            name,
+            stat,
+            p50_ns: hist.quantile(0.50),
+            p90_ns: hist.quantile(0.90),
+            p99_ns: hist.quantile(0.99),
+            max_ns: hist.max().unwrap_or(0),
+        }
+    }
+}
 
 /// A snapshot of per-phase timings, ready to render as an artifact.
 ///
@@ -35,41 +71,59 @@ use crate::sink::{col, Artifact, ArtifactSink, Cell};
 /// }
 /// let profile = ProfileArtifact::capture();
 /// assert_eq!(profile.phases().len(), 1);
-/// assert_eq!(profile.phases()[0].0, "replay");
+/// assert_eq!(profile.phases()[0].name, "replay");
+/// assert!(profile.phases()[0].max_ns >= profile.phases()[0].p50_ns);
 /// # obs::set_level(obs::Level::Off);
 /// # obs::reset();
 /// ```
 #[derive(Clone, Debug)]
 pub struct ProfileArtifact {
-    phases: Vec<(String, PhaseStat)>,
+    phases: Vec<ProfilePhase>,
 }
 
 impl ProfileArtifact {
     /// Captures the current span registry, aggregated by leaf phase
-    /// name and sorted alphabetically.
+    /// name and sorted alphabetically. Per-path duration histograms
+    /// merge bucket-wise, so the quantile columns are exact over the
+    /// merged distribution no matter which threads recorded the spans.
     pub fn capture() -> Self {
-        let mut by_leaf: BTreeMap<String, PhaseStat> = BTreeMap::new();
-        for (path, stat) in streamsim_obs::registry_snapshot() {
+        let mut by_leaf: BTreeMap<String, (PhaseStat, Hist)> = BTreeMap::new();
+        for (path, stat, hist) in streamsim_obs::registry_hists() {
             let leaf = path.rsplit('/').next().unwrap_or(path.as_str()).to_owned();
-            let agg = by_leaf.entry(leaf).or_default();
+            let (agg, agg_hist) = by_leaf.entry(leaf).or_default();
             agg.calls += stat.calls;
             agg.nanos += stat.nanos;
             agg.items += stat.items;
+            agg_hist.merge(&hist);
         }
         ProfileArtifact {
-            phases: by_leaf.into_iter().collect(),
+            phases: by_leaf
+                .into_iter()
+                .map(|(name, (stat, hist))| ProfilePhase::from_hist(name, stat, &hist))
+                .collect(),
         }
     }
 
-    /// The aggregated `(phase, stat)` rows.
-    pub fn phases(&self) -> &[(String, PhaseStat)] {
+    /// The aggregated phase rows.
+    pub fn phases(&self) -> &[ProfilePhase] {
         &self.phases
+    }
+
+    /// Total span-declared items across every phase: the span-derived
+    /// `run_steps` work count the report layer stamps into the trailing
+    /// manifest record.
+    pub fn total_items(&self) -> u64 {
+        self.phases.iter().map(|p| p.stat.items).sum()
     }
 
     /// Whether no phase recorded any span (e.g. observability was off).
     pub fn is_empty(&self) -> bool {
         self.phases.is_empty()
     }
+}
+
+fn ms(nanos: u64) -> f64 {
+    nanos as f64 / 1e6
 }
 
 impl Artifact for ProfileArtifact {
@@ -81,19 +135,24 @@ impl Artifact for ProfileArtifact {
         sink.begin_table(
             self.artifact(),
             "phases",
-            "Profile: wall clock and throughput per engine phase",
+            "Profile: wall clock, throughput and per-call latency per engine phase",
             &[
                 col("phase", "phase"),
                 col("calls", "calls"),
                 col("wall ms", "wall_ms"),
                 col("items", "items"),
                 col("Mitem/s", "mitems_per_s"),
+                col("p50 ms", "p50_ms"),
+                col("p90 ms", "p90_ms"),
+                col("p99 ms", "p99_ms"),
+                col("max ms", "max_ms"),
             ],
         );
-        for (phase, stat) in &self.phases {
+        for phase in &self.phases {
+            let stat = &phase.stat;
             let rate = stat.mitems_per_sec();
             sink.row(&[
-                Cell::text(phase.clone()),
+                Cell::text(phase.name.clone()),
                 Cell::int(stat.calls as i64, stat.calls.to_string()),
                 Cell::num(stat.wall_ms(), format!("{:.2}", stat.wall_ms())),
                 Cell::int(stat.items as i64, stat.items.to_string()),
@@ -101,6 +160,10 @@ impl Artifact for ProfileArtifact {
                     Some(r) => Cell::num(r, format!("{r:.2}")),
                     None => Cell::text("-"),
                 },
+                Cell::num(ms(phase.p50_ns), format!("{:.3}", ms(phase.p50_ns))),
+                Cell::num(ms(phase.p90_ns), format!("{:.3}", ms(phase.p90_ns))),
+                Cell::num(ms(phase.p99_ns), format!("{:.3}", ms(phase.p99_ns))),
+                Cell::num(ms(phase.max_ns), format!("{:.3}", ms(phase.max_ns))),
             ]);
         }
         if self.phases.is_empty() {
@@ -122,17 +185,29 @@ mod tests {
         }
     }
 
+    fn phase(name: &str, stat: PhaseStat) -> ProfilePhase {
+        ProfilePhase {
+            name: name.to_owned(),
+            stat,
+            p50_ns: 500_000,
+            p90_ns: 900_000,
+            p99_ns: 990_000,
+            max_ns: 1_000_000,
+        }
+    }
+
     #[test]
     fn renders_phases_in_both_sinks() {
         let profile = ProfileArtifact {
             phases: vec![
-                ("record".to_owned(), stat(3, 2_000_000, 4_000)),
-                ("replay".to_owned(), stat(5, 1_000_000, 0)),
+                phase("record", stat(3, 2_000_000, 4_000)),
+                phase("replay", stat(5, 1_000_000, 0)),
             ],
         };
         let text = render_text(&profile);
         assert!(text.contains("record"), "{text}");
         assert!(text.contains("2.00"), "{text}");
+        assert!(text.contains("p99 ms"), "{text}");
         let lines = render_json_lines(&profile);
         assert_eq!(lines.len(), 2);
         assert!(
@@ -141,6 +216,8 @@ mod tests {
             lines[0]
         );
         assert!(lines[0].contains("\"phase\":\"record\""), "{}", lines[0]);
+        assert!(lines[0].contains("\"p50_ms\":0.5"), "{}", lines[0]);
+        assert!(lines[0].contains("\"max_ms\":1"), "{}", lines[0]);
         assert!(lines[1].contains("\"mitems_per_s\":\"-\""), "{}", lines[1]);
     }
 
@@ -164,10 +241,14 @@ mod tests {
         let leaf = profile
             .phases()
             .iter()
-            .find(|(name, _)| name == "prof_test_leaf")
+            .find(|p| p.name == "prof_test_leaf")
             .expect("leaf phase present");
-        assert_eq!(leaf.1.calls, 2, "nested and bare paths merge by leaf");
-        assert_eq!(leaf.1.items, 15);
+        assert_eq!(leaf.stat.calls, 2, "nested and bare paths merge by leaf");
+        assert_eq!(leaf.stat.items, 15);
+        // Two calls merged from two registry paths: the quantiles come
+        // from the merged histogram, so the extremes stay ordered.
+        assert!(leaf.p50_ns <= leaf.max_ns);
+        assert!(profile.total_items() >= 15);
         obs::set_level(obs::Level::Off);
     }
 
@@ -175,6 +256,7 @@ mod tests {
     fn empty_capture_notes_the_likely_cause() {
         let profile = ProfileArtifact { phases: vec![] };
         assert!(profile.is_empty());
+        assert_eq!(profile.total_items(), 0);
         let text = render_text(&profile);
         assert!(text.contains("STREAMSIM_LOG"), "{text}");
     }

@@ -126,6 +126,11 @@ pub fn replay_chunked(
         chunk_len
     };
     for chunk in trace.events().chunks(chunk_len) {
+        // Two relaxed loads per ~1024-event chunk when disabled: the
+        // chunk-size histogram is deterministic (trace-derived), the
+        // nanos one is wall clock and never pinned byte-for-byte.
+        streamsim_obs::record_hist(streamsim_obs::HistId::ReplayChunkEvents, chunk.len() as u64);
+        let _chunk_timer = streamsim_obs::hist_timer(streamsim_obs::HistId::ReplayChunkNanos);
         for o in observers.iter_mut() {
             o.on_events(chunk);
         }

@@ -135,12 +135,43 @@ impl Executor for SimExecutor {
         let mut live = vec![true; workers];
         let mut remaining = workers;
         let mut trace = Vec::with_capacity(workers * 4);
+        // When timeline export is active, remember when each step began
+        // so the chosen schedule renders as per-worker slices on the
+        // same timeline as the engine spans. One relaxed load when off.
+        let tracing = streamsim_obs::trace_active();
+        let mut step_marks: Vec<f64> = Vec::new();
         while remaining > 0 {
             let w = self.choose(&mut rng, &live);
             trace.push(w as u32);
+            if tracing {
+                step_marks.push(streamsim_obs::trace_epoch_us());
+            }
             if step(w) == StepOutcome::Done {
                 live[w] = false;
                 remaining -= 1;
+            }
+        }
+        if tracing {
+            // Run-length encode the schedule: each maximal run of one
+            // worker becomes a single `X` slice on that worker's lane.
+            let end = streamsim_obs::trace_epoch_us();
+            let mut i = 0;
+            while i < trace.len() {
+                let w = trace[i];
+                let mut j = i + 1;
+                while j < trace.len() && trace[j] == w {
+                    j += 1;
+                }
+                let begin = step_marks[i];
+                let until = if j < trace.len() { step_marks[j] } else { end };
+                streamsim_obs::trace_slice(
+                    w,
+                    &format!("w{w}"),
+                    begin,
+                    (until - begin).max(0.0),
+                    &[("drive", drive_index), ("steps", (j - i) as u64)],
+                );
+                i = j;
             }
         }
         let mut schedule = self.schedule.lock().unwrap_or_else(|e| e.into_inner());

@@ -21,8 +21,25 @@
 //!   and counter flushes append structured JSONL records to an in-memory
 //!   log the caller drains next to its other artifact output.
 //! * **Provenance** ([`RunManifest`], [`fingerprint64`]) — the identity
-//!   of a run (PRNG seed, configuration fingerprint, thread count) as a
-//!   plain value the report layer stamps into every JSON artifact.
+//!   of a run (PRNG seed, configuration fingerprint, thread count,
+//!   span-derived `run_steps`) as a plain value the report layer stamps
+//!   into every JSON artifact.
+//!
+//! Obs v2 adds three more, same contract (hermetic, thread-safe, free
+//! when disabled):
+//!
+//! * **Histograms** ([`Hist`], [`record_hist`], [`hist_timer`]) —
+//!   fixed-layout log-linear latency/size distributions with a
+//!   zero-alloc record path behind the one-relaxed-load gate; merging
+//!   is commutative, so cross-thread aggregation is deterministic.
+//! * **Timeline export** ([`trace_active`], [`flush_trace`]) — with
+//!   `STREAMSIM_TRACE_OUT=FILE` (or [`set_trace_out`]), spans emit
+//!   Chrome `trace_event` `B`/`E` records and the DST scheduler emits
+//!   per-worker `X` slices; the flushed file loads in `about:tracing`
+//!   or Perfetto.
+//! * **The perf ledger** ([`LedgerEntry`], [`check_ledger`]) — the
+//!   shared `BENCH_*`/`PERF_LEDGER.jsonl` schema and per-metric floors
+//!   behind `streamsim-report --ledger` / `--ledger-check`.
 //!
 //! # Example
 //!
@@ -49,15 +66,31 @@
 
 mod counters;
 mod events;
+mod hist;
+mod ledger;
 mod manifest;
 mod span;
+mod trace_export;
 
 pub use counters::{count, counter, counter_snapshot, Counter, CounterSet, Counters, NUM_COUNTERS};
 pub use events::{
     drain_events, emit_counter_events, emit_event, json_escape, pending_events, EventValue,
 };
+pub use hist::{
+    bucket_index, bucket_low, hist_snapshot, hist_timer, record_hist, reset_hists, Hist, HistId,
+    HistTimer, NUM_BUCKETS, NUM_HISTS, SUB_BUCKETS,
+};
+pub use ledger::{
+    check_ledger, metric_floors, Floor, LedgerEntry, LedgerVerdict, BENCH_SCHEMA,
+    DRIFT_NOTE_FRACTION, LEDGER_HEADER_KEYS, LEDGER_SCHEMA,
+};
 pub use manifest::{fingerprint64, RunManifest, StampValue};
-pub use span::{registry_snapshot, reset_registry, span, PhaseStat, SpanGuard};
+pub use span::{registry_hists, registry_snapshot, reset_registry, span, PhaseStat, SpanGuard};
+pub use trace_export::{
+    drain_trace_events, emit_span_begin, emit_span_end, flush_trace, pending_trace_events,
+    render_trace_document, set_trace_out, trace_active, trace_epoch_us, trace_out_path,
+    trace_slice,
+};
 
 use std::sync::atomic::{AtomicU8, Ordering};
 
@@ -127,13 +160,26 @@ pub fn enabled(at: Level) -> bool {
     raw_level() >= at as u8
 }
 
-/// Zeroes every global counter, the span registry and the event log.
-/// The level is left unchanged. Intended for tests and for the report
-/// binary between profiling sections.
+/// Zeroes every global counter and histogram, the span registry and the
+/// event log. The level and trace destination are left unchanged.
+/// Intended for tests and for the report binary between profiling
+/// sections.
 pub fn reset() {
     counters::reset_counters();
     span::reset_registry();
     events::clear_events();
+    hist::reset_hists();
+}
+
+/// The `STREAMSIM_TRACE_OUT` destination, if set and non-empty. The
+/// only environment read of the timeline exporter lives here, in the
+/// crate's env-read-sanctioned root (see `streamsim-lint`,
+/// `no-env-read`).
+#[cold]
+pub(crate) fn trace_out_env() -> Option<String> {
+    std::env::var("STREAMSIM_TRACE_OUT")
+        .ok()
+        .filter(|p| !p.trim().is_empty())
 }
 
 #[cfg(test)]

@@ -23,6 +23,14 @@ pub struct RunManifest {
     pub scale: String,
     /// Time-sampling label (`"off"` or `"on/off"` reference counts).
     pub sampling: String,
+    /// Wall-clock-free run duration: total span-declared items (engine
+    /// work units — references recorded, deliveries replayed). `0` means
+    /// "not yet measured" (the manifest is emitted before the run
+    /// starts; the report layer re-emits the measured value at the end
+    /// via [`RunManifest::steps_json_line`]). A monotonic work count,
+    /// not a clock, so ledger rows stay comparable across machines
+    /// without violating the no-wall-clock lint.
+    pub run_steps: u64,
 }
 
 impl RunManifest {
@@ -37,7 +45,15 @@ impl RunManifest {
                 .unwrap_or(1),
             scale: scale.to_owned(),
             sampling: sampling.to_owned(),
+            run_steps: 0,
         }
+    }
+
+    /// The manifest with a measured work count (see
+    /// [`RunManifest::run_steps`]).
+    pub fn with_run_steps(mut self, run_steps: u64) -> Self {
+        self.run_steps = run_steps;
+        self
     }
 
     /// The deterministic stamp keys added to every JSON row. `run_*`
@@ -55,12 +71,27 @@ impl RunManifest {
     pub fn to_json_line(&self) -> String {
         format!(
             "{{\"artifact\":\"manifest\",\"table\":\"run\",\"run_config\":{},\
-             \"run_seed\":{},\"run_threads\":{},\"scale\":{},\"sampling\":{}}}",
+             \"run_seed\":{},\"run_threads\":{},\"scale\":{},\"sampling\":{},\
+             \"run_steps\":{}}}",
             json_escape(&self.config),
             self.seed,
             self.threads,
             json_escape(&self.scale),
             json_escape(&self.sampling),
+            self.run_steps,
+        )
+    }
+
+    /// The measured work count as its own trailing manifest record
+    /// (`"table":"run_steps"`): the run manifest leads the JSON file
+    /// before any work has happened, so the span-derived total is
+    /// appended once the run ends.
+    pub fn steps_json_line(&self) -> String {
+        format!(
+            "{{\"artifact\":\"manifest\",\"table\":\"run_steps\",\"run_config\":{},\
+             \"run_steps\":{}}}",
+            json_escape(&self.config),
+            self.run_steps,
         )
     }
 }
@@ -106,15 +137,33 @@ mod tests {
             threads: 4,
             scale: "Quick".into(),
             sampling: "off".into(),
+            run_steps: 0,
         };
         assert_eq!(
             m.to_json_line(),
             "{\"artifact\":\"manifest\",\"table\":\"run\",\"run_config\":\"00ff\",\
-             \"run_seed\":7,\"run_threads\":4,\"scale\":\"Quick\",\"sampling\":\"off\"}"
+             \"run_seed\":7,\"run_threads\":4,\"scale\":\"Quick\",\"sampling\":\"off\",\
+             \"run_steps\":0}"
         );
         let stamp = m.row_stamp();
         assert_eq!(stamp[0].0, "run_config");
         assert_eq!(stamp[1], ("run_seed", StampValue::Int(7)));
+    }
+
+    #[test]
+    fn run_steps_round_trips_and_trails() {
+        let m = RunManifest::new(1, "cfg", "Quick", "off");
+        assert_eq!(m.run_steps, 0, "unknown before the run");
+        let m = m.with_run_steps(3_514_559);
+        assert_eq!(m.run_steps, 3_514_559);
+        assert!(m.to_json_line().contains("\"run_steps\":3514559"));
+        let trailing = m.steps_json_line();
+        assert!(trailing.contains("\"table\":\"run_steps\""), "{trailing}");
+        assert!(trailing.contains("\"run_steps\":3514559"), "{trailing}");
+        assert!(
+            trailing.contains(&format!("\"run_config\":\"{}\"", m.config)),
+            "{trailing}"
+        );
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! Property tests: histogram merging is deterministic by construction.
+//!
+//! The log-linear layout is fixed, so merging is bucket-wise addition —
+//! commutative and associative. These properties pin the consequence
+//! the engine relies on: however values are sharded across workers and
+//! however the shards are merged back, the aggregated histogram (and
+//! its byte encoding, and every derived quantile) is identical to
+//! recording the values sequentially. Seeded and replayable via
+//! `STREAMSIM_QC_SEED` (see `streamsim_prng::quickcheck`).
+
+use streamsim_obs::{bucket_index, bucket_low, Hist, NUM_BUCKETS};
+use streamsim_prng::quickcheck::{check, Gen};
+use streamsim_prng::{Rng, RngCore};
+
+fn arbitrary_values(g: &mut Gen) -> Vec<u64> {
+    g.vec(0..400usize, |g| {
+        // Mix magnitudes: small exact values, mid-range, and full-width
+        // — every bucket group gets exercised across cases.
+        match g.gen_range(0..3u32) {
+            0 => g.gen_range(0..32u64),
+            1 => g.gen_range(0..1_000_000u64),
+            _ => g.next_u64(),
+        }
+    })
+}
+
+#[test]
+fn merge_is_invariant_to_sharding_and_merge_order() {
+    check("hist_merge_shard_invariance", |g| {
+        let values = arbitrary_values(g);
+
+        let mut sequential = Hist::new();
+        for &v in &values {
+            sequential.record(v);
+        }
+
+        // Shard across a random "thread count" by random assignment —
+        // the worst case: no structure at all in who records what.
+        let shards_n = g.gen_range(1..=8usize);
+        let mut shards = vec![Hist::new(); shards_n];
+        for &v in &values {
+            let s = g.gen_range(0..shards_n);
+            shards[s].record(v);
+        }
+
+        // Merge the shards back in a random order.
+        let mut order: Vec<usize> = (0..shards_n).collect();
+        for i in (1..order.len()).rev() {
+            order.swap(i, g.gen_range(0..=i));
+        }
+        let mut merged = Hist::new();
+        for &s in &order {
+            merged.merge(&shards[s]);
+        }
+
+        assert_eq!(merged, sequential, "values: {values:?} order: {order:?}");
+        assert_eq!(merged.encode(), sequential.encode());
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(merged.quantile(q), sequential.quantile(q));
+        }
+    });
+}
+
+#[test]
+fn recorded_stats_match_the_raw_values() {
+    check("hist_stats_match_values", |g| {
+        let values = arbitrary_values(g);
+        let mut h = Hist::new();
+        for &v in &values {
+            h.record(v);
+        }
+        assert_eq!(h.count(), values.len() as u64);
+        assert_eq!(h.min(), values.iter().min().copied());
+        assert_eq!(h.max(), values.iter().max().copied());
+        let sum = values.iter().fold(0u64, |a, &v| a.wrapping_add(v));
+        assert_eq!(h.sum(), sum);
+        if values.is_empty() {
+            return;
+        }
+        // Quantiles never exceed the maximum, never undershoot the
+        // bucket bound of the true rank value, and p100 is exact.
+        assert_eq!(h.quantile(1.0), *values.iter().max().unwrap());
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for &(q, _) in &[(0.5, 0u8), (0.9, 0), (0.99, 0)] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let true_val = sorted[rank - 1];
+            let est = h.quantile(q);
+            assert!(est <= true_val, "q{q}: est {est} > true {true_val}");
+            assert!(
+                est >= bucket_low(bucket_index(true_val)),
+                "q{q}: est {est} below the true value's bucket ({true_val})"
+            );
+        }
+    });
+}
+
+#[test]
+fn bucket_layout_round_trips_arbitrary_values() {
+    check("hist_bucket_round_trip", |g| {
+        let v: u64 = g.next_u64();
+        let idx = bucket_index(v);
+        assert!(idx < NUM_BUCKETS);
+        let low = bucket_low(idx);
+        assert!(low <= v);
+        assert_eq!(bucket_index(low), idx, "lower bound stays in bucket");
+        if idx + 1 < NUM_BUCKETS {
+            assert!(bucket_low(idx + 1) > v, "value below next bucket's bound");
+        }
+    });
+}

@@ -59,27 +59,59 @@ if ./target/release/streamsim-lint --deny-warnings --workspace --quiet \
     exit 1
 fi
 
-# Observability smoke: one quick experiment with spans, counters and
-# the event log fully enabled (STREAMSIM_LOG=debug + --profile). The
-# JSON artifact must open with the run manifest, carry the per-phase
-# profile rows, and the drained event log must land beside it; diffing
-# each file against itself parses every line through the in-tree flat
-# JSON reader, so a malformed line is a hard failure here, not a
-# surprise for a downstream consumer.
-echo "==> observability smoke (--profile under STREAMSIM_LOG=debug)"
+# Observability smoke: one quick experiment with spans, counters, the
+# event log and the trace timeline fully enabled (STREAMSIM_LOG=debug +
+# --profile + STREAMSIM_TRACE_OUT). The JSON artifact must open with
+# the run manifest, carry the per-phase profile rows (including the
+# obs-v2 latency quantile columns) and the trailing run_steps row, and
+# the drained event log must land beside it; diffing each file against
+# itself parses every line through the in-tree flat JSON reader, so a
+# malformed line is a hard failure here, not a surprise for a
+# downstream consumer. The exported Chrome trace must survive
+# --trace-check: well-formed flat JSON, every span's B matched by an E.
+echo "==> observability smoke (--profile + trace export under STREAMSIM_LOG=debug)"
 obs_dir=$(mktemp -d)
 trap 'rm -rf "$obs_dir"' EXIT
-STREAMSIM_LOG=debug ./target/release/streamsim-report \
+STREAMSIM_LOG=debug STREAMSIM_TRACE_OUT="$obs_dir/trace.json" \
+    ./target/release/streamsim-report \
     --quick --profile --out /dev/null --json "$obs_dir/run.jsonl" table2
 head -n 1 "$obs_dir/run.jsonl" | grep -q '"artifact":"manifest"'
 grep -q '"artifact":"profile"' "$obs_dir/run.jsonl"
 grep -q '"phase":"record"' "$obs_dir/run.jsonl"
+grep -q '"p50_ms"' "$obs_dir/run.jsonl"
+grep -q '"table":"run_steps"' "$obs_dir/run.jsonl"
 grep -q '"run_seed"' "$obs_dir/run.jsonl"
 grep -q '"event":"span"' "$obs_dir/run.jsonl.events.jsonl"
 grep -q '"event":"counter"' "$obs_dir/run.jsonl.events.jsonl"
 for f in "$obs_dir/run.jsonl" "$obs_dir/run.jsonl.events.jsonl"; do
     ./target/release/streamsim-report --diff "$f" "$f"
 done
+grep -q '"ph":"B"' "$obs_dir/trace.json"
+./target/release/streamsim-report --trace-check "$obs_dir/trace.json"
+
+# Perf-regression ledger gate: the committed PERF_LEDGER.jsonl must
+# clear every metric floor (recording/replay speedups, model pruning
+# fraction — see DESIGN.md, "Perf-regression ledger"). The three
+# BENCH_*.json artifacts must still round-trip through --ledger into a
+# fresh ledger that also passes, proving the append path and the
+# checked-in artifacts agree on the schema. Then the gate's teeth: a
+# synthetic regressed row appended to a scratch copy must turn the
+# check red, else the ledger rotted into a yes-man.
+echo "==> perf ledger check (committed PERF_LEDGER.jsonl)"
+./target/release/streamsim-report --ledger-check PERF_LEDGER.jsonl
+echo "==> perf ledger round-trip (BENCH_*.json -> fresh ledger)"
+./target/release/streamsim-report \
+    --ledger BENCH_recording.json --ledger BENCH_replay.json \
+    --ledger BENCH_model.json --ledger-file "$obs_dir/ledger.jsonl"
+./target/release/streamsim-report --ledger-check "$obs_dir/ledger.jsonl"
+echo "==> perf ledger smoke (must fail on a regressed row)"
+cp PERF_LEDGER.jsonl "$obs_dir/regressed.jsonl"
+printf '%s\n' '{"schema":"streamsim-ledger-v1","seq":9999,"benchmark":"recording","run_config":"ci-smoke","scale":"quick","samples":1,"run_steps":1,"speedup":1.01}' \
+    >> "$obs_dir/regressed.jsonl"
+if ./target/release/streamsim-report --ledger-check "$obs_dir/regressed.jsonl"; then
+    echo "error: ledger check passed the seeded regression" >&2
+    exit 1
+fi
 
 # Deterministic-simulation smoke: the full seed sweeps already ran as
 # part of `cargo test` above; this re-runs the DST engine suite in

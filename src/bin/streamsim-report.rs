@@ -4,16 +4,27 @@
 //! USAGE:
 //!   streamsim-report [OPTIONS] [EXPERIMENT...]
 //!   streamsim-report --diff <A.jsonl> <B.jsonl> [--summary]
+//!   streamsim-report --ledger <BENCH.json>... [--ledger-file <FILE>]
+//!   streamsim-report --ledger-check [FILE]
+//!   streamsim-report --trace-check <FILE>
 //!
 //! OPTIONS:
 //!   --quick           run reduced inputs (smoke test)
 //!   --sampling        enable the paper's 10k-on/90k-off time sampling
 //!   --prescreen       prune sweeps to the model-predicted Pareto frontier
 //!   --profile         time the engine phases; append a per-phase table
+//!                     (wall clock, throughput, p50/p90/p99/max latency)
 //!   --out <FILE>      write the text report to FILE instead of stdout
 //!   --json <FILE>     additionally write one JSON line per table row to FILE
 //!   --diff <A> <B>    compare two --json outputs; exit 1 on drift
 //!   --summary         with --diff: one drift rollup line per artifact
+//!   --ledger <BENCH>  append a BENCH_*.json summary to the perf ledger
+//!                     (repeatable; ledger defaults to PERF_LEDGER.jsonl)
+//!   --ledger-file <F> destination ledger for --ledger
+//!   --ledger-check [F]  verify the ledger's latest entries against the
+//!                     per-metric floors; exit 1 on violation
+//!   --trace-check <F> validate an exported trace_event file (well-formed
+//!                     flat JSON, balanced B/E events); exit 1 on failure
 //!   --list            list experiment names and exit
 //!   -h, --help        show this help
 //!
@@ -50,7 +61,18 @@
 //!
 //! Observability is controlled by `STREAMSIM_LOG` (`off`/`info`/`debug`);
 //! `--profile` raises `off` to `info`. At `debug` with `--json FILE`,
-//! span and counter events stream to `FILE.events.jsonl`.
+//! span and counter events stream to `FILE.events.jsonl`. With
+//! `STREAMSIM_TRACE_OUT=FILE`, the run additionally exports a Chrome
+//! `trace_event` timeline of every span (and, under the DST
+//! `SimExecutor`, every scheduler slice) to FILE — loadable in
+//! `about:tracing` or Perfetto, checkable with `--trace-check`.
+//!
+//! `--ledger` ingests `BENCH_*.json` artifacts (the flat
+//! `streamsim-bench-v2` schema; pre-v2 nested files still parse, with a
+//! deprecation note) and appends one sequenced row per file to
+//! `PERF_LEDGER.jsonl`; `--ledger-check` re-reads the whole history and
+//! fails if the latest entry of any benchmark violates a per-metric
+//! floor (the same floors the CI perf smokes enforce live).
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::io::Write;
@@ -60,7 +82,7 @@ use std::time::Instant;
 
 use streamsim::experiments::{self, ExperimentOptions, Scale, ARTIFACT_NAMES};
 use streamsim::{parse_flat_json_line, JsonLinesSink, JsonValue, ProfileArtifact, Value};
-use streamsim_obs::{RunManifest, StampValue};
+use streamsim_obs::{LedgerEntry, RunManifest, StampValue};
 
 /// Numeric tolerance for `--diff`: golden values are pinned to four
 /// decimals, so anything past 5e-5 is real drift.
@@ -186,8 +208,24 @@ fn diff_reports(path_a: &str, path_b: &str) -> Result<Vec<DriftRecord>, String> 
             if line.trim().is_empty() {
                 continue;
             }
-            let fields =
-                parse_flat_json_line(line).map_err(|e| format!("{path}:{}: {e}", i + 1))?;
+            let fields = match parse_flat_json_line(line) {
+                Ok(fields) => fields,
+                Err(e) => {
+                    // Pre-v2 nested bench artifact: compare its
+                    // top-level scalars as one row, for one release.
+                    let fields = legacy_top_level_scalars(&text);
+                    if fields.is_empty() {
+                        return Err(format!("{path}:{}: {e}", i + 1));
+                    }
+                    eprintln!(
+                        "note: {path} is a pre-v2 nested bench artifact (deprecated — \
+                         regenerate with STREAMSIM_BENCH_WRITE=1)"
+                    );
+                    let key = row_key(&fields);
+                    rows.push((key, 0, fields));
+                    break;
+                }
+            };
             if is_provenance_row(&fields) {
                 continue;
             }
@@ -360,6 +398,257 @@ fn summarize_drift(drift: &[DriftRecord]) -> Vec<String> {
         .collect()
 }
 
+/// Extracts the top-level *scalar* fields of a nested (pre-v2) JSON
+/// document by depth tracking: strings and numbers at depth 1 are
+/// returned in file order, nested objects/arrays are skipped. Just
+/// enough to keep reading the old `BENCH_*.json` shape for one release.
+fn legacy_top_level_scalars(text: &str) -> Vec<(String, JsonValue)> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut depth = 0i64;
+    let mut i = 0usize;
+    let read_string = |i: &mut usize| -> String {
+        // Called with *i on the opening quote.
+        let start = *i + 1;
+        let mut j = start;
+        while j < bytes.len() && bytes[j] != b'"' {
+            if bytes[j] == b'\\' {
+                j += 1;
+            }
+            j += 1;
+        }
+        *i = (j + 1).min(bytes.len());
+        String::from_utf8_lossy(&bytes[start..j.min(bytes.len())]).into_owned()
+    };
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' | b'[' => {
+                depth += 1;
+                i += 1;
+            }
+            b'}' | b']' => {
+                depth -= 1;
+                i += 1;
+            }
+            b'"' if depth == 1 => {
+                let key = read_string(&mut i);
+                let mut j = i;
+                while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+                    j += 1;
+                }
+                if bytes.get(j) != Some(&b':') {
+                    continue; // a string value, not a key
+                }
+                j += 1;
+                while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+                    j += 1;
+                }
+                match bytes.get(j) {
+                    Some(b'"') => {
+                        i = j;
+                        let value = read_string(&mut i);
+                        out.push((key, JsonValue::Text(value)));
+                    }
+                    Some(b'{') | Some(b'[') | None => i = j,
+                    Some(_) => {
+                        let start = j;
+                        while j < bytes.len() && !b",}]\n".contains(&bytes[j]) {
+                            j += 1;
+                        }
+                        let token = String::from_utf8_lossy(&bytes[start..j]);
+                        let token = token.trim();
+                        if let Ok(n) = token.parse::<f64>() {
+                            out.push((key, JsonValue::Num(n)));
+                        } else if token == "true" || token == "false" {
+                            out.push((key, JsonValue::Bool(token == "true")));
+                        }
+                        i = j;
+                    }
+                }
+            }
+            b'"' => {
+                read_string(&mut i);
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+fn field_text(fields: &[(String, JsonValue)], key: &str) -> Option<String> {
+    fields.iter().find_map(|(k, v)| match v {
+        JsonValue::Text(s) if k == key => Some(s.clone()),
+        _ => None,
+    })
+}
+
+fn field_num(fields: &[(String, JsonValue)], key: &str) -> Option<f64> {
+    fields.iter().find_map(|(k, v)| match v {
+        JsonValue::Num(n) if k == key => Some(*n),
+        _ => None,
+    })
+}
+
+/// Builds a ledger entry (seq 0 — the appender assigns the real one)
+/// from parsed summary-row fields: header keys by name, every other
+/// numeric field a metric.
+fn entry_from_fields(fields: &[(String, JsonValue)], fallback_benchmark: &str) -> LedgerEntry {
+    let header = streamsim_obs::LEDGER_HEADER_KEYS;
+    LedgerEntry {
+        seq: field_num(fields, "seq").unwrap_or(0.0) as u64,
+        benchmark: field_text(fields, "benchmark").unwrap_or_else(|| fallback_benchmark.to_owned()),
+        run_config: field_text(fields, "run_config").unwrap_or_else(|| "legacy".to_owned()),
+        scale: field_text(fields, "scale").unwrap_or_else(|| "unknown".to_owned()),
+        samples: field_num(fields, "samples").unwrap_or(0.0) as u64,
+        run_steps: field_num(fields, "run_steps")
+            // Pre-v2 files carried the work count under a per-benchmark
+            // name; fold the known ones into `run_steps`.
+            .or_else(|| field_num(fields, "total_refs"))
+            .or_else(|| field_num(fields, "total_deliveries"))
+            .or_else(|| field_num(fields, "cells_simulated"))
+            .unwrap_or(0.0) as u64,
+        metrics: fields
+            .iter()
+            .filter_map(|(k, v)| match v {
+                JsonValue::Num(n) if !header.contains(&k.as_str()) => Some((k.clone(), *n)),
+                _ => None,
+            })
+            .collect(),
+    }
+}
+
+/// Reads one `BENCH_*.json` artifact into a ledger entry. The v2 shape
+/// is flat JSONL led by a `"table":"summary"` row; the pre-v2 nested
+/// shape still parses via its top-level scalars, with a deprecation
+/// note on stderr.
+fn bench_summary_entry(path: &str) -> Result<LedgerEntry, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let first = text
+        .lines()
+        .find(|l| !l.trim().is_empty())
+        .ok_or_else(|| format!("{path}: empty file"))?;
+    if let Ok(fields) = parse_flat_json_line(first) {
+        if field_text(&fields, "table").as_deref() == Some("summary") {
+            return Ok(entry_from_fields(&fields, "unknown"));
+        }
+        return Err(format!(
+            "{path}: first row is not a \"table\":\"summary\" row"
+        ));
+    }
+    // Legacy nested document: one release of grace.
+    let fields = legacy_top_level_scalars(&text);
+    if fields.is_empty() {
+        return Err(format!(
+            "{path}: neither flat bench-v2 JSONL nor legacy nested JSON"
+        ));
+    }
+    eprintln!(
+        "note: {path} is a pre-v2 nested bench artifact (deprecated — regenerate \
+         with STREAMSIM_BENCH_WRITE=1 to move to the flat {} schema)",
+        streamsim_obs::BENCH_SCHEMA
+    );
+    Ok(entry_from_fields(&fields, "unknown"))
+}
+
+/// Parses an existing `PERF_LEDGER.jsonl` (missing file = empty
+/// history).
+fn read_ledger(path: &str) -> Result<Vec<LedgerEntry>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("cannot read {path}: {e}")),
+    };
+    let mut entries = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields = parse_flat_json_line(line).map_err(|e| format!("{path}:{}: {e}", i + 1))?;
+        entries.push(entry_from_fields(&fields, "unknown"));
+    }
+    Ok(entries)
+}
+
+/// Appends the summaries of `bench_paths` to the ledger at
+/// `ledger_path`, sequencing each new row after the highest existing
+/// `seq`.
+fn append_to_ledger(ledger_path: &str, bench_paths: &[String]) -> Result<usize, String> {
+    let existing = read_ledger(ledger_path)?;
+    let mut seq = existing.iter().map(|e| e.seq).max().unwrap_or(0);
+    let mut lines = String::new();
+    for path in bench_paths {
+        let mut entry = bench_summary_entry(path)?;
+        seq += 1;
+        entry.seq = seq;
+        lines.push_str(&entry.to_json_line());
+        lines.push('\n');
+    }
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(ledger_path)
+        .map_err(|e| format!("cannot open {ledger_path}: {e}"))?;
+    file.write_all(lines.as_bytes())
+        .map_err(|e| format!("cannot write {ledger_path}: {e}"))?;
+    Ok(bench_paths.len())
+}
+
+/// Validates an exported Chrome `trace_event` file: the envelope is the
+/// exact shape the exporter renders, every event line is flat JSON, and
+/// `B`/`E` events balance per thread lane. Returns (begin events, total
+/// events).
+fn check_trace_file(path: &str) -> Result<(usize, usize), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut lines = text.lines();
+    if lines.next() != Some("{\"traceEvents\":[") {
+        return Err(format!("{path}: missing {{\"traceEvents\":[ header"));
+    }
+    let mut begins = 0usize;
+    let mut total = 0usize;
+    let mut open: BTreeMap<i64, i64> = BTreeMap::new();
+    let mut closed = false;
+    for (i, line) in lines.enumerate() {
+        let lineno = i + 2;
+        if line == "]}" {
+            closed = true;
+            continue;
+        }
+        if closed {
+            return Err(format!("{path}:{lineno}: content after the closing ]}}"));
+        }
+        let event = line.strip_suffix(',').unwrap_or(line);
+        let fields = parse_flat_json_line(event).map_err(|e| format!("{path}:{lineno}: {e}"))?;
+        total += 1;
+        let tid = field_num(&fields, "tid").unwrap_or(0.0) as i64;
+        match field_text(&fields, "ph").as_deref() {
+            Some("B") => {
+                begins += 1;
+                *open.entry(tid).or_insert(0) += 1;
+            }
+            Some("E") => {
+                let depth = open.entry(tid).or_insert(0);
+                *depth -= 1;
+                if *depth < 0 {
+                    return Err(format!(
+                        "{path}:{lineno}: E without matching B on tid {tid}"
+                    ));
+                }
+            }
+            Some("X") => {}
+            other => {
+                return Err(format!("{path}:{lineno}: unexpected ph {other:?}"));
+            }
+        }
+    }
+    if !closed {
+        return Err(format!("{path}: missing ]}} footer"));
+    }
+    if let Some((tid, depth)) = open.iter().find(|(_, d)| **d != 0) {
+        return Err(format!("{path}: {depth} unclosed B event(s) on tid {tid}"));
+    }
+    Ok((begins, total))
+}
+
 /// The manifest describing this run: the L1 PRNG seed, a fingerprint of
 /// the full recording configuration, and the machine's parallelism.
 fn run_manifest(options: &ExperimentOptions) -> RunManifest {
@@ -396,8 +685,12 @@ fn main() -> ExitCode {
     let mut diff_paths: Option<(String, String)> = None;
     let mut summary = false;
     let mut profile = false;
+    let mut ledger_inputs: Vec<String> = Vec::new();
+    let mut ledger_file = "PERF_LEDGER.jsonl".to_owned();
+    let mut ledger_check: Option<Option<String>> = None;
+    let mut trace_check: Option<String> = None;
 
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => options.scale = Scale::Quick,
@@ -426,6 +719,40 @@ fn main() -> ExitCode {
                 };
                 diff_paths = Some((a, b));
             }
+            "--ledger" => match args.next() {
+                Some(path) => ledger_inputs.push(path),
+                None => {
+                    eprintln!("error: --ledger needs a BENCH_*.json file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--ledger-file" => match args.next() {
+                Some(path) => ledger_file = path,
+                None => {
+                    eprintln!("error: --ledger-file needs a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--ledger-check" => {
+                // The file operand is optional: a following flag or
+                // experiment name means "use the default ledger".
+                let explicit = args
+                    .peek()
+                    .filter(|a| !a.starts_with('-') && !ARTIFACT_NAMES.contains(&a.as_str()))
+                    .is_some();
+                ledger_check = Some(if explicit {
+                    Some(args.next().expect("peeked"))
+                } else {
+                    None // resolved to the (possibly later) --ledger-file
+                });
+            }
+            "--trace-check" => match args.next() {
+                Some(path) => trace_check = Some(path),
+                None => {
+                    eprintln!("error: --trace-check needs a trace_event file path");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--list" => {
                 for name in ARTIFACT_NAMES {
                     println!("{name}");
@@ -437,9 +764,13 @@ fn main() -> ExitCode {
                     "streamsim-report: regenerate the evaluation of Palacharla & Kessler \
                      (ISCA 1994)\n\nUSAGE: streamsim-report [--quick] [--sampling] [--prescreen] \
                      [--profile] [--out FILE] [--json FILE] [--list] [EXPERIMENT...]\n       \
-                     streamsim-report --diff A.jsonl B.jsonl [--summary]\n\nEXPERIMENTS: {}\n\n\
+                     streamsim-report --diff A.jsonl B.jsonl [--summary]\n       \
+                     streamsim-report --ledger BENCH.json... [--ledger-file FILE]\n       \
+                     streamsim-report --ledger-check [FILE]\n       \
+                     streamsim-report --trace-check FILE\n\nEXPERIMENTS: {}\n\n\
                      `sweep` (the ~1000-cell design-space grid) must be selected by name; \
-                     --prescreen prunes it to the model-predicted Pareto frontier.",
+                     --prescreen prunes it to the model-predicted Pareto frontier.\n\
+                     STREAMSIM_TRACE_OUT=FILE exports a Chrome trace_event timeline of the run.",
                     ARTIFACT_NAMES.join(" ")
                 );
                 return ExitCode::SUCCESS;
@@ -450,6 +781,67 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+
+    // Ledger and trace maintenance modes run instead of experiments.
+    if !ledger_inputs.is_empty() || ledger_check.is_some() || trace_check.is_some() {
+        if !ledger_inputs.is_empty() {
+            match append_to_ledger(&ledger_file, &ledger_inputs) {
+                Ok(n) => println!("{n} benchmark run(s) appended to {ledger_file}"),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if let Some(path) = ledger_check {
+            let path = path.unwrap_or_else(|| ledger_file.clone());
+            let entries = match read_ledger(&path) {
+                Ok(entries) => entries,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let verdict = streamsim_obs::check_ledger(&entries);
+            for note in &verdict.notes {
+                println!("note: {note}");
+            }
+            for failure in &verdict.failures {
+                eprintln!("ledger floor violation: {failure}");
+            }
+            if !verdict.pass() {
+                eprintln!(
+                    "{}: {} floor violation(s) across {} entries",
+                    path,
+                    verdict.failures.len(),
+                    entries.len()
+                );
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "{path}: {} entries, latest per benchmark clears every metric floor",
+                entries.len()
+            );
+        }
+        if let Some(path) = trace_check {
+            match check_trace_file(&path) {
+                Ok((begins, total)) => {
+                    if begins == 0 {
+                        eprintln!("error: {path}: no span B events — nothing was traced");
+                        return ExitCode::FAILURE;
+                    }
+                    println!(
+                        "{path}: {total} events well-formed, {begins} B/E span pairs balanced"
+                    );
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        return ExitCode::SUCCESS;
     }
 
     if let Some((a, b)) = diff_paths {
@@ -600,8 +992,8 @@ fn main() -> ExitCode {
         eprintln!("{name} done in {:.2?}", start.elapsed());
     }
 
+    let phases = ProfileArtifact::capture();
     if profile {
-        let phases = ProfileArtifact::capture();
         report.push_str(&format!(
             "=== profile ===\n{}\n",
             streamsim::render_text(&phases)
@@ -613,6 +1005,17 @@ fn main() -> ExitCode {
 
     if let Some(path) = &json_out {
         if let Some(file) = json_file.as_mut() {
+            // The manifest led the file with `run_steps: 0` (nothing had
+            // run); the measured span-derived work count trails it.
+            let steps = phases.total_items();
+            if steps > 0 {
+                let stamped = manifest.clone().with_run_steps(steps);
+                if let Err(e) = writeln!(file, "{}", stamped.steps_json_line()) {
+                    eprintln!("error: cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                json_rows += 1;
+            }
             if let Err(e) = file.flush() {
                 eprintln!("error: cannot write {path}: {e}");
                 return ExitCode::FAILURE;
@@ -643,6 +1046,15 @@ fn main() -> ExitCode {
             eprintln!("report written to {path}");
         }
         None => print!("{report}"),
+    }
+    // STREAMSIM_TRACE_OUT: flush the collected trace_event timeline.
+    match streamsim_obs::flush_trace() {
+        None => {}
+        Some(Ok((path, events))) => eprintln!("{events} trace events written to {path}"),
+        Some(Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }

@@ -99,7 +99,7 @@ fn cmd_replay(path: &str, streams: usize) -> ExitCode {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match args
+    let code = match args
         .iter()
         .map(String::as_str)
         .collect::<Vec<_>>()
@@ -128,5 +128,15 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         _ => fail("unrecognised command (try --help)"),
+    };
+    // STREAMSIM_TRACE_OUT: flush any collected trace_event timeline.
+    match streamsim_obs::flush_trace() {
+        None => {}
+        Some(Ok((path, events))) => eprintln!("{events} trace events written to {path}"),
+        Some(Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
     }
+    code
 }

@@ -48,7 +48,8 @@ pub use streamsim_core::{
     run_l2, run_streams, stream_geometry, Artifact, ArtifactSink, Cell, ExecutorHandle,
     GuardedSink, JsonLinesSink, JsonValue, L1Summary, L2Observer, MemorySystem,
     MemorySystemBuilder, MissEvent, MissObserver, MissTrace, MultiSink, ProfileArtifact,
-    RecordOptions, SimReport, StreamObserver, StreamTopology, TextSink, TraceStore, Value,
+    ProfilePhase, RecordOptions, SimReport, StreamObserver, StreamTopology, TextSink, TraceStore,
+    Value,
 };
 pub use streamsim_streams::{
     Allocation, CzoneFilter, LengthBucket, LengthHistogram, MatchPolicy, MinDeltaDetector,

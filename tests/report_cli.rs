@@ -603,3 +603,290 @@ fn golden_scorecard_round_trips_through_diff() {
         std::fs::remove_file(p).ok();
     }
 }
+
+#[test]
+fn ledger_append_and_check_round_trip() {
+    let dir = std::env::temp_dir().join("streamsim-report-ledger-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bench = dir.join("BENCH_fake.json");
+    let ledger = dir.join("ledger.jsonl");
+    std::fs::remove_file(&ledger).ok();
+    // A v2 flat bench artifact: summary row first, detail rows after.
+    std::fs::write(
+        &bench,
+        "{\"schema\":\"streamsim-bench-v2\",\"table\":\"summary\",\"benchmark\":\"recording\",\
+         \"scale\":\"quick\",\"samples\":3,\"run_config\":\"00ff\",\"run_steps\":100,\
+         \"work_unit\":\"refs\",\"reference_ns\":200,\"current_ns\":100,\"speedup\":2.0}\n\
+         {\"schema\":\"streamsim-bench-v2\",\"table\":\"workload\",\"benchmark\":\"recording\",\
+         \"name\":\"w0\",\"refs\":100}\n",
+    )
+    .unwrap();
+
+    let append = report()
+        .args([
+            "--ledger",
+            bench.to_str().unwrap(),
+            "--ledger-file",
+            ledger.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        append.status.success(),
+        "{}",
+        String::from_utf8_lossy(&append.stderr)
+    );
+    let history = std::fs::read_to_string(&ledger).unwrap();
+    assert!(
+        history.starts_with("{\"schema\":\"streamsim-ledger-v1\",\"seq\":1,"),
+        "{history}"
+    );
+    assert!(history.contains("\"speedup\":2"), "{history}");
+    // The detail row stayed out of the ledger.
+    assert_eq!(history.lines().count(), 1, "{history}");
+
+    let check = report()
+        .args(["--ledger-check", ledger.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(
+        check.status.success(),
+        "{}",
+        String::from_utf8_lossy(&check.stderr)
+    );
+
+    // A second append sequences after the first.
+    let append2 = report()
+        .args([
+            "--ledger",
+            bench.to_str().unwrap(),
+            "--ledger-file",
+            ledger.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(append2.status.success());
+    let history = std::fs::read_to_string(&ledger).unwrap();
+    assert!(history.contains("\"seq\":2,"), "{history}");
+
+    for p in [&bench, &ledger] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
+fn ledger_check_fails_on_a_regressed_latest_row() {
+    let dir = std::env::temp_dir().join("streamsim-report-ledger-fail-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let ledger = dir.join("regressed.jsonl");
+    std::fs::write(
+        &ledger,
+        "{\"schema\":\"streamsim-ledger-v1\",\"seq\":1,\"benchmark\":\"recording\",\
+         \"run_config\":\"00ff\",\"scale\":\"quick\",\"samples\":3,\"run_steps\":100,\
+         \"speedup\":1.5}\n\
+         {\"schema\":\"streamsim-ledger-v1\",\"seq\":2,\"benchmark\":\"recording\",\
+         \"run_config\":\"00ff\",\"scale\":\"quick\",\"samples\":3,\"run_steps\":100,\
+         \"speedup\":0.9}\n",
+    )
+    .unwrap();
+    let check = report()
+        .args(["--ledger-check", ledger.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(!check.status.success(), "a regressed latest row must fail");
+    let err = String::from_utf8_lossy(&check.stderr);
+    assert!(err.contains("floor violation"), "{err}");
+    assert!(err.contains("speedup"), "{err}");
+    std::fs::remove_file(&ledger).ok();
+}
+
+#[test]
+fn legacy_nested_bench_ingests_with_a_deprecation_note() {
+    let dir = std::env::temp_dir().join("streamsim-report-ledger-legacy-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bench = dir.join("BENCH_legacy.json");
+    let ledger = dir.join("ledger.jsonl");
+    std::fs::remove_file(&ledger).ok();
+    std::fs::write(
+        &bench,
+        "{\n  \"benchmark\": \"replay\",\n  \"scale\": \"quick\",\n  \"samples\": 5,\n  \
+         \"total_deliveries\": 4200,\n  \
+         \"reference\": {\"total_ns\": 200},\n  \"current\": {\"total_ns\": 100},\n  \
+         \"speedup\": 2.0,\n  \"per_family\": [\n    {\"family\":\"x\",\"speedup\":2.0}\n  ]\n}\n",
+    )
+    .unwrap();
+    let append = report()
+        .args([
+            "--ledger",
+            bench.to_str().unwrap(),
+            "--ledger-file",
+            ledger.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        append.status.success(),
+        "{}",
+        String::from_utf8_lossy(&append.stderr)
+    );
+    let err = String::from_utf8_lossy(&append.stderr);
+    assert!(err.contains("pre-v2"), "deprecation note expected: {err}");
+    let history = std::fs::read_to_string(&ledger).unwrap();
+    assert!(history.contains("\"benchmark\":\"replay\""), "{history}");
+    assert!(
+        history.contains("\"run_steps\":4200"),
+        "legacy work count folds into run_steps: {history}"
+    );
+    // The nested per-family values never leak into the entry.
+    assert!(!history.contains("family"), "{history}");
+    for p in [&bench, &ledger] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
+fn trace_export_round_trips_through_trace_check() {
+    let dir = std::env::temp_dir().join("streamsim-report-trace-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("trace.json");
+    std::fs::remove_file(&trace).ok();
+    let out = report()
+        .args(["--quick", "--out", "/dev/null", "fig3"])
+        .env("STREAMSIM_TRACE_OUT", trace.to_str().unwrap())
+        .env_remove("STREAMSIM_LOG")
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&trace).unwrap();
+    assert!(text.starts_with("{\"traceEvents\":[\n"), "{text}");
+    for phase in ["report", "prefill", "record", "replay"] {
+        assert!(
+            text.contains(&format!(
+                "\"name\":\"{phase}\",\"cat\":\"span\",\"ph\":\"B\""
+            )),
+            "phase {phase} missing from the timeline"
+        );
+    }
+    // Nesting is explicit: the prefill B event links to report's id.
+    let report_b = text
+        .lines()
+        .find(|l| l.contains("\"path\":\"report\""))
+        .expect("report span");
+    let report_id: u64 = report_b
+        .split("\"id\":")
+        .nth(1)
+        .unwrap()
+        .split(',')
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap();
+    let prefill_b = text
+        .lines()
+        .find(|l| l.contains("\"path\":\"report/prefill\""))
+        .expect("prefill nests under report");
+    assert!(
+        prefill_b.contains(&format!("\"parent\":{report_id}")),
+        "{prefill_b}"
+    );
+
+    let check = report()
+        .args(["--trace-check", trace.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(
+        check.status.success(),
+        "{}",
+        String::from_utf8_lossy(&check.stderr)
+    );
+    let verdict = String::from_utf8_lossy(&check.stdout);
+    assert!(verdict.contains("balanced"), "{verdict}");
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
+fn trace_check_rejects_malformed_and_unbalanced_files() {
+    let dir = std::env::temp_dir().join("streamsim-report-trace-bad-test");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let malformed = dir.join("malformed.json");
+    std::fs::write(&malformed, "{\"traceEvents\":[\nnot json\n]}\n").unwrap();
+    let out = report()
+        .args(["--trace-check", malformed.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success(), "malformed event must fail");
+
+    let unbalanced = dir.join("unbalanced.json");
+    std::fs::write(
+        &unbalanced,
+        "{\"traceEvents\":[\n\
+         {\"name\":\"a\",\"cat\":\"span\",\"ph\":\"B\",\"pid\":1,\"tid\":1,\"ts\":0.0,\"id\":1,\"parent\":0,\"path\":\"a\"}\n\
+         ]}\n",
+    )
+    .unwrap();
+    let out = report()
+        .args(["--trace-check", unbalanced.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success(), "unclosed B must fail");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unclosed"), "{err}");
+
+    for p in [&malformed, &unbalanced] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
+fn run_steps_trails_the_json_artifact() {
+    let dir = std::env::temp_dir().join("streamsim-report-steps-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("steps.jsonl");
+    let out = report()
+        .args([
+            "--quick",
+            "--profile",
+            "--out",
+            "/dev/null",
+            "--json",
+            path.to_str().unwrap(),
+            "table2",
+        ])
+        .env_remove("STREAMSIM_LOG")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let written = std::fs::read_to_string(&path).unwrap();
+    let first = written.lines().next().unwrap();
+    assert!(
+        first.contains("\"run_steps\":0"),
+        "the leading manifest has no measured work yet: {first}"
+    );
+    let steps_row = written
+        .lines()
+        .find(|l| l.contains("\"table\":\"run_steps\""))
+        .expect("trailing run_steps record");
+    let fields = streamsim::parse_flat_json_line(steps_row).expect("valid steps row");
+    let steps = fields
+        .iter()
+        .find_map(|(k, v)| match v {
+            streamsim::JsonValue::Num(n) if k == "run_steps" => Some(*n),
+            _ => None,
+        })
+        .expect("run_steps value");
+    assert!(steps > 0.0, "measured work count is positive: {steps_row}");
+    // The profile table carries the new latency quantile columns.
+    let profile_row = written
+        .lines()
+        .find(|l| l.contains("\"artifact\":\"profile\""))
+        .expect("profile row");
+    for key in ["p50_ms", "p90_ms", "p99_ms", "max_ms"] {
+        assert!(profile_row.contains(key), "{key} in {profile_row}");
+    }
+    std::fs::remove_file(&path).ok();
+}
