@@ -1,0 +1,471 @@
+//! The incremental parse cache: FNV-1a file fingerprints → memoized
+//! per-file ASTs.
+//!
+//! Parsing is the lint's semantic-phase cost; lexing and the token
+//! rules stay cheap and always run. The cache memoizes exactly the
+//! parse: one line per file in a plain-text cache file —
+//! `<fingerprint> <path> <encoded ast>` — keyed like the `TraceStore`
+//! (content fingerprint, not mtime), so a warm `--workspace` run skips
+//! every unchanged file's parse and, by construction, produces
+//! byte-identical findings to a cold run (the CI smoke pins that).
+//!
+//! The AST encoding is a whitespace-separated token stream (every name
+//! in an AST is a Rust identifier, paths join with `::`, so no quoting
+//! or escaping is ever needed); [`decode_ast`] round-trips
+//! [`encode_ast`] exactly, and anything malformed — truncated file,
+//! schema drift — decodes to `None` and falls back to a fresh parse.
+//! A fingerprint is FNV-1a over the file bytes, the same hash family
+//! the obs run manifest uses, re-implemented here because this crate
+//! depends on nothing.
+
+use std::collections::BTreeMap;
+use std::io::{self, Write as _};
+use std::path::Path;
+
+use crate::parser::{
+    Call, FileAst, FnItem, ImplBlock, Item, ItemKind, ModDecl, TypeAlias, UseDecl,
+};
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64-bit hash of `bytes`.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// First line of a cache file; a mismatch discards the whole cache.
+const CACHE_HEADER: &str = "streamsim-lint-ast-cache-v1";
+
+/// The on-disk parse cache and its hit statistics.
+#[derive(Debug, Default)]
+pub struct AstCache {
+    entries: BTreeMap<String, (u64, FileAst)>,
+    /// Files whose parse was served from the cache this run.
+    pub hits: usize,
+    /// Files that had to be parsed fresh this run.
+    pub misses: usize,
+}
+
+impl AstCache {
+    /// An empty cache (every lookup misses).
+    pub fn empty() -> Self {
+        AstCache::default()
+    }
+
+    /// Loads a cache file. A missing, unreadable or mismatched-schema
+    /// file yields an empty cache — the cache is an accelerator, never
+    /// a correctness input.
+    pub fn load(path: &Path) -> Self {
+        let mut cache = AstCache::empty();
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return cache;
+        };
+        let mut lines = text.lines();
+        if lines.next() != Some(CACHE_HEADER) {
+            return cache;
+        }
+        for line in lines {
+            let mut parts = line.splitn(3, ' ');
+            let (Some(fp), Some(file), Some(encoded)) = (parts.next(), parts.next(), parts.next())
+            else {
+                continue;
+            };
+            let Ok(fp) = u64::from_str_radix(fp, 16) else {
+                continue;
+            };
+            if let Some(ast) = decode_ast(encoded) {
+                cache.entries.insert(file.to_owned(), (fp, ast));
+            }
+        }
+        cache
+    }
+
+    /// The memoized AST for `file`, if its fingerprint still matches.
+    /// Counts the hit/miss either way.
+    pub fn lookup(&mut self, file: &str, fingerprint: u64) -> Option<FileAst> {
+        match self.entries.get(file) {
+            Some((fp, ast)) if *fp == fingerprint => {
+                self.hits += 1;
+                Some(ast.clone())
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Records a freshly parsed file.
+    pub fn insert(&mut self, file: &str, fingerprint: u64, ast: FileAst) {
+        self.entries.insert(file.to_owned(), (fingerprint, ast));
+    }
+
+    /// Drops entries for files no longer in `live` (deleted/renamed
+    /// files must not pin stale ASTs forever).
+    pub fn retain_files(&mut self, live: &[String]) {
+        self.entries
+            .retain(|file, _| live.iter().any(|l| l == file));
+    }
+
+    /// Writes the cache back to `path`, sorted by file for determinism.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating or writing the file.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let mut w = io::BufWriter::new(std::fs::File::create(path)?);
+        writeln!(w, "{CACHE_HEADER}")?;
+        for (file, (fp, ast)) in &self.entries {
+            writeln!(w, "{fp:016x} {file} {}", encode_ast(ast))?;
+        }
+        w.flush()
+    }
+}
+
+/// Encodes an AST as one whitespace-separated token line.
+pub fn encode_ast(ast: &FileAst) -> String {
+    let mut out = String::new();
+    encode_items(&ast.items, &mut out);
+    out
+}
+
+fn push_tok(out: &mut String, tok: &str) {
+    if !out.is_empty() {
+        out.push(' ');
+    }
+    out.push_str(tok);
+}
+
+fn opt(s: Option<&str>) -> String {
+    s.filter(|s| !s.is_empty()).unwrap_or("-").to_owned()
+}
+
+fn encode_items(items: &[Item], out: &mut String) {
+    push_tok(out, "[");
+    for item in items {
+        push_tok(out, "(");
+        push_tok(out, &item.line.to_string());
+        match &item.kind {
+            ItemKind::Use(u) => {
+                push_tok(out, "u");
+                push_tok(out, if u.is_pub { "1" } else { "0" });
+                push_tok(out, if u.glob { "1" } else { "0" });
+                push_tok(out, &opt(u.alias.as_deref()));
+                push_tok(out, &opt(Some(&u.path.join("::"))));
+            }
+            ItemKind::TypeAlias(t) => {
+                push_tok(out, "t");
+                push_tok(out, if t.is_pub { "1" } else { "0" });
+                push_tok(out, &t.name);
+                push_tok(out, "[");
+                for path in &t.rhs {
+                    push_tok(out, &path.join("::"));
+                }
+                push_tok(out, "]");
+            }
+            ItemKind::Mod(m) => {
+                push_tok(out, "m");
+                push_tok(out, if m.is_pub { "1" } else { "0" });
+                push_tok(out, if m.cfg_test { "1" } else { "0" });
+                push_tok(out, &m.name);
+                match &m.items {
+                    Some(inner) => encode_items(inner, out),
+                    None => push_tok(out, ";"),
+                }
+            }
+            ItemKind::Fn(f) => {
+                push_tok(out, "f");
+                encode_fn(f, out);
+            }
+            ItemKind::Impl(b) => {
+                push_tok(out, "i");
+                push_tok(out, &opt(Some(&b.type_name)));
+                push_tok(out, "[");
+                for f in &b.fns {
+                    encode_fn(f, out);
+                }
+                push_tok(out, "]");
+            }
+            ItemKind::TypeDef(name) => {
+                push_tok(out, "d");
+                push_tok(out, name);
+            }
+        }
+        push_tok(out, ")");
+    }
+    push_tok(out, "]");
+}
+
+fn encode_fn(f: &FnItem, out: &mut String) {
+    push_tok(out, "(");
+    push_tok(out, &f.line.to_string());
+    push_tok(out, if f.is_pub { "1" } else { "0" });
+    push_tok(out, if f.hot_gate { "1" } else { "0" });
+    push_tok(out, if f.in_test { "1" } else { "0" });
+    push_tok(out, &f.name);
+    push_tok(out, "[");
+    for call in &f.calls {
+        push_tok(out, "(");
+        push_tok(out, &call.line.to_string());
+        push_tok(out, if call.method { "1" } else { "0" });
+        push_tok(out, &opt(Some(&call.path.join("::"))));
+        push_tok(out, &opt(call.receiver.as_deref()));
+        push_tok(out, &opt(call.let_var.as_deref()));
+        push_tok(
+            out,
+            &call
+                .parent
+                .map(|p| p.to_string())
+                .unwrap_or_else(|| "-".to_owned()),
+        );
+        push_tok(out, "[");
+        for ident in &call.arg_idents {
+            push_tok(out, ident);
+        }
+        push_tok(out, "]");
+        push_tok(out, ")");
+    }
+    push_tok(out, "]");
+    push_tok(out, ")");
+}
+
+/// Decodes [`encode_ast`] output; `None` on any malformation.
+pub fn decode_ast(encoded: &str) -> Option<FileAst> {
+    let tokens: Vec<&str> = encoded.split_whitespace().collect();
+    let mut i = 0usize;
+    let items = decode_items(&tokens, &mut i)?;
+    if i != tokens.len() {
+        return None;
+    }
+    Some(FileAst { items })
+}
+
+fn expect(tokens: &[&str], i: &mut usize, tok: &str) -> Option<()> {
+    if tokens.get(*i) == Some(&tok) {
+        *i += 1;
+        Some(())
+    } else {
+        None
+    }
+}
+
+fn next<'a>(tokens: &[&'a str], i: &mut usize) -> Option<&'a str> {
+    let t = tokens.get(*i).copied()?;
+    *i += 1;
+    Some(t)
+}
+
+fn de_opt(tok: &str) -> Option<String> {
+    (tok != "-").then(|| tok.to_owned())
+}
+
+fn de_path(tok: &str) -> Vec<String> {
+    if tok == "-" {
+        Vec::new()
+    } else {
+        tok.split("::").map(str::to_owned).collect()
+    }
+}
+
+fn de_bool(tok: &str) -> Option<bool> {
+    match tok {
+        "0" => Some(false),
+        "1" => Some(true),
+        _ => None,
+    }
+}
+
+fn decode_items(tokens: &[&str], i: &mut usize) -> Option<Vec<Item>> {
+    expect(tokens, i, "[")?;
+    let mut items = Vec::new();
+    while tokens.get(*i) != Some(&"]") {
+        expect(tokens, i, "(")?;
+        let line: u32 = next(tokens, i)?.parse().ok()?;
+        let kind = match next(tokens, i)? {
+            "u" => {
+                let is_pub = de_bool(next(tokens, i)?)?;
+                let glob = de_bool(next(tokens, i)?)?;
+                let alias = de_opt(next(tokens, i)?);
+                let path = de_path(next(tokens, i)?);
+                ItemKind::Use(UseDecl {
+                    is_pub,
+                    path,
+                    alias,
+                    glob,
+                })
+            }
+            "t" => {
+                let is_pub = de_bool(next(tokens, i)?)?;
+                let name = next(tokens, i)?.to_owned();
+                expect(tokens, i, "[")?;
+                let mut rhs = Vec::new();
+                while tokens.get(*i) != Some(&"]") {
+                    rhs.push(de_path(next(tokens, i)?));
+                }
+                expect(tokens, i, "]")?;
+                ItemKind::TypeAlias(TypeAlias { is_pub, name, rhs })
+            }
+            "m" => {
+                let is_pub = de_bool(next(tokens, i)?)?;
+                let cfg_test = de_bool(next(tokens, i)?)?;
+                let name = next(tokens, i)?.to_owned();
+                let items = if tokens.get(*i) == Some(&";") {
+                    *i += 1;
+                    None
+                } else {
+                    Some(decode_items(tokens, i)?)
+                };
+                ItemKind::Mod(ModDecl {
+                    is_pub,
+                    name,
+                    items,
+                    cfg_test,
+                })
+            }
+            "f" => ItemKind::Fn(decode_fn(tokens, i)?),
+            "i" => {
+                let type_name = de_opt(next(tokens, i)?).unwrap_or_default();
+                expect(tokens, i, "[")?;
+                let mut fns = Vec::new();
+                while tokens.get(*i) != Some(&"]") {
+                    fns.push(decode_fn(tokens, i)?);
+                }
+                expect(tokens, i, "]")?;
+                ItemKind::Impl(ImplBlock { type_name, fns })
+            }
+            "d" => ItemKind::TypeDef(next(tokens, i)?.to_owned()),
+            _ => return None,
+        };
+        expect(tokens, i, ")")?;
+        items.push(Item { line, kind });
+    }
+    expect(tokens, i, "]")?;
+    Some(items)
+}
+
+fn decode_fn(tokens: &[&str], i: &mut usize) -> Option<FnItem> {
+    expect(tokens, i, "(")?;
+    let line: u32 = next(tokens, i)?.parse().ok()?;
+    let is_pub = de_bool(next(tokens, i)?)?;
+    let hot_gate = de_bool(next(tokens, i)?)?;
+    let in_test = de_bool(next(tokens, i)?)?;
+    let name = next(tokens, i)?.to_owned();
+    expect(tokens, i, "[")?;
+    let mut calls = Vec::new();
+    while tokens.get(*i) != Some(&"]") {
+        expect(tokens, i, "(")?;
+        let line: u32 = next(tokens, i)?.parse().ok()?;
+        let method = de_bool(next(tokens, i)?)?;
+        let path = de_path(next(tokens, i)?);
+        let receiver = de_opt(next(tokens, i)?);
+        let let_var = de_opt(next(tokens, i)?);
+        let parent = match next(tokens, i)? {
+            "-" => None,
+            n => Some(n.parse::<usize>().ok()?),
+        };
+        expect(tokens, i, "[")?;
+        let mut arg_idents = Vec::new();
+        while tokens.get(*i) != Some(&"]") {
+            arg_idents.push(next(tokens, i)?.to_owned());
+        }
+        expect(tokens, i, "]")?;
+        expect(tokens, i, ")")?;
+        calls.push(Call {
+            line,
+            path,
+            method,
+            receiver,
+            let_var,
+            parent,
+            arg_idents,
+        });
+    }
+    expect(tokens, i, "]")?;
+    expect(tokens, i, ")")?;
+    Some(FnItem {
+        line,
+        is_pub,
+        name,
+        hot_gate,
+        in_test,
+        calls,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    const SOUP: &str = "use std::collections::BTreeMap;\n\
+                        pub use crate::a::{FastMap as Remap, other};\n\
+                        pub type M = Vec<super::maps::FastMap<u32, u32>>;\n\
+                        mod a;\n\
+                        pub mod inline { pub fn f() { helper(x); } }\n\
+                        #[cfg(test)]\nmod tests { fn t() {} }\n\
+                        // lint:hot-gate\n\
+                        fn raw() { L.load(Relaxed) }\n\
+                        impl Wrapper { fn push(&mut self) { let v = g(a); s.row(v, h(b)); } }\n\
+                        struct S;\n";
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn encode_decode_round_trips_a_parsed_soup() {
+        let ast = parse(SOUP);
+        let encoded = encode_ast(&ast);
+        let decoded = decode_ast(&encoded).expect("decodes");
+        assert_eq!(decoded, ast, "encoded: {encoded}");
+    }
+
+    #[test]
+    fn malformed_encodings_decode_to_none() {
+        assert!(decode_ast("").is_none());
+        assert!(decode_ast("[ ( 1 u 1").is_none());
+        assert!(decode_ast("[ ( x u 0 0 - std ) ]").is_none());
+        let good = encode_ast(&parse(SOUP));
+        let truncated = &good[..good.len() / 2];
+        assert!(decode_ast(truncated).is_none());
+        // Trailing garbage is also rejected, not ignored.
+        assert!(decode_ast(&format!("{good} ]")).is_none());
+    }
+
+    #[test]
+    fn cache_hits_on_matching_fingerprint_only() {
+        let dir = std::env::temp_dir().join("streamsim-lint-cache-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.txt");
+        let ast = parse(SOUP);
+        let fp = fnv1a_64(SOUP.as_bytes());
+
+        let mut cache = AstCache::empty();
+        assert!(cache.lookup("src/lib.rs", fp).is_none());
+        cache.insert("src/lib.rs", fp, ast.clone());
+        cache.save(&path).unwrap();
+
+        let mut warm = AstCache::load(&path);
+        assert_eq!(warm.lookup("src/lib.rs", fp), Some(ast));
+        assert!(warm.lookup("src/lib.rs", fp ^ 1).is_none());
+        assert_eq!((warm.hits, warm.misses), (1, 1));
+
+        warm.retain_files(&[]);
+        warm.save(&path).unwrap();
+        let mut emptied = AstCache::load(&path);
+        assert!(emptied.lookup("src/lib.rs", fp).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

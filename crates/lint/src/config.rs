@@ -39,6 +39,11 @@ pub struct LintConfig {
     /// [`crate::engine::scan_hot_modules`]); entries added here apply
     /// on top of the scan.
     pub hot_modules: Vec<String>,
+    /// Files (or prefixes) sanctioned to spawn threads directly: the
+    /// `Executor` seam's own implementation. Everywhere else, fan-out
+    /// goes through `parallel_map_on`/`prefill_on` (`executor-seam`
+    /// rule), so DST schedules can replay it.
+    pub spawn_sanctioned: Vec<String>,
 }
 
 impl Default for LintConfig {
@@ -58,6 +63,7 @@ impl Default for LintConfig {
                 "crates/lint/src/main.rs".into(),
             ],
             hot_modules: Vec::new(),
+            spawn_sanctioned: vec!["crates/dst/src/executor.rs".into()],
         }
     }
 }
@@ -101,6 +107,12 @@ impl LintConfig {
     /// Whether `path` is a configured hot-loop module.
     pub fn is_hot_module(&self, path: &str) -> bool {
         self.hot_modules.iter().any(|m| path == m.as_str())
+    }
+
+    /// Whether `path` is sanctioned to spawn threads directly (the
+    /// `Executor` seam implementation).
+    pub fn spawn_sanctioned(&self, path: &str) -> bool {
+        Self::matches_any(path, &self.spawn_sanctioned)
     }
 
     /// Whether `source` carries a [`HOT_MODULE_MARKER`] comment: a line
@@ -153,6 +165,9 @@ mod tests {
         };
         assert!(scanned.is_hot_module("crates/cache/src/cache.rs"));
         assert!(!scanned.is_hot_module("crates/cache/src/stats.rs"));
+
+        assert!(c.spawn_sanctioned("crates/dst/src/executor.rs"));
+        assert!(!c.spawn_sanctioned("crates/core/src/runner.rs"));
     }
 
     #[test]

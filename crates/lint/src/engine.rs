@@ -3,14 +3,21 @@
 //! The walk is deterministic: directory entries are visited in sorted
 //! order and findings are sorted by (file, line, rule), so two runs
 //! over the same tree produce byte-identical reports — the lint holds
-//! itself to the invariant it enforces.
+//! itself to the invariant it enforces. The incremental AST cache
+//! preserves that property: a warm run memoizes parses by content
+//! fingerprint but re-runs resolution and every rule, so its findings
+//! are byte-identical to a cold run's.
 
+use std::collections::BTreeMap;
 use std::io;
 use std::path::{Path, PathBuf};
 
+use crate::cache::{fnv1a_64, AstCache};
 use crate::config::LintConfig;
 use crate::findings::{summary_json_line, Finding, Level};
-use crate::rules::{check_manifest, check_rust_source};
+use crate::resolve::Resolver;
+use crate::rules::{check_file_with_semantics, check_manifest};
+use crate::taint::{hot_gate_findings, seam_findings, taint_findings};
 
 /// The outcome of linting a tree.
 #[derive(Clone, Debug, Default)]
@@ -24,6 +31,13 @@ pub struct Report {
     /// [`crate::config::HOT_MODULE_MARKER`] comment, sorted and
     /// deduplicated.
     pub hot_modules: Vec<String>,
+    /// Name-resolution edges followed while resolving aliases, calls
+    /// and taint flows (a proxy for semantic-analysis work done).
+    pub resolution_edges: u64,
+    /// AST-cache hits (fingerprint matched; parse skipped).
+    pub cache_hits: usize,
+    /// AST-cache misses (file parsed this run).
+    pub cache_misses: usize,
 }
 
 impl Report {
@@ -32,6 +46,14 @@ impl Report {
         self.findings
             .iter()
             .filter(|f| f.level == Level::Deny)
+            .count()
+    }
+
+    /// Number of advisory findings (dead suppressions).
+    pub fn warn_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.level == Level::Warn)
             .count()
     }
 
@@ -50,6 +72,7 @@ impl Report {
         lines.push(summary_json_line(
             self.files_scanned,
             self.deny_count(),
+            self.warn_count(),
             self.allow_count(),
         ));
         lines
@@ -142,6 +165,26 @@ pub fn scan_hot_modules(root: &Path, workspace: bool) -> io::Result<Vec<String>>
 ///
 /// Returns the first I/O error hit while walking or reading files.
 pub fn lint_tree(root: &Path, workspace: bool, config: &LintConfig) -> io::Result<Report> {
+    lint_tree_with(root, workspace, config, None)
+}
+
+/// [`lint_tree`] with an optional on-disk AST cache.
+///
+/// When `cache_path` is given, per-file ASTs are memoized by FNV-1a
+/// content fingerprint: unchanged files skip the parse on the next run.
+/// Only the parse is cached — resolution and every rule re-run in full
+/// — so warm-cache findings are byte-identical to cold-cache findings.
+///
+/// # Errors
+///
+/// Returns the first I/O error hit while walking or reading files, or
+/// while writing the cache back.
+pub fn lint_tree_with(
+    root: &Path,
+    workspace: bool,
+    config: &LintConfig,
+    cache_path: Option<&Path>,
+) -> io::Result<Report> {
     let files = read_files(root, workspace)?;
     let mut effective = config.clone();
     effective.hot_modules.extend(
@@ -153,8 +196,53 @@ pub fn lint_tree(root: &Path, workspace: bool, config: &LintConfig) -> io::Resul
     effective.hot_modules.sort();
     effective.hot_modules.dedup();
 
+    // Parse every Rust file (through the cache when one is configured)
+    // and build the workspace-wide resolver over the ASTs.
+    let mut cache = match cache_path {
+        Some(p) => AstCache::load(p),
+        None => AstCache::empty(),
+    };
+    let mut asts = BTreeMap::new();
+    for (rel, source) in &files {
+        if !rel.ends_with(".rs") {
+            continue;
+        }
+        let fp = fnv1a_64(source.as_bytes());
+        let ast = match cache.lookup(rel, fp) {
+            Some(ast) => ast,
+            None => {
+                let ast = crate::parser::parse(source);
+                cache.insert(rel, fp, ast.clone());
+                ast
+            }
+        };
+        asts.insert(rel.clone(), ast);
+    }
+    if let Some(p) = cache_path {
+        let live: Vec<String> = asts.keys().cloned().collect();
+        cache.retain_files(&live);
+        cache.save(p)?;
+    }
+
+    let resolver = Resolver::build(&files, &asts);
+
+    // The workspace-wide semantic passes, grouped per file so each
+    // file's denies run through its own suppression machinery.
+    let mut semantic: BTreeMap<String, Vec<Finding>> = BTreeMap::new();
+    let mut global = taint_findings(&resolver, &effective);
+    global.extend(seam_findings(&resolver, &effective));
+    global.extend(hot_gate_findings(&resolver));
+    for finding in global {
+        semantic
+            .entry(finding.file.clone())
+            .or_default()
+            .push(finding);
+    }
+
     let mut report = Report {
         hot_modules: effective.hot_modules.clone(),
+        cache_hits: cache.hits,
+        cache_misses: cache.misses,
         ..Report::default()
     };
     for (rel, source) in &files {
@@ -162,11 +250,14 @@ pub fn lint_tree(root: &Path, workspace: bool, config: &LintConfig) -> io::Resul
         if rel.ends_with("Cargo.toml") {
             report.findings.extend(check_manifest(rel, source));
         } else {
-            report
-                .findings
-                .extend(check_rust_source(rel, source, &effective));
+            let banned = resolver.banned_names(rel);
+            let extra = semantic.remove(rel).unwrap_or_default();
+            report.findings.extend(check_file_with_semantics(
+                rel, source, &effective, &banned, extra,
+            ));
         }
     }
+    report.resolution_edges = resolver.edges();
     report
         .findings
         .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
@@ -192,15 +283,18 @@ mod tests {
             files_scanned: 2,
             findings: vec![
                 Finding::deny("todo-tag", "a.rs", 1, "x"),
+                Finding::warn("dead-suppression", "a.rs", 2, "y"),
                 Finding::allow("no-wall-clock", "b.rs", 2, "why"),
             ],
-            hot_modules: Vec::new(),
+            ..Report::default()
         };
         assert_eq!(report.deny_count(), 1);
+        assert_eq!(report.warn_count(), 1);
         assert_eq!(report.allow_count(), 1);
         let lines = report.json_lines();
-        assert_eq!(lines.len(), 3);
-        assert!(lines[2].contains("\"table\":\"summary\""), "{}", lines[2]);
-        assert!(lines[2].contains("\"files\":2"), "{}", lines[2]);
+        assert_eq!(lines.len(), 4);
+        assert!(lines[3].contains("\"table\":\"summary\""), "{}", lines[3]);
+        assert!(lines[3].contains("\"files\":2"), "{}", lines[3]);
+        assert!(lines[3].contains("\"warn\":1"), "{}", lines[3]);
     }
 }

@@ -1,10 +1,13 @@
 //! Lint findings and their renderings.
 //!
 //! A finding is one flat record: rule, location, level, message and (for
-//! suppressions) the annotated reason. The JSON rendering is one flat
-//! object per finding — the same shape `streamsim-report --diff` parses
-//! — so a lint run can be captured as a golden artifact and diffed like
-//! any other experiment output.
+//! suppressions) the annotated reason. Semantic findings additionally
+//! carry a `resolved_path` (the banned terminal a cross-file alias
+//! chain bottomed out on, with the chain of bindings followed) and a
+//! `taint_chain` (source → … → sink, for the determinism taint rule).
+//! Both keys are present on every JSON line — empty when inapplicable —
+//! so the findings table stays rectangular and `streamsim-report
+//! --diff` can golden-diff a lint run like any experiment artifact.
 
 use std::fmt;
 
@@ -13,6 +16,9 @@ use std::fmt;
 pub enum Level {
     /// A rule violation: fails the run under `--deny-warnings`.
     Deny,
+    /// Advisory hygiene (today: dead suppressions). Fatal only under
+    /// `--deny-warnings`.
+    Warn,
     /// A recorded `lint:allow` suppression: reported, never fatal.
     Allow,
 }
@@ -22,6 +28,7 @@ impl Level {
     pub fn name(self) -> &'static str {
         match self {
             Level::Deny => "deny",
+            Level::Warn => "warn",
             Level::Allow => "allow",
         }
     }
@@ -36,39 +43,72 @@ pub struct Finding {
     pub file: String,
     /// 1-based line number.
     pub line: u32,
-    /// Violation or suppression.
+    /// Violation, advisory or suppression.
     pub level: Level,
     /// Human-readable description.
     pub message: String,
     /// The justification carried by a `lint:allow` annotation; empty
     /// for violations.
     pub reason: String,
+    /// For cross-file alias findings: the banned terminal and the
+    /// binding chain that reaches it (`Alias @ file:line -> … ->
+    /// std::collections::HashMap`). Empty otherwise.
+    pub resolved_path: String,
+    /// For determinism-taint findings: the source → sink flow. Empty
+    /// otherwise.
+    pub taint_chain: String,
 }
 
 impl Finding {
-    /// A violation of `rule` at `file:line`.
-    pub fn deny(rule: &'static str, file: &str, line: u32, message: impl Into<String>) -> Self {
+    fn new(rule: &'static str, file: &str, line: u32, level: Level, message: String) -> Self {
         Finding {
             rule,
             file: file.to_owned(),
             line,
-            level: Level::Deny,
-            message: message.into(),
+            level,
+            message,
             reason: String::new(),
+            resolved_path: String::new(),
+            taint_chain: String::new(),
         }
+    }
+
+    /// A violation of `rule` at `file:line`.
+    pub fn deny(rule: &'static str, file: &str, line: u32, message: impl Into<String>) -> Self {
+        Finding::new(rule, file, line, Level::Deny, message.into())
+    }
+
+    /// An advisory finding of `rule` at `file:line`.
+    pub fn warn(rule: &'static str, file: &str, line: u32, message: impl Into<String>) -> Self {
+        Finding::new(rule, file, line, Level::Warn, message.into())
     }
 
     /// A recorded suppression of `rule` at `file:line`.
     pub fn allow(rule: &'static str, file: &str, line: u32, reason: impl Into<String>) -> Self {
         let reason = reason.into();
-        Finding {
+        let mut f = Finding::new(
             rule,
-            file: file.to_owned(),
+            file,
             line,
-            level: Level::Allow,
-            message: format!("suppressed by lint:allow: {reason}"),
-            reason,
-        }
+            Level::Allow,
+            format!("suppressed by lint:allow: {reason}"),
+        );
+        f.reason = reason;
+        f
+    }
+
+    /// Attaches the resolved terminal/chain of a cross-file alias.
+    #[must_use]
+    pub fn with_resolved_path(mut self, resolved: impl Into<String>) -> Self {
+        self.resolved_path = resolved.into();
+        self
+    }
+
+    /// Attaches a determinism-taint source → sink chain.
+    #[must_use]
+    pub fn with_taint_chain(mut self, chain: impl Into<String>) -> Self {
+        self.taint_chain = chain.into();
+        self
     }
 
     /// The finding as one flat JSON object (the `streamsim-report --diff`
@@ -76,13 +116,16 @@ impl Finding {
     pub fn to_json_line(&self) -> String {
         format!(
             "{{\"artifact\":\"lint\",\"table\":\"findings\",\"rule\":{},\"level\":{},\
-             \"file\":{},\"line\":{},\"message\":{},\"reason\":{}}}",
+             \"file\":{},\"line\":{},\"message\":{},\"reason\":{},\
+             \"resolved_path\":{},\"taint_chain\":{}}}",
             json_string(self.rule),
             json_string(self.level.name()),
             json_string(&self.file),
             self.line,
             json_string(&self.message),
             json_string(&self.reason),
+            json_string(&self.resolved_path),
+            json_string(&self.taint_chain),
         )
     }
 }
@@ -97,7 +140,14 @@ impl fmt::Display for Finding {
             self.level.name(),
             self.rule,
             self.message
-        )
+        )?;
+        if !self.resolved_path.is_empty() {
+            write!(f, " [{}]", self.resolved_path)?;
+        }
+        if !self.taint_chain.is_empty() {
+            write!(f, " [{}]", self.taint_chain)?;
+        }
+        Ok(())
     }
 }
 
@@ -125,10 +175,10 @@ pub fn json_string(s: &str) -> String {
 }
 
 /// The one-line summary object closing a JSON report: totals by level.
-pub fn summary_json_line(files: usize, deny: usize, allow: usize) -> String {
+pub fn summary_json_line(files: usize, deny: usize, warn: usize, allow: usize) -> String {
     format!(
         "{{\"artifact\":\"lint\",\"table\":\"summary\",\"files\":{files},\
-         \"deny\":{deny},\"allow\":{allow}}}"
+         \"deny\":{deny},\"warn\":{warn},\"allow\":{allow}}}"
     )
 }
 
@@ -142,6 +192,8 @@ mod tests {
         let line = f.to_json_line();
         assert!(line.starts_with("{\"artifact\":\"lint\""), "{line}");
         assert!(line.contains("\\\"tag\\\""), "{line}");
+        assert!(line.contains("\"resolved_path\":\"\""), "{line}");
+        assert!(line.contains("\"taint_chain\":\"\""), "{line}");
         assert!(line.ends_with('}'), "{line}");
     }
 
@@ -160,5 +212,28 @@ mod tests {
         assert!(f
             .to_json_line()
             .contains("\"reason\":\"stderr progress only\""));
+    }
+
+    #[test]
+    fn semantic_fields_render_in_json_and_display() {
+        let f = Finding::deny("no-hash-collections", "src/b.rs", 2, "aliased map")
+            .with_resolved_path("FastMap @ src/b.rs:2 -> std::collections::HashMap");
+        assert!(f
+            .to_json_line()
+            .contains("\"resolved_path\":\"FastMap @ src/b.rs:2 -> std::collections::HashMap\""));
+        assert!(f.to_string().contains("std::collections::HashMap"));
+
+        let t = Finding::deny("determinism-taint", "src/c.rs", 7, "clock into row")
+            .with_taint_chain("std::time::Instant @ src/c.rs:5 -> row @ src/c.rs:7");
+        assert!(t.to_json_line().contains("\"taint_chain\":\"std::time"));
+    }
+
+    #[test]
+    fn warn_level_renders_and_counts() {
+        let f = Finding::warn("dead-suppression", "src/a.rs", 4, "suppresses nothing");
+        assert_eq!(f.level.name(), "warn");
+        assert!(f.to_json_line().contains("\"level\":\"warn\""));
+        let summary = summary_json_line(10, 1, 2, 3);
+        assert!(summary.contains("\"warn\":2"), "{summary}");
     }
 }

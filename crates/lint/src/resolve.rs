@@ -1,0 +1,798 @@
+//! Cross-file name resolution over the parsed module graph.
+//!
+//! [`Resolver::build`] assembles a scope table from every parsed file
+//! plus the workspace `Cargo.toml` layout: each `[package]` manifest
+//! roots a crate at `<dir>/src/lib.rs` (module key = the crate ident,
+//! dashes underscored) and `<dir>/src/main.rs`; `mod m;` declarations
+//! claim `m.rs` / `m/mod.rs` siblings; inline `mod m { … }` bodies
+//! become child scopes of the same file; every unclaimed `.rs` file
+//! (integration tests, `src/bin/` binaries, examples) roots its own
+//! scope. Within a scope, a name resolves through `use` bindings, `type`
+//! aliases, child modules, local fns/impl methods, `crate`/`self`/
+//! `super` anchors, and sibling-crate idents — hop-limited and
+//! cycle-guarded, with every substitution counted as a resolution edge
+//! (the `resolution_edges` metric in the lint bench row).
+//!
+//! Two verdicts matter to the rule engine: a path bottoming out on a
+//! **banned std terminal** (`std::collections::{HashMap,HashSet}`,
+//! `std::time::{Instant,SystemTime}`, `std::env::var*` — or `std::env`
+//! itself as a module binding), and a path landing on a **workspace
+//! function** (the call edge the taint pass follows). Everything else is
+//! `Opaque`.
+//!
+//! Deliberately NOT resolved (documented scope, see DESIGN.md): macro
+//! expansions, trait method dispatch (a bare `.iter()` never resolves),
+//! and glob-import contents (`use x::*` is recorded but contributes no
+//! bindings).
+
+use std::cell::Cell;
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::parser::{FileAst, FnItem, Item, ItemKind};
+
+/// Maximum substitution hops when chasing a name; cycles are also
+/// guarded by a visited set, this bounds pathological chains.
+const MAX_HOPS: u32 = 32;
+
+/// One link of a resolution chain: a binding followed on the way to the
+/// terminal.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChainLink {
+    /// The local name that was followed.
+    pub name: String,
+    /// File declaring the binding.
+    pub file: String,
+    /// Line of the declaration.
+    pub line: u32,
+}
+
+/// A path that bottomed out on a banned std item.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Banned {
+    /// The determinism rule the terminal violates.
+    pub rule: &'static str,
+    /// The terminal path (`std::collections::HashMap`).
+    pub terminal: String,
+    /// The bindings followed, outermost first.
+    pub chain: Vec<ChainLink>,
+}
+
+impl Banned {
+    /// The chain rendered for the `resolved_path`-style report fields:
+    /// `name @ file:line -> … -> terminal`.
+    pub fn render_chain(&self) -> String {
+        let mut parts: Vec<String> = self
+            .chain
+            .iter()
+            .map(|l| format!("{} @ {}:{}", l.name, l.file, l.line))
+            .collect();
+        parts.push(self.terminal.clone());
+        parts.join(" -> ")
+    }
+}
+
+/// What a path resolves to.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Resolution {
+    /// A banned std terminal.
+    Banned(Banned),
+    /// The `std::env` module itself (bans only `name::var*` uses).
+    EnvModule(Vec<ChainLink>),
+    /// A workspace function — index into [`Resolver::fn_table`].
+    Function(usize),
+    /// Anything the resolver does not model.
+    Opaque,
+}
+
+/// A resolved workspace function (free fn or `Type::method`).
+#[derive(Clone, Debug)]
+pub struct FnInfo {
+    /// File defining the function.
+    pub file: String,
+    /// Scope key of the defining module.
+    pub scope: String,
+    /// Display name (`f` or `Type::m`).
+    pub name: String,
+    /// The parsed item (body call summary included).
+    pub item: FnItem,
+}
+
+/// A locally-bound name that resolves to a banned terminal — the input
+/// of the cross-file alias rules.
+#[derive(Clone, Debug)]
+pub struct BannedName {
+    /// The bound local name.
+    pub name: String,
+    /// The violated rule.
+    pub rule: &'static str,
+    /// The terminal path.
+    pub terminal: String,
+    /// Rendered chain (`name @ file:line -> … -> terminal`).
+    pub chain: String,
+    /// Line of the local declaration.
+    pub decl_line: u32,
+    /// Whether the name binds the `std::env` *module* (fires only on
+    /// `name::var*` uses) rather than a banned item.
+    pub env_module: bool,
+    /// Identifier segments spelled in the local declaration, used to
+    /// decide whether the token layer already owns this alias (a decl
+    /// that literally spells `HashMap` is the token rules' business).
+    pub decl_segments: Vec<String>,
+}
+
+struct UseBinding {
+    path: Vec<String>,
+    line: u32,
+}
+
+struct AliasBinding {
+    rhs: Vec<Vec<String>>,
+    line: u32,
+}
+
+#[derive(Default)]
+struct Scope {
+    file: String,
+    root: String,
+    parent: Option<String>,
+    uses: BTreeMap<String, UseBinding>,
+    aliases: BTreeMap<String, AliasBinding>,
+    mods: BTreeMap<String, String>,
+    typedefs: BTreeSet<String>,
+    fns: BTreeMap<String, usize>,
+}
+
+/// The workspace-wide name-resolution table.
+pub struct Resolver {
+    scopes: BTreeMap<String, Scope>,
+    crate_roots: BTreeMap<String, String>,
+    file_scopes: BTreeMap<String, Vec<String>>,
+    fn_table: Vec<FnInfo>,
+    edges: Cell<u64>,
+}
+
+impl std::fmt::Debug for Resolver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Resolver")
+            .field("scopes", &self.scopes.len())
+            .field("fns", &self.fn_table.len())
+            .field("edges", &self.edges.get())
+            .finish()
+    }
+}
+
+impl Resolver {
+    /// Builds the resolution table from `(path, source)` manifest pairs
+    /// and the parsed ASTs (keyed by workspace-relative file path).
+    pub fn build(files: &[(String, String)], asts: &BTreeMap<String, FileAst>) -> Resolver {
+        let mut r = Resolver {
+            scopes: BTreeMap::new(),
+            crate_roots: BTreeMap::new(),
+            file_scopes: BTreeMap::new(),
+            fn_table: Vec::new(),
+            edges: Cell::new(0),
+        };
+        let mut claimed: BTreeSet<String> = BTreeSet::new();
+
+        // Crate roots from the manifest layout.
+        let mut roots: Vec<(String, String)> = Vec::new(); // (scope key, root file)
+        for (path, source) in files {
+            if !(path == "Cargo.toml" || path.ends_with("/Cargo.toml")) {
+                continue;
+            }
+            let Some(name) = package_name(source) else {
+                continue;
+            };
+            let dir = path.strip_suffix("Cargo.toml").unwrap_or("");
+            let ident = name.replace('-', "_");
+            let lib = format!("{dir}src/lib.rs");
+            if asts.contains_key(&lib) {
+                r.crate_roots.insert(ident.clone(), ident.clone());
+                roots.push((ident.clone(), lib));
+            }
+            let main = format!("{dir}src/main.rs");
+            if asts.contains_key(&main) {
+                roots.push((format!("file:{main}"), main));
+            }
+        }
+        for (key, file) in roots {
+            if claimed.insert(file.clone()) {
+                let root = key.clone();
+                r.add_module(&key, &file, &root, None, asts, &mut claimed);
+            }
+        }
+        // Orphans: every unclaimed file roots its own scope.
+        let orphans: Vec<String> = asts
+            .keys()
+            .filter(|p| !claimed.contains(*p))
+            .cloned()
+            .collect();
+        for file in orphans {
+            let key = format!("file:{file}");
+            claimed.insert(file.clone());
+            let root = key.clone();
+            r.add_module(&key, &file, &root, None, asts, &mut claimed);
+        }
+        r
+    }
+
+    fn add_module(
+        &mut self,
+        key: &str,
+        file: &str,
+        root: &str,
+        parent: Option<&str>,
+        asts: &BTreeMap<String, FileAst>,
+        claimed: &mut BTreeSet<String>,
+    ) {
+        let Some(ast) = asts.get(file) else {
+            return;
+        };
+        let items = ast.items.clone();
+        self.add_scope(key, file, root, parent, &items, asts, claimed);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn add_scope(
+        &mut self,
+        key: &str,
+        file: &str,
+        root: &str,
+        parent: Option<&str>,
+        items: &[Item],
+        asts: &BTreeMap<String, FileAst>,
+        claimed: &mut BTreeSet<String>,
+    ) {
+        let mut scope = Scope {
+            file: file.to_owned(),
+            root: root.to_owned(),
+            parent: parent.map(str::to_owned),
+            ..Scope::default()
+        };
+        let mut children: Vec<(String, ModChild)> = Vec::new();
+        for item in items {
+            match &item.kind {
+                ItemKind::Use(u) => {
+                    if let Some(name) = u.bound_name() {
+                        scope.uses.insert(
+                            name.to_owned(),
+                            UseBinding {
+                                path: u.path.clone(),
+                                line: item.line,
+                            },
+                        );
+                    }
+                }
+                ItemKind::TypeAlias(t) => {
+                    scope.aliases.insert(
+                        t.name.clone(),
+                        AliasBinding {
+                            rhs: t.rhs.clone(),
+                            line: item.line,
+                        },
+                    );
+                }
+                ItemKind::Mod(m) => {
+                    let child_key = format!("{key}::{}", m.name);
+                    scope.mods.insert(m.name.clone(), child_key.clone());
+                    match &m.items {
+                        Some(inner) => {
+                            children.push((child_key, ModChild::Inline(inner.clone())));
+                        }
+                        None => {
+                            if let Some(child_file) = mod_file(file, &m.name, asts) {
+                                children.push((child_key, ModChild::File(child_file)));
+                            }
+                        }
+                    }
+                }
+                ItemKind::Fn(f) => {
+                    let idx = self.fn_table.len();
+                    self.fn_table.push(FnInfo {
+                        file: file.to_owned(),
+                        scope: key.to_owned(),
+                        name: f.name.clone(),
+                        item: f.clone(),
+                    });
+                    scope.fns.insert(f.name.clone(), idx);
+                }
+                ItemKind::Impl(b) => {
+                    scope.typedefs.insert(b.type_name.clone());
+                    for f in &b.fns {
+                        let display = format!("{}::{}", b.type_name, f.name);
+                        let idx = self.fn_table.len();
+                        self.fn_table.push(FnInfo {
+                            file: file.to_owned(),
+                            scope: key.to_owned(),
+                            name: display.clone(),
+                            item: f.clone(),
+                        });
+                        scope.fns.insert(display, idx);
+                    }
+                }
+                ItemKind::TypeDef(name) => {
+                    scope.typedefs.insert(name.clone());
+                }
+            }
+        }
+        self.scopes.insert(key.to_owned(), scope);
+        self.file_scopes
+            .entry(file.to_owned())
+            .or_default()
+            .push(key.to_owned());
+        for (child_key, child) in children {
+            match child {
+                ModChild::Inline(inner) => {
+                    self.add_scope(&child_key, file, root, Some(key), &inner, asts, claimed);
+                }
+                ModChild::File(child_file) => {
+                    if claimed.insert(child_file.clone()) {
+                        self.add_module(&child_key, &child_file, root, Some(key), asts, claimed);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Total substitution edges followed so far.
+    pub fn edges(&self) -> u64 {
+        self.edges.get()
+    }
+
+    /// Every workspace function the resolver registered.
+    pub fn fn_table(&self) -> &[FnInfo] {
+        &self.fn_table
+    }
+
+    /// The scope key a file's top-level items live in, if the file was
+    /// part of the build.
+    pub fn file_scope(&self, file: &str) -> Option<&str> {
+        self.file_scopes
+            .get(file)
+            .and_then(|keys| keys.first())
+            .map(String::as_str)
+    }
+
+    /// Resolves `path` as seen from `file`'s top-level scope.
+    pub fn resolve_from_file(&self, file: &str, path: &[String]) -> Resolution {
+        match self.file_scope(file) {
+            Some(key) => self.resolve_in(key, path, MAX_HOPS, &mut BTreeSet::new()),
+            None => Resolution::Opaque,
+        }
+    }
+
+    /// Resolves `path` as seen from scope `key`.
+    pub fn resolve_in_scope(&self, key: &str, path: &[String]) -> Resolution {
+        self.resolve_in(key, path, MAX_HOPS, &mut BTreeSet::new())
+    }
+
+    fn resolve_in(
+        &self,
+        key: &str,
+        path: &[String],
+        hops: u32,
+        visited: &mut BTreeSet<(String, String)>,
+    ) -> Resolution {
+        if path.is_empty() || hops == 0 {
+            return Resolution::Opaque;
+        }
+        let first = path[0].as_str();
+        if matches!(first, "std" | "core" | "alloc") {
+            return check_std(path);
+        }
+        let Some(scope) = self.scopes.get(key) else {
+            return Resolution::Opaque;
+        };
+        match first {
+            "crate" => {
+                self.bump();
+                return self.resolve_in(&scope.root.clone(), &path[1..], hops - 1, visited);
+            }
+            "self" => return self.resolve_in(key, &path[1..], hops.saturating_sub(1), visited),
+            "super" => {
+                let Some(parent) = scope.parent.clone() else {
+                    return Resolution::Opaque;
+                };
+                self.bump();
+                return self.resolve_in(&parent, &path[1..], hops - 1, visited);
+            }
+            _ => {}
+        }
+        if let Some(u) = scope.uses.get(first) {
+            if !visited.insert((key.to_owned(), first.to_owned())) {
+                return Resolution::Opaque;
+            }
+            self.bump();
+            let mut full = u.path.clone();
+            full.extend_from_slice(&path[1..]);
+            let link = ChainLink {
+                name: first.to_owned(),
+                file: scope.file.clone(),
+                line: u.line,
+            };
+            return prepend(self.resolve_in(key, &full, hops - 1, visited), link);
+        }
+        if let Some(a) = scope.aliases.get(first) {
+            if !visited.insert((key.to_owned(), first.to_owned())) {
+                return Resolution::Opaque;
+            }
+            self.bump();
+            let link = ChainLink {
+                name: first.to_owned(),
+                file: scope.file.clone(),
+                line: a.line,
+            };
+            // Any banned path anywhere on the right-hand side taints the
+            // alias: `type M = Vec<HashMap<…>>` still iterates a
+            // randomized map.
+            for rhs in a.rhs.clone() {
+                if let Resolution::Banned(b) = self.resolve_in(key, &rhs, hops - 1, visited) {
+                    return prepend(Resolution::Banned(b), link);
+                }
+            }
+            return Resolution::Opaque;
+        }
+        if let Some(child) = scope.mods.get(first) {
+            if path.len() == 1 {
+                return Resolution::Opaque;
+            }
+            self.bump();
+            return self.resolve_in(&child.clone(), &path[1..], hops - 1, visited);
+        }
+        if path.len() == 1 {
+            if let Some(&idx) = scope.fns.get(first) {
+                return Resolution::Function(idx);
+            }
+        }
+        if path.len() == 2 && scope.typedefs.contains(first) {
+            if let Some(&idx) = scope.fns.get(&format!("{first}::{}", path[1])) {
+                return Resolution::Function(idx);
+            }
+            return Resolution::Opaque;
+        }
+        if let Some(root) = self.crate_roots.get(first) {
+            self.bump();
+            return self.resolve_in(&root.clone(), &path[1..], hops - 1, visited);
+        }
+        Resolution::Opaque
+    }
+
+    fn bump(&self) {
+        self.edges.set(self.edges.get() + 1);
+    }
+
+    /// Every locally-bound name in `file` (across its top-level and
+    /// inline-module scopes) that resolves to a banned terminal.
+    pub fn banned_names(&self, file: &str) -> Vec<BannedName> {
+        let mut out = Vec::new();
+        let Some(keys) = self.file_scopes.get(file) else {
+            return out;
+        };
+        for key in keys {
+            let Some(scope) = self.scopes.get(key) else {
+                continue;
+            };
+            let mut candidates: Vec<(String, u32, Vec<String>)> = Vec::new();
+            for (name, u) in &scope.uses {
+                let mut segments = u.path.clone();
+                segments.push(name.clone());
+                candidates.push((name.clone(), u.line, segments));
+            }
+            for (name, a) in &scope.aliases {
+                let mut segments: Vec<String> = a.rhs.iter().flatten().cloned().collect();
+                segments.push(name.clone());
+                candidates.push((name.clone(), a.line, segments));
+            }
+            for (name, decl_line, decl_segments) in candidates {
+                let path = vec![name.clone()];
+                match self.resolve_in(key, &path, MAX_HOPS, &mut BTreeSet::new()) {
+                    Resolution::Banned(b) => out.push(BannedName {
+                        name,
+                        rule: b.rule,
+                        terminal: b.terminal.clone(),
+                        chain: b.render_chain(),
+                        decl_line,
+                        env_module: false,
+                        decl_segments,
+                    }),
+                    Resolution::EnvModule(chain) => {
+                        let rendered = Banned {
+                            rule: "no-env-read",
+                            terminal: "std::env".to_owned(),
+                            chain,
+                        }
+                        .render_chain();
+                        out.push(BannedName {
+                            name,
+                            rule: "no-env-read",
+                            terminal: "std::env".to_owned(),
+                            chain: rendered,
+                            decl_line,
+                            env_module: true,
+                            decl_segments,
+                        });
+                    }
+                    _ => {}
+                }
+            }
+        }
+        out.sort_by_key(|b| (b.decl_line, b.name.clone()));
+        out.dedup_by(|a, b| a.name == b.name && a.decl_line == b.decl_line);
+        out
+    }
+}
+
+enum ModChild {
+    Inline(Vec<Item>),
+    File(String),
+}
+
+fn prepend(resolution: Resolution, link: ChainLink) -> Resolution {
+    match resolution {
+        Resolution::Banned(mut b) => {
+            b.chain.insert(0, link);
+            Resolution::Banned(b)
+        }
+        Resolution::EnvModule(mut chain) => {
+            chain.insert(0, link);
+            Resolution::EnvModule(chain)
+        }
+        other => other,
+    }
+}
+
+/// Judges an absolute `std`/`core`/`alloc` path against the banned
+/// terminals. Prefix-matched, so `std::time::Instant::now` is as banned
+/// as `std::time::Instant`.
+fn check_std(path: &[String]) -> Resolution {
+    let seg = |i: usize| path.get(i).map(String::as_str);
+    if seg(0) == Some("std") {
+        match (seg(1), seg(2)) {
+            (Some("collections"), Some("HashMap" | "HashSet")) => {
+                return Resolution::Banned(Banned {
+                    rule: "no-hash-collections",
+                    terminal: path[..3].join("::"),
+                    chain: Vec::new(),
+                });
+            }
+            (Some("time"), Some("Instant" | "SystemTime")) => {
+                return Resolution::Banned(Banned {
+                    rule: "no-wall-clock",
+                    terminal: path[..3].join("::"),
+                    chain: Vec::new(),
+                });
+            }
+            (Some("env"), Some("var" | "var_os" | "vars" | "vars_os")) => {
+                return Resolution::Banned(Banned {
+                    rule: "no-env-read",
+                    terminal: path[..3].join("::"),
+                    chain: Vec::new(),
+                });
+            }
+            (Some("env"), None) => return Resolution::EnvModule(Vec::new()),
+            _ => {}
+        }
+    }
+    Resolution::Opaque
+}
+
+/// The `[package] name` of a manifest, if declared.
+fn package_name(source: &str) -> Option<String> {
+    let mut in_package = false;
+    for raw in source.lines() {
+        let line = match raw.find('#') {
+            Some(at) => &raw[..at],
+            None => raw,
+        }
+        .trim();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+            continue;
+        }
+        if in_package {
+            if let Some((key, value)) = line.split_once('=') {
+                if key.trim() == "name" {
+                    return Some(value.trim().trim_matches('"').to_owned());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Resolves `mod name;` in `file` to the child file, per the standard
+/// layout: `lib.rs`/`main.rs`/`mod.rs` look in their own directory,
+/// `foo.rs` looks under `foo/`.
+fn mod_file(file: &str, name: &str, asts: &BTreeMap<String, FileAst>) -> Option<String> {
+    let base = if file.ends_with("/lib.rs")
+        || file.ends_with("/main.rs")
+        || file.ends_with("/mod.rs")
+        || !file.contains('/')
+    {
+        match file.rfind('/') {
+            Some(at) => file[..at].to_owned(),
+            None => String::new(),
+        }
+    } else {
+        file.strip_suffix(".rs").unwrap_or(file).to_owned()
+    };
+    let join = |child: &str| {
+        if base.is_empty() {
+            child.to_owned()
+        } else {
+            format!("{base}/{child}")
+        }
+    };
+    let flat = join(&format!("{name}.rs"));
+    if asts.contains_key(&flat) {
+        return Some(flat);
+    }
+    let nested = join(&format!("{name}/mod.rs"));
+    if asts.contains_key(&nested) {
+        return Some(nested);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn build(files: &[(&str, &str)]) -> Resolver {
+        let manifests: Vec<(String, String)> = files
+            .iter()
+            .filter(|(p, _)| p.ends_with("Cargo.toml"))
+            .map(|(p, s)| ((*p).to_owned(), (*s).to_owned()))
+            .collect();
+        let asts: BTreeMap<String, FileAst> = files
+            .iter()
+            .filter(|(p, _)| p.ends_with(".rs"))
+            .map(|(p, s)| ((*p).to_owned(), parse(s)))
+            .collect();
+        Resolver::build(&manifests, &asts)
+    }
+
+    const MANIFEST: &str = "[package]\nname = \"demo-crate\"\n";
+
+    #[test]
+    fn two_file_alias_chain_resolves_to_the_hash_terminal() {
+        let r = build(&[
+            ("Cargo.toml", MANIFEST),
+            ("src/lib.rs", "pub mod a;\npub mod b;\n"),
+            (
+                "src/a.rs",
+                "pub type FastMap = std::collections::HashMap<u32, u32>;\n",
+            ),
+            ("src/b.rs", "use crate::a::FastMap;\n"),
+        ]);
+        let banned = r.banned_names("src/b.rs");
+        assert_eq!(banned.len(), 1, "{banned:?}");
+        assert_eq!(banned[0].name, "FastMap");
+        assert_eq!(banned[0].rule, "no-hash-collections");
+        assert_eq!(banned[0].terminal, "std::collections::HashMap");
+        assert!(
+            banned[0].chain.contains("src/a.rs:1"),
+            "{}",
+            banned[0].chain
+        );
+        assert!(r.edges() > 0);
+    }
+
+    #[test]
+    fn re_export_chain_resolves_through_pub_use() {
+        let r = build(&[
+            ("Cargo.toml", MANIFEST),
+            ("src/lib.rs", "pub mod a;\npub mod c;\n"),
+            (
+                "src/a.rs",
+                "pub type FastMap = std::collections::HashMap<u32, u32>;\n",
+            ),
+            (
+                "src/c.rs",
+                "pub use crate::a::FastMap as Remap;\nuse crate::c::Remap as Local;\n",
+            ),
+        ]);
+        let banned = r.banned_names("src/c.rs");
+        let names: Vec<&str> = banned.iter().map(|b| b.name.as_str()).collect();
+        assert!(names.contains(&"Remap"), "{names:?}");
+        assert!(names.contains(&"Local"), "{names:?}");
+    }
+
+    #[test]
+    fn wall_clock_and_env_aliases_resolve() {
+        let r = build(&[
+            ("Cargo.toml", MANIFEST),
+            (
+                "src/lib.rs",
+                "use std::time::Instant as Clock;\nuse std::env as environment;\n",
+            ),
+        ]);
+        let banned = r.banned_names("src/lib.rs");
+        assert_eq!(banned.len(), 2, "{banned:?}");
+        assert_eq!(banned[0].rule, "no-wall-clock");
+        assert_eq!(banned[0].name, "Clock");
+        assert!(banned[1].env_module);
+        assert_eq!(banned[1].name, "environment");
+    }
+
+    #[test]
+    fn cross_crate_resolution_follows_the_crate_ident() {
+        let r = build(&[
+            (
+                "crates/maps/Cargo.toml",
+                "[package]\nname = \"demo-maps\"\n",
+            ),
+            (
+                "crates/maps/src/lib.rs",
+                "pub type FastMap = std::collections::HashMap<u32, u32>;\n",
+            ),
+            (
+                "crates/user/Cargo.toml",
+                "[package]\nname = \"demo-user\"\n",
+            ),
+            ("crates/user/src/lib.rs", "use demo_maps::FastMap;\n"),
+        ]);
+        let banned = r.banned_names("crates/user/src/lib.rs");
+        assert_eq!(banned.len(), 1, "{banned:?}");
+        assert!(
+            banned[0].chain.contains("crates/maps/src/lib.rs:1"),
+            "{}",
+            banned[0].chain
+        );
+    }
+
+    #[test]
+    fn calls_resolve_to_workspace_fns_one_file_or_across_mods() {
+        let r = build(&[
+            ("Cargo.toml", MANIFEST),
+            (
+                "src/lib.rs",
+                "mod util;\nfn top() { helper(); crate::util::stamp(); }\nfn helper() {}\n",
+            ),
+            ("src/util.rs", "pub fn stamp() {}\n"),
+        ]);
+        let helper = r.resolve_from_file("src/lib.rs", &["helper".to_owned()]);
+        let stamp = r.resolve_from_file(
+            "src/lib.rs",
+            &["crate".to_owned(), "util".to_owned(), "stamp".to_owned()],
+        );
+        match (helper, stamp) {
+            (Resolution::Function(h), Resolution::Function(s)) => {
+                assert_eq!(r.fn_table()[h].name, "helper");
+                assert_eq!(r.fn_table()[s].file, "src/util.rs");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn cycles_and_unknowns_stay_opaque() {
+        let r = build(&[
+            ("Cargo.toml", MANIFEST),
+            (
+                "src/lib.rs",
+                "use crate::b::X as Y;\npub mod b;\nuse std::fmt::Debug;\n",
+            ),
+            ("src/b.rs", "pub use crate::Y as X;\n"),
+        ]);
+        assert!(r.banned_names("src/lib.rs").is_empty());
+        assert_eq!(
+            r.resolve_from_file("src/lib.rs", &["Y".to_owned()]),
+            Resolution::Opaque
+        );
+    }
+
+    #[test]
+    fn orphan_files_resolve_standalone() {
+        let r = build(&[(
+            "tests/smoke.rs",
+            "use std::collections::HashMap as Shadow;\n",
+        )]);
+        let banned = r.banned_names("tests/smoke.rs");
+        assert_eq!(banned.len(), 1);
+        assert_eq!(banned[0].name, "Shadow");
+        // The decl spells HashMap, so the token layer owns it.
+        assert!(banned[0].decl_segments.iter().any(|s| s == "HashMap"));
+    }
+}

@@ -23,18 +23,32 @@
 //!   sanctioned output surfaces), `todo-tag` (to-do comments carry an
 //!   issue tag, `TODO(#nnn): …` style).
 //!
+//! Since the static-analysis v2 rework the token rules are joined by
+//! three **semantic** rule families computed over the parsed module
+//! graph (see `parser`/`resolve`/`taint`): the determinism rules above
+//! follow `use … as` / `type … =` / re-export chains across files
+//! (cross-file alias resolution), `determinism-taint` tracks
+//! nondeterministic values flowing into artifact sinks, and
+//! `executor-seam` / `hot-gate-ordering` police the concurrency seams.
+//! This module owns the token layer and the per-file merge: semantic
+//! denies funnel through the same suppression machinery as token
+//! denies.
+//!
 //! Findings are suppressed inline with a `lint:allow` comment naming
 //! the rule and a mandatory reason; the suppression itself is recorded
 //! as an `allow`-level finding so a report never hides one. Suppression
 //! annotations with a missing reason or an unknown rule name are
 //! violations in their own right (`suppression-missing-reason`,
-//! `suppression-unknown-rule`) — the meta rules are not suppressible.
+//! `suppression-unknown-rule`), and a suppression whose rule no longer
+//! fires on the covered span is a `dead-suppression` warning — the meta
+//! rules are not suppressible.
 
 use std::collections::BTreeMap;
 
 use crate::config::LintConfig;
 use crate::findings::Finding;
 use crate::lexer::{lex, Token, TokenKind};
+use crate::resolve::{BannedName, Resolver};
 
 /// Every suppressible rule, in catalog order.
 pub const RULES: &[&str] = &[
@@ -49,17 +63,20 @@ pub const RULES: &[&str] = &[
     "no-unwrap-hot",
     "no-debug-print",
     "todo-tag",
+    "determinism-taint",
+    "executor-seam",
+    "hot-gate-ordering",
 ];
 
 /// One parsed `lint:allow` annotation.
 #[derive(Clone, Debug)]
-struct Suppression {
-    rule: String,
-    reason: String,
-    line: u32,
+pub(crate) struct Suppression {
+    pub(crate) rule: String,
+    pub(crate) reason: String,
+    pub(crate) line: u32,
     /// Last line the suppression covers (the next code line at or
     /// after the annotation).
-    end_line: u32,
+    pub(crate) end_line: u32,
 }
 
 /// Per-line views of one lexed file.
@@ -320,7 +337,34 @@ fn suppressions_in_text(
 }
 
 /// Lints one Rust source file against the full catalog.
+///
+/// This is the single-file view of the analysis: the file roots its own
+/// resolution scope, so in-file alias chains and taint flows are
+/// checked, but imports from *other* files resolve only under
+/// [`crate::engine::lint_tree`], which builds the workspace-wide module
+/// graph.
 pub fn check_rust_source(path: &str, source: &str, config: &LintConfig) -> Vec<Finding> {
+    let mut asts = BTreeMap::new();
+    asts.insert(path.to_owned(), crate::parser::parse(source));
+    let resolver = Resolver::build(&[], &asts);
+    let banned = resolver.banned_names(path);
+    let mut extra = crate::taint::taint_findings(&resolver, config);
+    extra.extend(crate::taint::seam_findings(&resolver, config));
+    extra.extend(crate::taint::hot_gate_findings(&resolver));
+    check_file_with_semantics(path, source, config, &banned, extra)
+}
+
+/// The full per-file pass: token rules plus the pre-computed semantic
+/// inputs (resolved banned names for this file, and this file's share
+/// of the workspace-wide taint/seam/hot-gate findings), all merged
+/// through one suppression application.
+pub(crate) fn check_file_with_semantics(
+    path: &str,
+    source: &str,
+    config: &LintConfig,
+    banned: &[BannedName],
+    extra_denies: Vec<Finding>,
+) -> Vec<Finding> {
     let view = FileView::new(source);
     let mut findings = Vec::new();
     let suppressions = parse_suppressions(&view, path, &mut findings);
@@ -349,17 +393,129 @@ pub fn check_rust_source(path: &str, source: &str, config: &LintConfig) -> Vec<F
 
     code_rules(&view, path, config, &mut denies);
     comment_rules(&view, path, &mut denies);
+    alias_findings(&view, path, config, banned, &mut denies);
+    denies.extend(extra_denies);
 
     // Apply suppressions: a deny whose rule has an allow covering its
-    // line is dropped (the allow record above already reports it).
+    // line is dropped (the allow record above already reports it); a
+    // suppression that drops nothing has rotted and is reported.
+    let mut used = vec![false; suppressions.len()];
     denies.retain(|d| {
-        !suppressions
-            .iter()
-            .any(|s| s.rule == d.rule && (s.line..=s.end_line.max(s.line)).contains(&d.line))
+        let mut hit = false;
+        for (i, s) in suppressions.iter().enumerate() {
+            if s.rule == d.rule && (s.line..=s.end_line.max(s.line)).contains(&d.line) {
+                used[i] = true;
+                hit = true;
+            }
+        }
+        !hit
     });
+    for (sup, used) in suppressions.iter().zip(&used) {
+        if !used {
+            findings.push(Finding::warn(
+                "dead-suppression",
+                path,
+                sup.line,
+                format!(
+                    "lint:allow({}, …) suppresses nothing — the rule no longer fires \
+                     on the covered span; remove the annotation",
+                    sup.rule
+                ),
+            ));
+        }
+    }
     findings.extend(denies);
     findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     findings
+}
+
+/// The cross-file alias arm of the determinism rules: every use of a
+/// locally-bound name that resolves to a banned terminal is flagged,
+/// with the resolution chain attached.
+///
+/// Division of labour with the token layer: a declaration that
+/// literally spells the banned base ident (`use std::collections::
+/// HashMap;`, `type L = HashMap<…>;`, `… as FastSet`) is the token
+/// rules' business — they flag the declaration, and for hash
+/// collections the in-file alias tracker flags the uses too. The
+/// semantic arm fires where the token layer cannot see: names imported
+/// from other files, and use-sites of in-file wall-clock/env aliases.
+fn alias_findings(
+    view: &FileView<'_>,
+    path: &str,
+    config: &LintConfig,
+    banned: &[BannedName],
+    out: &mut Vec<Finding>,
+) {
+    for b in banned {
+        let applies = match b.rule {
+            "no-hash-collections" => config.hash_applies(path),
+            "no-wall-clock" => config.wall_clock_applies(path),
+            "no-env-read" => config.env_read_applies(path),
+            _ => false,
+        };
+        if !applies {
+            continue;
+        }
+        let base_idents: &[&str] = match b.rule {
+            "no-hash-collections" => &["HashMap", "HashSet"],
+            "no-wall-clock" => &["Instant", "SystemTime"],
+            _ => &["env", "var", "var_os", "vars", "vars_os"],
+        };
+        let decl_spells_base = b
+            .decl_segments
+            .iter()
+            .any(|s| base_idents.contains(&s.as_str()));
+        // The token alias tracker already covers declaration *and* uses
+        // of in-file hash aliases; re-flagging would double-count.
+        if b.rule == "no-hash-collections" && decl_spells_base {
+            continue;
+        }
+        // Lowercase std names (`var`…) are too collision-prone to match
+        // by bare ident when the decl is token-visible anyway.
+        if decl_spells_base && base_idents.contains(&b.name.as_str()) {
+            continue;
+        }
+        let n = view.code.len();
+        for ci in 0..n {
+            if view.tok(ci).kind != TokenKind::Ident || view.text(ci) != b.name {
+                continue;
+            }
+            let line = view.tok(ci).line;
+            let in_test = view.in_test_module(ci);
+            if in_test && b.rule != "no-hash-collections" {
+                continue;
+            }
+            if decl_spells_base && line == b.decl_line {
+                continue; // the token layer flags the declaration
+            }
+            if b.env_module {
+                // A bound env module only leaks on `name::var*`.
+                let getter = ci + 3 < n
+                    && view.is_punct(ci + 1, ":")
+                    && view.is_punct(ci + 2, ":")
+                    && ["var", "var_os", "vars", "vars_os"]
+                        .iter()
+                        .any(|g| view.is_ident(ci + 3, g));
+                if !getter {
+                    continue;
+                }
+            }
+            out.push(
+                Finding::deny(
+                    b.rule,
+                    path,
+                    line,
+                    format!(
+                        "{} resolves to {} through an alias chain; the {} rule \
+                         applies to every name that reaches it",
+                        b.name, b.terminal, b.rule
+                    ),
+                )
+                .with_resolved_path(b.chain.clone()),
+            );
+        }
+    }
 }
 
 /// One in-file alias of a hash collection: `use … HashMap as Map;` or
@@ -745,7 +901,31 @@ pub fn check_manifest(path: &str, source: &str) -> Vec<Finding> {
     }
     flush_pending(&mut pending, &mut denies);
 
-    denies.retain(|d| !file_allows.iter().any(|s| s.rule == d.rule));
+    let mut used = vec![false; file_allows.len()];
+    denies.retain(|d| {
+        let mut hit = false;
+        for (i, s) in file_allows.iter().enumerate() {
+            if s.rule == d.rule {
+                used[i] = true;
+                hit = true;
+            }
+        }
+        !hit
+    });
+    for (sup, used) in file_allows.iter().zip(&used) {
+        if !used {
+            findings.push(Finding::warn(
+                "dead-suppression",
+                path,
+                sup.line,
+                format!(
+                    "lint:allow({}, …) suppresses nothing — the rule no longer fires \
+                     in this manifest; remove the annotation",
+                    sup.rule
+                ),
+            ));
+        }
+    }
     findings.extend(denies);
     findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     findings

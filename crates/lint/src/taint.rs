@@ -1,0 +1,461 @@
+//! Semantic passes over the resolved function table: the determinism
+//! taint rule and the concurrency-seam checks.
+//!
+//! **`determinism-taint`** — a value derived from the wall clock, the
+//! environment, or unseeded entropy must never reach an artifact sink:
+//! artifacts are golden-diffed byte-for-byte, so a tainted cell breaks
+//! replay identity the first time the clock ticks differently. The pass
+//! works on per-function call summaries: a call is a *source* if it
+//! resolves (through any number of `use`/`type` hops, cross-file) to
+//! `std::time::{Instant,SystemTime}`, `std::env::var*`, or a known
+//! entropy constructor; taint propagates through nested call arguments
+//! and `let` bindings inside one function, plus **one hop** across call
+//! edges (calling a function that directly reads a source taints the
+//! call site — summaries do not cascade further, by design; whole-
+//! program dataflow is out of scope). A *sink* is an
+//! `ArtifactSink::row(…)` call or a `TraceStore` write
+//! (`store.record(…)` / `store.prefill(…)` — receiver-matched on
+//! `store` so per-workload stats accumulators don't false-positive);
+//! `note(…)` is deliberately **not** a sink: operator-facing footers
+//! (timing notes) are exempt from byte-identity.
+//!
+//! **`executor-seam`** — fan-out goes through the `Executor` seam
+//! (`parallel_map_on` / `prefill_on`), never `thread::spawn` /
+//! `thread::scope` directly; the sanctioned spawn site list
+//! (`LintConfig::spawn_sanctioned`) names the seam's own
+//! implementation.
+//!
+//! **`hot-gate-ordering`** — a function marked with the
+//! `lint:hot-gate` comment must be the documented one-relaxed-load
+//! pattern: exactly one atomic `.load(…)` and only `Relaxed` orderings,
+//! so the obs hot-path gate stays a single uncontended load.
+
+use crate::config::LintConfig;
+use crate::findings::Finding;
+use crate::parser::Call;
+use crate::resolve::{Banned, Resolution, Resolver};
+
+/// Orderings that disqualify a hot-gate function.
+const HEAVY_ORDERINGS: [&str; 4] = ["Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Whether a call resolves to (or names) a nondeterminism source.
+/// Returns a short description of the source when it is one.
+fn source_of(
+    call: &Call,
+    scope: &str,
+    file: &str,
+    resolver: &Resolver,
+    config: &LintConfig,
+) -> Option<String> {
+    let rendered = || format!("{} @ {}:{}", call.path.join("::"), file, call.line);
+    match resolver.resolve_in_scope(scope, &call.path) {
+        Resolution::Banned(Banned { rule, terminal, .. }) => match rule {
+            "no-wall-clock" if config.wall_clock_applies(file) => {
+                return Some(format!("{terminal} via {}", rendered()));
+            }
+            "no-env-read" if config.env_read_applies(file) => {
+                return Some(format!("{terminal} via {}", rendered()));
+            }
+            _ => {}
+        },
+        // A bound env module is only a source when a var getter is
+        // actually called through it.
+        Resolution::EnvModule(_)
+            if matches!(call.name(), "var" | "var_os" | "vars" | "vars_os")
+                && config.env_read_applies(file) =>
+        {
+            return Some(format!("std::env via {}", rendered()));
+        }
+        _ => {}
+    }
+    // Entropy constructors have no std path to resolve; match by name.
+    let name = call.name();
+    if name == "from_entropy" || name == "thread_rng" {
+        return Some(format!("unseeded entropy via {}", rendered()));
+    }
+    if call.path.iter().any(|s| s == "OsRng") {
+        return Some(format!("OsRng via {}", rendered()));
+    }
+    let n = call.path.len();
+    if n >= 2 && call.path[n - 2] == "RandomState" && call.path[n - 1] == "new" {
+        return Some(format!("RandomState::new via {}", rendered()));
+    }
+    None
+}
+
+/// Whether a call writes an artifact row or a trace-store entry.
+fn is_sink(call: &Call) -> bool {
+    if !call.method {
+        return false;
+    }
+    match call.name() {
+        "row" => true,
+        "record" | "prefill" => call
+            .receiver
+            .as_deref()
+            .is_some_and(|r| r.contains("store")),
+        _ => false,
+    }
+}
+
+/// Runs the determinism taint pass over every resolved workspace
+/// function. Test functions and test-path files are exempt (test
+/// scaffolding legitimately times things).
+pub fn taint_findings(resolver: &Resolver, config: &LintConfig) -> Vec<Finding> {
+    let fns = resolver.fn_table();
+    // Pass 1: which functions directly read a source (for the one-hop
+    // summary)?
+    let direct: Vec<Option<String>> = fns
+        .iter()
+        .map(|info| {
+            if info.item.in_test || LintConfig::is_test_path(&info.file) {
+                return None;
+            }
+            info.item
+                .calls
+                .iter()
+                .find_map(|c| source_of(c, &info.scope, &info.file, resolver, config))
+        })
+        .collect();
+
+    let mut findings = Vec::new();
+    for info in fns {
+        if info.item.in_test || LintConfig::is_test_path(&info.file) {
+            continue;
+        }
+        let calls = &info.item.calls;
+        if calls.is_empty() {
+            continue;
+        }
+        // Per-call taint chains: direct sources plus one hop through a
+        // called function whose summary says it reads a source.
+        let mut taint: Vec<Option<String>> = calls
+            .iter()
+            .map(|c| source_of(c, &info.scope, &info.file, resolver, config))
+            .collect();
+        for (i, call) in calls.iter().enumerate() {
+            if taint[i].is_some() || call.method {
+                continue;
+            }
+            if let Resolution::Function(idx) = resolver.resolve_in_scope(&info.scope, &call.path) {
+                if let Some(src) = &direct[idx] {
+                    let callee = &resolver.fn_table()[idx];
+                    taint[i] = Some(format!(
+                        "{src} -> {}() @ {}:{}",
+                        callee.name, callee.file, callee.item.line
+                    ));
+                }
+            }
+        }
+        // Propagate: nested calls taint their parent expression, `let`
+        // bindings carry taint to later argument uses. Children always
+        // have higher indices than their parent, so one descending pass
+        // closes the nesting, and an ascending pass wires variables;
+        // a final descending pass closes nesting introduced by variable
+        // uses.
+        for round in 0..2 {
+            for i in (0..calls.len()).rev() {
+                if let (Some(chain), Some(p)) = (taint[i].clone(), calls[i].parent) {
+                    if taint[p].is_none() {
+                        taint[p] = Some(chain);
+                    }
+                }
+            }
+            if round == 1 {
+                break;
+            }
+            let mut vars: std::collections::BTreeMap<&str, String> =
+                std::collections::BTreeMap::new();
+            for (i, call) in calls.iter().enumerate() {
+                if taint[i].is_none() {
+                    if let Some(chain) = call
+                        .arg_idents
+                        .iter()
+                        .find_map(|a| vars.get(a.as_str()).cloned())
+                    {
+                        taint[i] = Some(chain);
+                    }
+                }
+                if let (Some(chain), Some(var)) = (taint[i].as_ref(), call.let_var.as_deref()) {
+                    vars.insert(var, chain.clone());
+                }
+            }
+        }
+        // Sinks: a sink call's taint can only come from its inputs (a
+        // tainted nested call or a tainted argument binding — the two
+        // ways the propagation above sets it), so a tainted sink fires.
+        for (i, call) in calls.iter().enumerate() {
+            if !is_sink(call) {
+                continue;
+            }
+            if let Some(chain) = taint[i].clone() {
+                let sink = format!("{} @ {}:{}", call.name(), info.file, call.line);
+                findings.push(
+                    Finding::deny(
+                        "determinism-taint",
+                        &info.file,
+                        call.line,
+                        format!(
+                            "nondeterministic value flows into .{}(…) in {}(); artifact \
+                             rows and trace keys must be replay-stable",
+                            call.name(),
+                            info.name
+                        ),
+                    )
+                    .with_taint_chain(format!("{chain} -> {sink}")),
+                );
+            }
+        }
+    }
+    findings
+}
+
+/// The `executor-seam` check: direct thread fan-out outside the
+/// sanctioned `Executor` implementation files.
+pub fn seam_findings(resolver: &Resolver, config: &LintConfig) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for info in resolver.fn_table() {
+        if info.item.in_test
+            || LintConfig::is_test_path(&info.file)
+            || config.spawn_sanctioned(&info.file)
+        {
+            continue;
+        }
+        for call in &info.item.calls {
+            let n = call.path.len();
+            let thread_call = n >= 2
+                && call.path[n - 2] == "thread"
+                && matches!(call.path[n - 1].as_str(), "spawn" | "scope");
+            let method_spawn = call.method && call.name() == "spawn";
+            if thread_call || method_spawn {
+                findings.push(Finding::deny(
+                    "executor-seam",
+                    &info.file,
+                    call.line,
+                    format!(
+                        "direct thread fan-out ({}) in {}(); route it through the \
+                         Executor seam (parallel_map_on/prefill_on) so DST schedules \
+                         can replay it",
+                        call.path.join("::"),
+                        info.name
+                    ),
+                ));
+            }
+        }
+    }
+    findings
+}
+
+/// The `hot-gate-ordering` check: `lint:hot-gate` functions must be the
+/// documented one-relaxed-load pattern.
+pub fn hot_gate_findings(resolver: &Resolver) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for info in resolver.fn_table() {
+        if !info.item.hot_gate {
+            continue;
+        }
+        let calls = &info.item.calls;
+        let loads: Vec<&Call> = calls
+            .iter()
+            .filter(|c| c.method && c.name() == "load")
+            .collect();
+        if loads.len() != 1 {
+            findings.push(Finding::deny(
+                "hot-gate-ordering",
+                &info.file,
+                info.item.line,
+                format!(
+                    "hot-gate fn {}() performs {} atomic loads; the documented \
+                     pattern is exactly one Relaxed load",
+                    info.name,
+                    loads.len()
+                ),
+            ));
+        }
+        for call in calls {
+            if let Some(heavy) = call
+                .arg_idents
+                .iter()
+                .find(|a| HEAVY_ORDERINGS.contains(&a.as_str()))
+            {
+                findings.push(Finding::deny(
+                    "hot-gate-ordering",
+                    &info.file,
+                    call.line,
+                    format!(
+                        "hot-gate fn {}() uses Ordering::{heavy}; the hot-path gate \
+                         is one Relaxed load — heavier orderings belong behind the \
+                         cold fallback",
+                        info.name
+                    ),
+                ));
+            }
+        }
+        if let Some(load) = loads.first() {
+            let heavy = load
+                .arg_idents
+                .iter()
+                .any(|a| HEAVY_ORDERINGS.contains(&a.as_str()));
+            // A heavy ordering already fired above; only an *unspelled*
+            // ordering earns this separate finding.
+            if !heavy && !load.arg_idents.iter().any(|a| a == "Relaxed") {
+                findings.push(Finding::deny(
+                    "hot-gate-ordering",
+                    &info.file,
+                    load.line,
+                    format!(
+                        "hot-gate fn {}() load does not spell Ordering::Relaxed",
+                        info.name
+                    ),
+                ));
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse, FileAst};
+    use std::collections::BTreeMap;
+
+    fn resolver(files: &[(&str, &str)]) -> Resolver {
+        let manifests: Vec<(String, String)> = files
+            .iter()
+            .filter(|(p, _)| p.ends_with("Cargo.toml"))
+            .map(|(p, s)| ((*p).to_owned(), (*s).to_owned()))
+            .collect();
+        let asts: BTreeMap<String, FileAst> = files
+            .iter()
+            .filter(|(p, _)| p.ends_with(".rs"))
+            .map(|(p, s)| ((*p).to_owned(), parse(s)))
+            .collect();
+        Resolver::build(&manifests, &asts)
+    }
+
+    const MANIFEST: &str = "[package]\nname = \"demo\"\n";
+
+    #[test]
+    fn clock_into_row_is_tainted_directly_and_via_let() {
+        let r = resolver(&[
+            ("Cargo.toml", MANIFEST),
+            (
+                "src/lib.rs",
+                "use std::time::Instant;\n\
+                 fn direct(sink: &mut S) { sink.row(cells, Instant::now()); }\n\
+                 fn via_let(sink: &mut S) {\n\
+                     let t = Instant::now();\n\
+                     sink.row(t);\n\
+                 }\n\
+                 fn clean(sink: &mut S) { sink.row(cells); }\n",
+            ),
+        ]);
+        let findings = taint_findings(&r, &LintConfig::default());
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings[0].taint_chain.contains("std::time::Instant"));
+        assert!(
+            findings[0].taint_chain.contains("row @"),
+            "{}",
+            findings[0].taint_chain
+        );
+        assert!(findings[1].taint_chain.contains("row @"));
+    }
+
+    #[test]
+    fn one_hop_through_a_source_fn_is_tainted_two_hops_is_not() {
+        let r = resolver(&[
+            ("Cargo.toml", MANIFEST),
+            (
+                "src/lib.rs",
+                "fn stamp() -> u64 { let t = std::time::Instant::now(); mangle(t) }\n\
+                 fn wraps() -> u64 { stamp() }\n\
+                 fn one_hop(sink: &mut S) { sink.row(stamp()); }\n\
+                 fn two_hops(sink: &mut S) { sink.row(wraps()); }\n",
+            ),
+        ]);
+        let findings = taint_findings(&r, &LintConfig::default());
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].line, 3);
+        assert!(
+            findings[0].taint_chain.contains("stamp()"),
+            "{}",
+            findings[0].taint_chain
+        );
+    }
+
+    #[test]
+    fn trace_store_writes_are_sinks_stats_accumulators_are_not() {
+        let r = resolver(&[
+            ("Cargo.toml", MANIFEST),
+            (
+                "src/lib.rs",
+                "fn keyed(store: &mut T) {\n\
+                     let seed = std::env::var(name);\n\
+                     store.record(seed);\n\
+                 }\n\
+                 fn stats(s: &mut Hist) {\n\
+                     let t = std::time::Instant::now();\n\
+                     s.record(t);\n\
+                 }\n",
+            ),
+        ]);
+        let findings = taint_findings(&r, &LintConfig::default());
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].taint_chain.contains("std::env"));
+    }
+
+    #[test]
+    fn sanctioned_files_and_tests_are_not_sources() {
+        let src = "fn f(sink: &mut S) { sink.row(std::time::Instant::now()); }\n";
+        let r = resolver(&[
+            ("crates/obs/Cargo.toml", "[package]\nname = \"demo-obs\"\n"),
+            ("crates/obs/src/lib.rs", src),
+        ]);
+        assert!(taint_findings(&r, &LintConfig::default()).is_empty());
+        let r = resolver(&[("tests/timing.rs", src)]);
+        assert!(taint_findings(&r, &LintConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn seam_fires_outside_the_sanctioned_executor() {
+        let src = "fn fan_out() { std::thread::spawn(work); }\n\
+                   fn scoped() { thread::scope(body); }\n";
+        let r = resolver(&[("Cargo.toml", MANIFEST), ("src/lib.rs", src)]);
+        let findings = seam_findings(&r, &LintConfig::default());
+        assert_eq!(findings.len(), 2, "{findings:?}");
+
+        let r = resolver(&[
+            ("crates/dst/Cargo.toml", "[package]\nname = \"demo-dst\"\n"),
+            ("crates/dst/src/lib.rs", "mod executor;\n"),
+            ("crates/dst/src/executor.rs", src),
+        ]);
+        assert!(seam_findings(&r, &LintConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn hot_gate_enforces_one_relaxed_load() {
+        let good = "// lint:hot-gate\n\
+                    fn raw() { LEVEL.load(Ordering::Relaxed); }\n";
+        let r = resolver(&[("Cargo.toml", MANIFEST), ("src/lib.rs", good)]);
+        assert!(hot_gate_findings(&r).is_empty());
+
+        let bad = "// lint:hot-gate\n\
+                   fn raw() { LEVEL.load(Ordering::Acquire); }\n\
+                   // lint:hot-gate\n\
+                   fn noisy() { A.load(Ordering::Relaxed); B.load(Ordering::Relaxed); }\n";
+        let r = resolver(&[("Cargo.toml", MANIFEST), ("src/lib.rs", bad)]);
+        let findings = hot_gate_findings(&r);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(
+            findings[0].message.contains("Acquire"),
+            "{}",
+            findings[0].message
+        );
+        assert!(
+            findings[1].message.contains("2 atomic loads"),
+            "{}",
+            findings[1].message
+        );
+    }
+}

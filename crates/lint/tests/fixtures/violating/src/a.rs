@@ -1,0 +1,4 @@
+//! Cross-file alias source: the declaration spells the banned type, so
+//! the token rule owns this line; the semantic pass only follows it.
+
+pub type FastMap = std::collections::HashMap<u32, u32>; // no-hash-collections (HashMap ident)

@@ -1,0 +1,9 @@
+//! Cross-file alias consumer: `FastMap` is only a name in this file —
+//! catching it requires resolving through `a.rs` (the ROADMAP gap).
+
+use crate::a::FastMap; // no-hash-collections (cross-file decl)
+
+pub fn build() {
+    let mut m = FastMap::new(); // no-hash-collections (cross-file use)
+    m.insert(1u32, 2u32);
+}

@@ -1,0 +1,9 @@
+//! Re-export chain: `Remap` renames a re-exported alias of a banned
+//! type; resolution follows two hops (`c::Remap -> a::FastMap -> HashMap`).
+
+pub use crate::a::FastMap as Remap; // no-hash-collections (re-export decl)
+
+pub fn remapped() {
+    let mut m = Remap::new(); // no-hash-collections (re-export use)
+    m.insert(3u32, 4u32);
+}

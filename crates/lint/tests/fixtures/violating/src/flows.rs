@@ -1,0 +1,21 @@
+//! Seeds for the semantic rule families: a wall-clock value flowing
+//! into an artifact row, a raw thread fan-out, and a hot-path gate
+//! using a heavier-than-documented atomic ordering.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+pub fn tainted(store: &mut TraceStore) {
+    let stamp = std::time::Instant::now(); // no-wall-clock
+    store.row(stamp); // determinism-taint
+}
+
+pub fn fan_out() {
+    std::thread::spawn(worker); // executor-seam
+}
+
+fn worker() {}
+
+// lint:hot-gate
+pub fn gate(level: &AtomicU8) -> u8 {
+    level.load(Ordering::Acquire) // hot-gate-ordering
+}

@@ -2,6 +2,11 @@
 //! rule named next to it. Never compiled — the tree is excluded from the
 //! workspace and only walked by the lint's own tests.
 
+pub mod a;
+pub mod b;
+pub mod c;
+pub mod flows;
+
 use std::collections::HashMap; // no-hash-collections
 use std::collections::HashSet as FastSet; // no-hash-collections (decl)
 use std::time::Instant; // no-wall-clock

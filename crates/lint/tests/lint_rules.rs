@@ -367,11 +367,16 @@ fn violating_fixture_trips_every_rule() {
         );
     }
     assert_eq!(
-        by_rule["no-hash-collections"], 7,
-        "3 direct idents + 2 alias declarations + 2 alias uses"
+        by_rule["no-hash-collections"], 12,
+        "3 direct idents + 2 alias declarations + 2 alias uses (lib.rs), \
+         1 decl ident (a.rs), cross-file decl + use (b.rs), \
+         re-export decl + use (c.rs)"
     );
-    assert_eq!(by_rule["no-wall-clock"], 3);
+    assert_eq!(by_rule["no-wall-clock"], 4, "3 in lib.rs + taint seed");
     assert_eq!(by_rule["hermetic-deps"], 3);
+    assert_eq!(by_rule["determinism-taint"], 1);
+    assert_eq!(by_rule["executor-seam"], 1);
+    assert_eq!(by_rule["hot-gate-ordering"], 1);
     assert_eq!(
         by_rule["no-build-script"], 2,
         "manifest key + build.rs file"

@@ -110,13 +110,17 @@ impl Floor {
 /// metric, bound)`. These mirror the live `ci.sh` perf smokes (1.15× /
 /// 1.3× / 3× `STREAMSIM_BENCH_ENFORCE` floors) plus the model's ≤ ¼
 /// simulated-fraction contract, so the committed history and the live
-/// gate cannot silently disagree.
+/// gate cannot silently disagree. The `lint` floor guards coverage
+/// rather than speed: a workspace scan that reaches fewer than 100
+/// files was truncated (wrong `--root`, or member crates skipped) and
+/// must not pass for a clean one.
 pub fn metric_floors() -> &'static [(&'static str, &'static str, Floor)] {
     &[
         ("recording", "speedup", Floor::AtLeast(1.15)),
         ("replay", "speedup", Floor::AtLeast(1.3)),
         ("model", "speedup", Floor::AtLeast(3.0)),
         ("model", "simulated_fraction", Floor::AtMost(0.25)),
+        ("lint", "files_scanned", Floor::AtLeast(100.0)),
     ]
 }
 
@@ -264,6 +268,22 @@ mod tests {
     #[test]
     fn empty_ledger_passes_vacuously() {
         assert!(check_ledger(&[]).pass());
+    }
+
+    #[test]
+    fn truncated_lint_scan_fails_the_coverage_floor() {
+        let full = vec![entry(1, "lint", &[("files_scanned", 180.0)])];
+        assert!(check_ledger(&full).pass());
+
+        // A root-only (or wrong-root) scan reaches a fraction of the
+        // tree; the latest entry is judged, so it must fail.
+        let truncated = vec![
+            entry(1, "lint", &[("files_scanned", 180.0)]),
+            entry(2, "lint", &[("files_scanned", 12.0)]),
+        ];
+        let verdict = check_ledger(&truncated);
+        assert!(!verdict.pass());
+        assert!(verdict.failures[0].contains("files_scanned"), "{verdict:?}");
     }
 
     #[test]

@@ -126,6 +126,7 @@ fn level_from_env() -> u8 {
     LEVEL.load(Ordering::Relaxed)
 }
 
+// lint:hot-gate
 #[inline(always)]
 fn raw_level() -> u8 {
     let v = LEVEL.load(Ordering::Relaxed);

@@ -42,20 +42,63 @@ cargo test -q --offline "${test_scope[@]}"
 
 # Static analysis: the workspace's determinism/hermeticity/safety
 # invariants, enforced by the in-tree lint (see DESIGN.md, "Static
-# analysis"). Both scopes must be clean — zero unsuppressed findings;
-# suppressions are fine, they are reasoned and reported. The seeded
-# fixture tree then proves the gate has teeth: a run over known
-# violations must exit nonzero, else the lint rotted into a yes-man.
+# analysis v2"). Both scopes must be clean — zero unsuppressed findings
+# or dead suppressions; live suppressions are fine, they are reasoned
+# and reported. The seeded fixture tree then proves the gate has teeth:
+# a run over known violations (including the cross-file alias chain the
+# semantic pass exists for) must exit nonzero in BOTH verbose and
+# --quiet modes with byte-identical JSON artifacts, else the lint
+# rotted into a yes-man or --quiet regressed the exit path again.
+lint_dir=$(mktemp -d)
+trap 'rm -rf "$lint_dir"' EXIT
 echo "==> cargo build --release --offline -p streamsim-lint"
 cargo build --release --offline -p streamsim-lint
 echo "==> streamsim-lint --deny-warnings (root package)"
 ./target/release/streamsim-lint --deny-warnings
-echo "==> streamsim-lint --deny-warnings --workspace"
-./target/release/streamsim-lint --deny-warnings --workspace
-echo "==> streamsim-lint fixture smoke (must fail on seeded violations)"
-if ./target/release/streamsim-lint --deny-warnings --workspace --quiet \
+echo "==> streamsim-lint --deny-warnings --workspace (cold AST cache)"
+./target/release/streamsim-lint --deny-warnings --workspace \
+    --cache "$lint_dir/ast.cache" --json "$lint_dir/cold.jsonl" \
+    --bench-out "$lint_dir/BENCH_lint.json"
+echo "==> streamsim-lint --deny-warnings --workspace (warm AST cache)"
+./target/release/streamsim-lint --deny-warnings --workspace \
+    --cache "$lint_dir/ast.cache" --json "$lint_dir/warm.jsonl"
+cmp "$lint_dir/cold.jsonl" "$lint_dir/warm.jsonl" \
+    || { echo "error: warm-cache lint findings differ from cold" >&2; exit 1; }
+echo "==> streamsim-lint fixture smoke (must fail, verbose)"
+if ./target/release/streamsim-lint --deny-warnings --workspace \
+    --json "$lint_dir/fixture-verbose.jsonl" \
     --root crates/lint/tests/fixtures/violating; then
     echo "error: lint passed the seeded-violation fixture tree" >&2
+    exit 1
+fi
+echo "==> streamsim-lint fixture smoke (must fail, --quiet)"
+if ./target/release/streamsim-lint --deny-warnings --workspace --quiet \
+    --json "$lint_dir/fixture-quiet.jsonl" \
+    --root crates/lint/tests/fixtures/violating; then
+    echo "error: lint passed the seeded-violation fixture tree under --quiet" >&2
+    exit 1
+fi
+cmp "$lint_dir/fixture-verbose.jsonl" "$lint_dir/fixture-quiet.jsonl" \
+    || { echo "error: --quiet changed the lint JSON artifact" >&2; exit 1; }
+grep -q '"rule":"determinism-taint"' "$lint_dir/fixture-verbose.jsonl"
+grep -q '"resolved_path":"FastMap' "$lint_dir/fixture-verbose.jsonl" \
+    || { echo "error: cross-file alias chain missing from fixture findings" >&2; exit 1; }
+
+# Lint coverage ledger: the workspace bench row must round-trip through
+# --ledger and clear the files_scanned floor; a truncated scan (a tiny
+# --root) appended after it must turn the check red — the floor is what
+# keeps a wrong-directory lint run from reading as a clean workspace.
+echo "==> lint bench row -> ledger round-trip (coverage floor)"
+./target/release/streamsim-report \
+    --ledger "$lint_dir/BENCH_lint.json" --ledger-file "$lint_dir/ledger.jsonl"
+./target/release/streamsim-report --ledger-check "$lint_dir/ledger.jsonl"
+echo "==> lint truncated-scan smoke (must fail the coverage floor)"
+./target/release/streamsim-lint --quiet --root crates/lint \
+    --bench-out "$lint_dir/BENCH_lint_truncated.json"
+./target/release/streamsim-report \
+    --ledger "$lint_dir/BENCH_lint_truncated.json" --ledger-file "$lint_dir/ledger.jsonl"
+if ./target/release/streamsim-report --ledger-check "$lint_dir/ledger.jsonl"; then
+    echo "error: ledger check passed a truncated lint scan" >&2
     exit 1
 fi
 
@@ -71,7 +114,7 @@ fi
 # --trace-check: well-formed flat JSON, every span's B matched by an E.
 echo "==> observability smoke (--profile + trace export under STREAMSIM_LOG=debug)"
 obs_dir=$(mktemp -d)
-trap 'rm -rf "$obs_dir"' EXIT
+trap 'rm -rf "$obs_dir" "$lint_dir"' EXIT
 STREAMSIM_LOG=debug STREAMSIM_TRACE_OUT="$obs_dir/trace.json" \
     ./target/release/streamsim-report \
     --quick --profile --out /dev/null --json "$obs_dir/run.jsonl" table2

@@ -30,7 +30,15 @@ fn lint_json_report_parses_as_a_flat_artifact() {
         let table = text(&fields, "table").expect("table column");
         match table.as_str() {
             "findings" => {
-                for key in ["rule", "level", "file", "message", "reason"] {
+                for key in [
+                    "rule",
+                    "level",
+                    "file",
+                    "message",
+                    "reason",
+                    "resolved_path",
+                    "taint_chain",
+                ] {
                     assert!(text(&fields, key).is_some(), "missing {key}: {line}");
                 }
                 assert!(
@@ -41,7 +49,7 @@ fn lint_json_report_parses_as_a_flat_artifact() {
                 );
             }
             "summary" => {
-                for key in ["files", "deny", "allow"] {
+                for key in ["files", "deny", "warn", "allow"] {
                     assert!(
                         fields
                             .iter()
@@ -74,6 +82,15 @@ fn workspace_lints_clean_with_reasoned_suppressions() {
         "unsuppressed violations:\n{}",
         denies.join("\n")
     );
+    // Warn-clean too: a dead suppression anywhere in the tree would
+    // surface here as a `Warn` finding with an empty reason.
+    let warns: Vec<String> = report
+        .findings
+        .iter()
+        .filter(|f| f.level == Level::Warn)
+        .map(|f| f.to_string())
+        .collect();
+    assert!(warns.is_empty(), "dead suppressions:\n{}", warns.join("\n"));
     for f in &report.findings {
         assert!(
             !f.reason.trim().is_empty(),
